@@ -1,0 +1,18 @@
+"""Benchmark X2 — ablation: strip the §5.2 error-checking machinery.
+
+The bare Lipton counter misbehaves under adversarial initialisation; the
+full construction does not — quantifying the paper's central technical
+contribution."""
+
+from conftest import once
+
+from repro.experiments import run_ablation
+
+
+def test_ablation_error_checks(benchmark):
+    report = once(benchmark, run_ablation, 2, trials_per_total=2, seed=4)
+    print("\n" + report.render())
+    assert report.checks_help
+    s = report.summary
+    assert s.with_checks_correct == s.with_checks_total
+    assert s.without_checks_correct < s.without_checks_total

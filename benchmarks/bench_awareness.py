@@ -1,0 +1,28 @@
+"""Benchmark X1 — 1-awareness: the baselines have poisonable witness
+states; the paper's construction resists poisoning (it accepts only
+provisionally and keeps checking)."""
+
+from conftest import once
+
+from repro.experiments import run_awareness
+
+
+def test_awareness_probes(benchmark, lipton1_pipeline):
+    report = once(
+        benchmark,
+        run_awareness,
+        3,
+        pipeline=lipton1_pipeline,
+        seed=0,
+        poison_state_count=3,
+        convergence_window=60_000,
+    )
+    print("\nunary certificates:",
+          sorted(map(repr, report.unary_certificates.certificate_states)))
+    print("unary poisonable:", report.baseline_poisonable)
+    print("construction poison verdicts:",
+          {repr(k): v for k, v in
+           report.this_paper_poisoning.state_verdicts.items()})
+    assert report.baselines_are_aware
+    assert report.baseline_poisonable
+    assert report.construction_resists_poisoning

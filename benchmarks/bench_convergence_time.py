@@ -1,0 +1,21 @@
+"""Benchmark X3 — convergence cost vs levels (runtime, out of the paper's
+scope, quantified: steps and restarts until stabilisation grow steeply
+with n, which is why the paper notes that runtime optimisation is left to
+standard techniques)."""
+
+from conftest import once
+
+from repro.experiments import run_convergence
+
+
+def test_convergence_scaling(benchmark):
+    report = once(benchmark, run_convergence, 3, trials=3, seed=1)
+    print("\n" + report.render())
+    m1 = report.median_steps(1, True)
+    m2 = report.median_steps(2, True)
+    m3 = report.median_steps(3, True)
+    print(f"median accept steps: n=1 {m1}, n=2 {m2}, n=3 {m3}")
+    assert m1 is not None and m2 is not None and m3 is not None
+    # Steep growth: each level multiplies the verification cost.
+    assert m1 < m2 < m3
+    assert m3 > 10 * m2

@@ -1,0 +1,11 @@
+"""Benchmark F1 — Figure 1: the worked example program (4 ≤ x < 7)."""
+
+from conftest import once
+
+from repro.experiments import run_figure1
+
+
+def test_figure1_decisions(benchmark):
+    report = once(benchmark, run_figure1, seed=5)
+    print("\n" + report.render())
+    assert report.correct == len(report.trials)

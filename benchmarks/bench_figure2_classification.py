@@ -1,0 +1,29 @@
+"""Benchmark F2 — Figure 2: the five configuration-type examples."""
+
+from conftest import once
+
+from repro.experiments import run_figure2
+
+
+def test_figure2_examples(benchmark):
+    report = once(benchmark, run_figure2, 3, 3)
+    print("\n" + report.render())
+    assert report.all_match
+
+
+def test_classification_throughput(benchmark):
+    """Micro-benchmark: classify many random configurations (n = 4)."""
+    import random
+
+    from repro.lipton import all_registers, classify
+    from repro.programs import uniform_composition
+
+    rng = random.Random(0)
+    registers = tuple(all_registers(4))
+    configs = [uniform_composition(50, registers, rng) for _ in range(300)]
+
+    def classify_all():
+        return [classify(c, 4).behaviour for c in configs]
+
+    behaviours = benchmark(classify_all)
+    assert len(behaviours) == 300

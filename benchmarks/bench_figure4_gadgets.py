@@ -1,0 +1,21 @@
+"""Benchmark F4 — Figure 4: instruction → transition gadget families."""
+
+from conftest import once
+
+from repro.experiments import run_figure4
+
+
+def test_figure4_gadgets(benchmark):
+    report = once(benchmark, run_figure4)
+    print("\ntransitions per instruction:", report.per_instruction_counts)
+    assert all(report.facts.values()), report.facts
+    # The move gadget needs the six transition families of App. B.3.
+    assert report.per_instruction_counts[1] >= 6
+
+
+def test_conversion_throughput(benchmark, thr2_pipeline):
+    """Micro-benchmark: convert the thr2 machine to a protocol."""
+    from repro.conversion import convert_machine
+
+    conversion = benchmark(convert_machine, thr2_pipeline.machine)
+    assert conversion.protocol.state_count == thr2_pipeline.inner_state_count

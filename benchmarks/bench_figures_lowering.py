@@ -1,0 +1,34 @@
+"""Benchmark F3/F5/F6/F7 — the lowering gadgets of Figures 3, 5, 6, 7."""
+
+from conftest import once
+
+from repro.experiments import run_figures_lowering
+
+
+def test_figure_gadget_shapes(benchmark):
+    facts = once(benchmark, run_figures_lowering)
+    by_name = {g.name: g for g in facts}
+    print()
+    for g in facts:
+        print(f"{g.name}: L={g.length} detects={g.detects} moves={g.moves} "
+              f"map-assigns={g.register_map_assignments}")
+    # Figure 3: swap -> three register-map assignments, detect + branch.
+    assert by_name["figure3"].register_map_assignments == 3
+    assert by_name["figure3"].facts["branch_follows_every_detect"]
+    # Figure 5: negated condition still lowers to one detect + one branch.
+    assert by_name["figure5"].detects == 1
+    # Figure 6: procedure call/return through a return pointer.
+    assert by_name["figure6"].return_pointer_indirect_jumps >= 1
+    # Figure 7: the restart helper with two scramble loops per register.
+    assert by_name["figure7"].restart_entry is not None
+    assert by_name["figure7"].detects == 4
+
+
+def test_lowering_throughput(benchmark):
+    """Micro-benchmark: compile the n = 4 construction (O(n) machine)."""
+    from repro.lipton import build_threshold_program
+    from repro.machines import lower_program
+
+    program = build_threshold_program(4)
+    machine = benchmark(lower_program, program)
+    assert machine.length > 500

@@ -1,0 +1,19 @@
+"""Benchmark L15 — Lemma 15: leader election recovers the pointer agents
+from noisy configurations with ≥ |F| initial-state agents."""
+
+from conftest import once
+
+from repro.experiments import run_lemma15
+
+
+def test_election_recovery(benchmark, thr2_pipeline):
+    report = once(
+        benchmark,
+        run_lemma15,
+        pipeline=thr2_pipeline,
+        noise_levels=[0, 4, 10, 20],
+        trials_per_level=3,
+        seed=0,
+    )
+    print("\n" + report.render())
+    assert report.recovered == len(report.trials)

@@ -1,0 +1,21 @@
+"""Benchmark L4 — Lemma 4: Main's trichotomy over all configurations of a
+small total (exhaustive) and a sample of a larger one."""
+
+from conftest import once
+
+from repro.experiments import run_lemma4
+
+
+def test_lemma4_exhaustive_total3(benchmark):
+    report = once(benchmark, run_lemma4, 1, 3, seed=0)
+    print(f"\nn=1 m=3: {report.consistent}/{len(report.trials)} consistent")
+    assert report.consistent == len(report.trials) == 35
+
+
+def test_lemma4_sampled_n2(benchmark):
+    report = once(
+        benchmark, run_lemma4, 2, 5, sample=30, seed=2,
+        quiet_window=50_000, max_steps=5_000_000,
+    )
+    print(f"\nn=2 m=5: {report.consistent}/{len(report.trials)} consistent")
+    assert report.consistent == len(report.trials)

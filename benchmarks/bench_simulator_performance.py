@@ -1,0 +1,93 @@
+"""Performance micro-benchmarks for the simulation substrate.
+
+Not a paper artefact — these track the throughput of the schedulers,
+interpreters and the exact checker so regressions in the substrate are
+visible alongside the reproduction benchmarks."""
+
+import random
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol, majority_protocol
+from repro.core import (
+    EnabledTransitionScheduler,
+    Multiset,
+    UniformPairScheduler,
+    simulate,
+    stabilisation_verdict,
+)
+from repro.lipton import build_threshold_program, canonical_restart_policy
+from repro.machines import lower_program, run_machine
+from repro.programs import run_program
+
+
+def test_uniform_scheduler_throughput(benchmark):
+    pp = majority_protocol()
+    config = Multiset({"X": 600, "Y": 400})
+
+    def run():
+        return simulate(
+            pp,
+            config,
+            seed=1,
+            scheduler=UniformPairScheduler(),
+            max_interactions=20_000,
+            convergence_window=10**9,
+        ).interactions
+
+    interactions = benchmark(run)
+    # The majority instance may reach consensus (silence) slightly early.
+    assert interactions > 5_000
+
+
+def test_enabled_scheduler_throughput(benchmark):
+    pp = binary_threshold_protocol(13)
+    config = Multiset({"p0": 40})
+
+    def run():
+        return simulate(
+            pp,
+            config,
+            seed=1,
+            max_interactions=10_000,
+            convergence_window=10**9,
+        ).interactions
+
+    interactions = benchmark(run)
+    # The accepting run turns silent (all-TOP) once consensus is complete.
+    assert interactions > 1_000
+
+
+def test_program_interpreter_throughput(benchmark):
+    program = build_threshold_program(2)
+    policy = canonical_restart_policy(2)
+
+    def run():
+        return run_program(
+            program,
+            {"x1": 10},
+            seed=7,
+            restart_policy=policy,
+            max_steps=50_000,
+        ).steps
+
+    assert benchmark(run) == 50_000
+
+
+def test_machine_interpreter_throughput(benchmark):
+    machine = lower_program(build_threshold_program(1), "lipton1")
+
+    def run():
+        return run_machine(
+            machine, {"x1": 3}, seed=3, max_steps=50_000, quiet_window=None
+        ).steps
+
+    assert benchmark(run) == 50_000
+
+
+def test_exact_checker_throughput(benchmark):
+    pp = binary_threshold_protocol(6)
+    config = Multiset({"p0": 7})
+
+    verdict = benchmark(stabilisation_verdict, pp, config, 500_000)
+    assert verdict is True

@@ -1,0 +1,32 @@
+"""Benchmark T1 — regenerate Table 1 (state complexity of thresholds).
+
+Paper claim: classic Θ(k) ≫ binary Θ(log k) ≫ this paper Θ(log log k)
+(leaderless, matching the leader-assisted bound up to constants)."""
+
+from conftest import once
+
+from repro.experiments import run_table1
+
+
+def test_table1_regeneration(benchmark):
+    report = once(benchmark, run_table1, 6)
+    print("\n" + report.render())
+    assert report.ordering_holds()
+    rows = report.rows
+    # n = 5: k is near a million; classic needs ~a million states, binary
+    # ~30, this paper ~11k regardless of k's magnitude.
+    row5 = rows[4]
+    assert row5.unary_states > 900_000
+    assert row5.binary_states < 40
+    assert row5.this_paper_states < 12_000
+    # The whole point: our protocol's size is driven by n, not k.
+    assert rows[5].this_paper_states - rows[4].this_paper_states < 3_000
+
+
+def test_table1_deep_sweep_sizes_only(benchmark):
+    """Closed-form state counts scale to n = 12 (k astronomically large)."""
+    from repro.analysis import theorem1_data
+
+    data = once(benchmark, theorem1_data, 12)
+    assert data[-1].k.bit_length() > 2**11
+    assert data[-1].states < 35_000

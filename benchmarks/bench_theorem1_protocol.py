@@ -1,0 +1,28 @@
+"""Benchmark TH1 — Theorem 1: protocols with O(n) states deciding
+x ≥ k for k ≥ 2^(2^n)-scale thresholds; end-to-end behaviour for n = 1."""
+
+from conftest import once
+
+from repro.experiments import run_theorem1_end_to_end, run_theorem1_sizes
+
+
+def test_theorem1_sizes(benchmark):
+    report = once(benchmark, run_theorem1_sizes, 8)
+    print("\n" + report.render())
+    assert report.linear_states()
+    assert report.double_exponential()
+
+
+def test_theorem1_end_to_end(benchmark, lipton1_pipeline):
+    trials = once(
+        benchmark,
+        run_theorem1_end_to_end,
+        seed=2,
+        pipeline=lipton1_pipeline,
+    )
+    for trial in trials:
+        assert trial.verdict is trial.expected, (
+            trial.population,
+            trial.verdict,
+            trial.expected,
+        )

@@ -1,0 +1,26 @@
+"""Benchmark TH2 — Theorem 2 / Definition 7: almost self-stabilisation.
+
+Program level: adversarial register initialisation, n = 2.  Protocol
+level: arbitrary noise agents + ≥ |F| initial-state agents on the n = 1
+protocol."""
+
+from conftest import once
+
+from repro.experiments import run_program_selfstab, run_protocol_selfstab
+
+
+def test_program_level_selfstab(benchmark):
+    report = once(benchmark, run_program_selfstab, 2, trials_per_total=2, seed=3)
+    print("\n" + report.render())
+    assert report.correct == report.total
+
+
+def test_protocol_level_selfstab(benchmark, lipton1_pipeline):
+    report = once(
+        benchmark,
+        run_protocol_selfstab,
+        pipeline=lipton1_pipeline,
+        seed=1,
+    )
+    print("\n" + report.render())
+    assert report.correct == report.total

@@ -1,0 +1,22 @@
+"""Benchmark TH3 — Theorem 3: the O(n)-size population program deciding
+m ≥ k_n, with behavioural sweeps across the boundary for n = 1, 2, 3."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import run_theorem3_decisions, run_theorem3_sizes
+
+
+def test_theorem3_sizes(benchmark):
+    report = once(benchmark, run_theorem3_sizes, 10)
+    print("\n" + report.render())
+    assert report.linear_size()
+    assert all(row.bound_met for row in report.rows)
+
+
+@pytest.mark.parametrize("n", [1, 2, 3])
+def test_theorem3_decisions(benchmark, n):
+    trials = once(benchmark, run_theorem3_decisions, n, seed=11 * n)
+    assert all(t.correct for t in trials), [
+        (t.total, t.got, t.expected) for t in trials if not t.correct
+    ]

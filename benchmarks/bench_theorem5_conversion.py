@@ -1,0 +1,25 @@
+"""Benchmark TH5 — Theorem 5 / Props 14 & 16: conversion overhead and
+lockstep machine ↔ protocol co-simulation."""
+
+from conftest import once
+
+from repro.experiments import conversion_rows, lockstep_check, render_conversion
+
+
+def test_conversion_sizes(benchmark):
+    rows = once(benchmark, conversion_rows)
+    print("\n" + render_conversion(rows))
+    assert all(r.bound_holds for r in rows)
+    # Proposition 14: machine size within a constant factor of program size.
+    assert all(r.machine_size < 8 * r.program_size for r in rows)
+    # Theorem 5: |Q'| = 2 |Q*|.
+    assert all(r.final_states == 2 * r.inner_states for r in rows)
+
+
+def test_lockstep_cosimulation(benchmark, thr2_pipeline):
+    verified = once(
+        benchmark, lockstep_check, thr2_pipeline, {"x": 3}, seed=0,
+        interactions=100_000,
+    )
+    print(f"\nverified machine steps via pi-images: {verified}")
+    assert verified > 5_000

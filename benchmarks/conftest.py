@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every module regenerates one table/figure/theorem of the paper (see the
+experiment index in DESIGN.md); the benchmark timings measure the cost of
+the regeneration itself.  Expensive pipelines are compiled once per
+session.
+"""
+
+import pytest
+
+from repro.conversion import compile_program, compile_threshold_protocol
+from repro.programs import simple_threshold_program
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a (potentially slow) experiment exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def thr2_pipeline():
+    return compile_program(simple_threshold_program(2), "thr2")
+
+
+@pytest.fixture(scope="session")
+def lipton1_pipeline():
+    return compile_threshold_protocol(1)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Population protocols as chemical reaction networks.
+
+The paper motivates space complexity by chemistry: every state is a
+molecular species, so a protocol with fewer states is directly a smaller
+reaction network.  This example prints protocols as reaction systems and
+compares species counts for the same threshold predicate, then simulates a
+"well-mixed solution" and plots (in ASCII) how the accepting species takes
+over the population.
+
+Run:  python examples/chemical_reactions.py
+"""
+
+from repro.baselines import binary_threshold_protocol, unary_threshold_protocol
+from repro.core import Multiset, UniformPairScheduler, simulate
+from repro.core.protocol import PopulationProtocol, iter_nontrivial
+
+
+def as_reactions(protocol: PopulationProtocol, limit: int = 12) -> str:
+    """Render pairwise transitions as chemical reactions A + B -> C + D."""
+    lines = []
+    for t in iter_nontrivial(protocol):
+        lines.append(f"  {t.q} + {t.r} -> {t.q2} + {t.r2}")
+        if len(lines) >= limit:
+            lines.append(f"  ... ({len(protocol.transitions)} reactions total)")
+            break
+    return "\n".join(lines)
+
+
+def ascii_timeline(protocol: PopulationProtocol, config: Multiset, seed: int) -> None:
+    """Track the accepting-species fraction over a uniform-scheduler run."""
+    # Sample in chunks so we can print a progress bar of consensus.
+    current = config
+    total = config.size
+    print(f"  population {total}, uniform random scheduler:")
+    interactions = 0
+    for chunk in range(12):
+        result = simulate(
+            protocol,
+            current,
+            seed=seed + chunk,
+            scheduler=UniformPairScheduler(),
+            max_interactions=400,
+            convergence_window=10**9,  # never stop early; we want the trace
+        )
+        current = result.final
+        interactions += result.interactions
+        accepting = current.count(protocol.accepting_states)
+        bar = "#" * int(30 * accepting / total)
+        print(f"  t={interactions:5d}  accepting {accepting:3d}/{total}  |{bar}")
+        if accepting == total:
+            break
+
+
+def main() -> None:
+    k = 6
+    unary = unary_threshold_protocol(k)
+    binary = binary_threshold_protocol(k)
+
+    print(f"threshold x >= {k} as a chemical reaction network\n")
+    print(f"unary construction: {unary.state_count} species")
+    print(as_reactions(unary))
+    print(f"\nbinary construction: {binary.state_count} species")
+    print(as_reactions(binary))
+
+    print("\nconsensus formation (binary protocol, x = 14 >= 6):")
+    ascii_timeline(binary, Multiset({"p0": 14}), seed=3)
+
+    print(
+        "\nThe paper's construction needs only Theta(log log k) species - "
+        "tens of species for astronomically large k - at the price of a "
+        "slower (detect-restart) computation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of *Population Protocols Decide Double-exponential
+Thresholds* (Philipp Czerner, PODC 2023).
+
+Public API overview
+-------------------
+
+* :mod:`repro.core` — the population-protocol model: multiset
+  configurations, the step relation, schedulers, sampled simulation, and an
+  exact stable-computation checker.
+* :mod:`repro.programs` — population programs (Section 4): AST, size
+  metric, validation and a randomized fair interpreter.
+* :mod:`repro.lipton` — the paper's construction (Sections 5–6): level
+  constants, configuration classification, and the O(n)-size program
+  deciding x ≥ k for k ≥ 2^(2^(n-1)).
+* :mod:`repro.machines` — population machines (Section 7.1) and the
+  program → machine compiler (Section 7.2).
+* :mod:`repro.conversion` — machine → protocol conversion (Section 7.3)
+  and the end-to-end pipeline of Theorem 1.
+* :mod:`repro.baselines` — classic and succinct threshold protocols,
+  majority and remainder, for Table 1 comparisons.
+* :mod:`repro.analysis` — state complexity, 1-awareness and
+  almost-self-stabilisation experiments.
+* :mod:`repro.experiments` — drivers that regenerate every table and
+  figure of the paper (see EXPERIMENTS.md).
+"""
+
+from repro.core import (
+    Multiset,
+    PopulationProtocol,
+    Threshold,
+    Transition,
+    decide,
+    simulate,
+    stabilisation_verdict,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Multiset",
+    "PopulationProtocol",
+    "Transition",
+    "Threshold",
+    "simulate",
+    "decide",
+    "stabilisation_verdict",
+    "__version__",
+]

@@ -1,0 +1,202 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro                 # quick sweep (structural experiments)
+    python -m repro --full          # include the behavioural experiments
+    python -m repro table1 figure2  # run selected experiments by id
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Tuple
+
+
+def _table1() -> str:
+    from repro.experiments import run_table1
+
+    report = run_table1(6)
+    return report.render() + f"\nasymptotic ordering holds: {report.ordering_holds()}"
+
+
+def _theorem1() -> str:
+    from repro.experiments import run_theorem1_sizes
+
+    report = run_theorem1_sizes(8)
+    return (
+        report.render()
+        + f"\nlinear states: {report.linear_states()}"
+        + f"\ndouble-exponential thresholds: {report.double_exponential()}"
+    )
+
+
+def _theorem3() -> str:
+    from repro.experiments import run_theorem3_sizes
+
+    return run_theorem3_sizes(8).render()
+
+
+def _theorem3_decisions() -> str:
+    from repro.experiments import run_theorem3_decisions
+
+    lines = []
+    for n in (1, 2):
+        trials = run_theorem3_decisions(n)
+        status = "OK" if all(t.correct for t in trials) else "MISMATCH"
+        lines.append(f"n={n}: {[(t.total, t.got) for t in trials]} -> {status}")
+    return "\n".join(lines)
+
+
+def _theorem5() -> str:
+    from repro.experiments import conversion_rows, render_conversion
+
+    return render_conversion(conversion_rows())
+
+
+def _theorem2() -> str:
+    from repro.experiments import run_program_selfstab
+
+    report = run_program_selfstab(2, trials_per_total=2)
+    return report.render() + f"\ncorrect: {report.correct}/{report.total}"
+
+
+def _lemma4() -> str:
+    from repro.experiments import run_lemma4
+
+    lines = []
+    for total in (1, 2, 3):
+        report = run_lemma4(1, total)
+        lines.append(
+            f"n=1 m={total}: {report.consistent}/{len(report.trials)} consistent"
+        )
+    return "\n".join(lines)
+
+
+def _lemma15() -> str:
+    from repro.experiments import run_lemma15
+
+    report = run_lemma15()
+    return report.render() + f"\nrecovered: {report.recovered}/{len(report.trials)}"
+
+
+def _figure1() -> str:
+    from repro.experiments import run_figure1
+
+    report = run_figure1()
+    return report.render() + f"\ncorrect: {report.correct}/{len(report.trials)}"
+
+
+def _figure2() -> str:
+    from repro.experiments import run_figure2
+
+    report = run_figure2()
+    return report.render() + f"\nall match: {report.all_match}"
+
+
+def _figures_lowering() -> str:
+    from repro.experiments import run_figures_lowering
+
+    lines = []
+    for g in run_figures_lowering():
+        lines.append(
+            f"{g.name}: L={g.length} detects={g.detects} moves={g.moves} "
+            f"map-assigns={g.register_map_assignments} "
+            f"restart-helper={'yes' if g.restart_entry else 'no'}"
+        )
+    return "\n".join(lines)
+
+
+def _figure4() -> str:
+    from repro.experiments import run_figure4
+
+    report = run_figure4()
+    lines = [f"transitions per instruction: {report.per_instruction_counts}"]
+    lines += [f"{name}: {value}" for name, value in report.facts.items()]
+    return "\n".join(lines)
+
+
+def _awareness() -> str:
+    from repro.experiments import run_awareness
+
+    report = run_awareness(poison_state_count=3)
+    return (
+        f"baselines 1-aware: {report.baselines_are_aware}\n"
+        f"unary poisonable: {report.baseline_poisonable}\n"
+        f"construction resists poisoning: {report.construction_resists_poisoning}"
+    )
+
+
+def _ablation() -> str:
+    from repro.experiments import run_ablation
+
+    report = run_ablation(2, trials_per_total=2)
+    return report.render() + f"\nerror checking helps: {report.checks_help}"
+
+
+def _convergence() -> str:
+    from repro.experiments import run_convergence
+
+    report = run_convergence(3, trials=2)
+    return report.render()
+
+
+QUICK: Dict[str, Callable[[], str]] = {
+    "table1": _table1,
+    "theorem1": _theorem1,
+    "theorem3": _theorem3,
+    "theorem5": _theorem5,
+    "figure2": _figure2,
+    "figures-lowering": _figures_lowering,
+    "figure4": _figure4,
+}
+
+FULL: Dict[str, Callable[[], str]] = {
+    **QUICK,
+    "theorem3-decisions": _theorem3_decisions,
+    "theorem2": _theorem2,
+    "lemma4": _lemma4,
+    "lemma15": _lemma15,
+    "figure1": _figure1,
+    "awareness": _awareness,
+    "ablation": _ablation,
+    "convergence": _convergence,
+}
+
+
+def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids to run (default: quick set); known: "
+        f"{', '.join(sorted(FULL))}",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="run the behavioural experiments too"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments:
+        unknown = [e for e in args.experiments if e not in FULL]
+        if unknown:
+            parser.error(f"unknown experiments: {unknown}")
+        selected = {name: FULL[name] for name in args.experiments}
+    else:
+        selected = FULL if args.full else QUICK
+
+    for name, runner in selected.items():
+        print(f"\n=== {name} " + "=" * max(0, 60 - len(name)))
+        start = time.time()
+        print(runner())
+        print(f"--- {name} done in {time.time() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Analysis: state complexity (Table 1), 1-awareness, robustness."""
+
+from repro.analysis.awareness import (
+    AwarenessProbe,
+    PoisoningProbe,
+    certificate_states_exact,
+    certificate_states_sampled,
+    poisoning_probe_exact,
+    poisoning_probe_sampled,
+    reachable_states,
+    sampled_occupied_states,
+)
+from repro.analysis.robustness import (
+    AblationSummary,
+    TrialOutcome,
+    ablation_error_checks,
+    election_recovery_trial,
+    program_selfstab_trial,
+    protocol_selfstab_trial,
+    random_noise_configuration,
+)
+from repro.analysis.state_complexity import (
+    Table1Row,
+    Theorem1Datum,
+    table1_row,
+    table1_rows,
+    theorem1_data,
+)
+
+__all__ = [
+    "table1_row",
+    "table1_rows",
+    "Table1Row",
+    "theorem1_data",
+    "Theorem1Datum",
+    "certificate_states_exact",
+    "certificate_states_sampled",
+    "reachable_states",
+    "sampled_occupied_states",
+    "AwarenessProbe",
+    "PoisoningProbe",
+    "poisoning_probe_exact",
+    "poisoning_probe_sampled",
+    "program_selfstab_trial",
+    "protocol_selfstab_trial",
+    "election_recovery_trial",
+    "random_noise_configuration",
+    "ablation_error_checks",
+    "AblationSummary",
+    "TrialOutcome",
+]

@@ -1,0 +1,231 @@
+"""1-awareness probing (Section 2 discussion).
+
+A threshold protocol is *1-aware* (Blondin–Esparza–Jaax [14]) when, on
+accepting runs, some agent at some point *knows* the threshold has been
+exceeded — operationally, the protocol has *certificate states* that are
+reachable only from initial configurations satisfying the predicate.  All
+pre-2023 constructions are 1-aware; the paper's construction evades the
+Ω(log k) conditional lower bound for 1-aware protocols by never committing:
+it accepts provisionally and keeps re-checking.
+
+Two probes:
+
+* :func:`certificate_states_exact` — exhaustive reachability on small
+  instances: states reachable for some accepting input but for *no*
+  rejecting input;
+* :func:`certificate_states_sampled` — the same criterion on sampled runs
+  (for protocols whose configuration graphs are too large), reporting
+  which states were ever observed below/above the threshold.
+
+For the unary and binary baselines the exact probe finds nonempty
+certificates (the witness states ``k`` / ``c_B``); for the converted
+construction the sampled probe comes up empty — every state it ever
+occupies above the threshold also occurs below it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Set
+
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol
+from repro.core.scheduler import EnabledTransitionScheduler
+from repro.core.semantics import reachable_configurations, apply_transition_inplace
+
+
+def reachable_states(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    max_configurations: int = 200_000,
+) -> FrozenSet[object]:
+    """All states occupied in some configuration reachable from ``config``."""
+    nodes = reachable_configurations(protocol, config, max_configurations)
+    occupied: Set[object] = set()
+    for snapshot in nodes.values():
+        occupied.update(snapshot.support())
+    return frozenset(occupied)
+
+
+@dataclass(frozen=True)
+class AwarenessProbe:
+    """Result of a certificate-state search."""
+
+    below_states: FrozenSet[object]
+    above_states: FrozenSet[object]
+    certificate_states: FrozenSet[object]
+
+    @property
+    def is_one_aware_evidence(self) -> bool:
+        """Nonempty certificates are (necessary) evidence of 1-awareness."""
+        return bool(self.certificate_states)
+
+
+def certificate_states_exact(
+    protocol: PopulationProtocol,
+    make_initial: Callable[[int], Multiset],
+    below: Iterable[int],
+    above: Iterable[int],
+    max_configurations: int = 200_000,
+) -> AwarenessProbe:
+    """Exact probe: states reachable for every input in ``above`` but for
+    no input in ``below``."""
+    below_states: Set[object] = set()
+    for x in below:
+        below_states |= reachable_states(protocol, make_initial(x), max_configurations)
+    above_states: Set[object] = set()
+    first = True
+    common_above: Set[object] = set()
+    for x in above:
+        reached = reachable_states(protocol, make_initial(x), max_configurations)
+        above_states |= reached
+        if first:
+            common_above = set(reached)
+            first = False
+        else:
+            common_above &= reached
+    return AwarenessProbe(
+        below_states=frozenset(below_states),
+        above_states=frozenset(above_states),
+        certificate_states=frozenset(common_above - below_states),
+    )
+
+
+def sampled_occupied_states(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    seed: int = 0,
+    steps: int = 200_000,
+) -> FrozenSet[object]:
+    """States occupied along one sampled run of ``steps`` productive
+    interactions (enabled-transition scheduler)."""
+    rng = random.Random(seed)
+    scheduler = EnabledTransitionScheduler()
+    current = config.copy()
+    occupied: Set[object] = set(current.support())
+    for _ in range(steps):
+        step = scheduler.select(protocol, current, rng)
+        if step.transition is None:
+            break
+        apply_transition_inplace(current, step.transition)
+        occupied.add(step.transition.q2)
+        occupied.add(step.transition.r2)
+    return frozenset(occupied)
+
+
+@dataclass(frozen=True)
+class PoisoningProbe:
+    """Result of a single-agent poisoning experiment.
+
+    1-aware protocols have *witness* states: placing one noise agent in
+    such a state forces acceptance even below the threshold (the unary
+    protocol's state ``k``, the binary protocol's collector).  The paper's
+    construction "only accepts provisionally and continues to check", so
+    no single state can force acceptance — poisoning any state of a
+    below-threshold population still stabilises to *false*.
+    """
+
+    state_verdicts: dict
+    population: int
+
+    @property
+    def resistant(self) -> bool:
+        """True when no poisoned state flipped the verdict to accept."""
+        return all(v is False for v in self.state_verdicts.values())
+
+    @property
+    def poisoning_states(self) -> FrozenSet[object]:
+        return frozenset(
+            q for q, v in self.state_verdicts.items() if v is not False
+        )
+
+
+def poisoning_probe_exact(
+    protocol: PopulationProtocol,
+    below_config: Multiset,
+    states: Iterable[object],
+    max_configurations: int = 300_000,
+) -> PoisoningProbe:
+    """Exact poisoning probe: add one agent in each candidate state to a
+    below-threshold configuration and compute the exact fair-run verdict."""
+    from repro.core.multiset import Multiset as _Multiset
+    from repro.core.stability import stabilisation_verdict
+
+    verdicts = {}
+    for q in states:
+        poisoned = below_config + _Multiset.singleton(q)
+        verdicts[q] = stabilisation_verdict(protocol, poisoned, max_configurations)
+    return PoisoningProbe(state_verdicts=verdicts, population=below_config.size + 1)
+
+
+def poisoning_probe_sampled(
+    protocol: PopulationProtocol,
+    below_config: Multiset,
+    states: Iterable[object],
+    *,
+    seed: int = 0,
+    max_interactions: int = 2_000_000,
+    convergence_window: int = 80_000,
+) -> PoisoningProbe:
+    """Sampled poisoning probe for protocols too large for exact checking
+    (one run per candidate state; a verdict of ``None`` means the budget
+    ran out, which is reported as-is, not as acceptance)."""
+    from repro.core.multiset import Multiset as _Multiset
+    from repro.core.simulation import simulate
+
+    rng = random.Random(seed)
+    verdicts = {}
+    for q in states:
+        poisoned = below_config + _Multiset.singleton(q)
+        result = simulate(
+            protocol,
+            poisoned,
+            seed=rng.randrange(2**31),
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+        )
+        verdicts[q] = result.verdict
+    return PoisoningProbe(state_verdicts=verdicts, population=below_config.size + 1)
+
+
+def certificate_states_sampled(
+    protocol: PopulationProtocol,
+    make_initial: Callable[[int], Multiset],
+    below: Iterable[int],
+    above: Iterable[int],
+    *,
+    seed: int = 0,
+    steps: int = 200_000,
+    runs_per_input: int = 3,
+) -> AwarenessProbe:
+    """Sampled probe: states seen on above-threshold runs minus states seen
+    on below-threshold runs (a *heuristic under-approximation* of
+    certificates: an empty result is evidence of non-1-awareness)."""
+    rng = random.Random(seed)
+    below_states: Set[object] = set()
+    for x in below:
+        for _ in range(runs_per_input):
+            below_states |= sampled_occupied_states(
+                protocol, make_initial(x), seed=rng.randrange(2**31), steps=steps
+            )
+    above_common: Set[object] = set()
+    above_states: Set[object] = set()
+    first = True
+    for x in above:
+        for _ in range(runs_per_input):
+            reached = sampled_occupied_states(
+                protocol, make_initial(x), seed=rng.randrange(2**31), steps=steps
+            )
+            above_states |= reached
+            if first:
+                above_common = set(reached)
+                first = False
+            else:
+                above_common &= reached
+    return AwarenessProbe(
+        below_states=frozenset(below_states),
+        above_states=frozenset(above_states),
+        certificate_states=frozenset(above_common - below_states),
+    )

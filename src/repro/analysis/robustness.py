@@ -1,0 +1,229 @@
+"""Almost-self-stabilisation experiments (Section 8, Theorem 2).
+
+Three levels, matching the paper's argument structure:
+
+* **Program level** — population programs give *no* initialisation
+  guarantees, so they are self-stabilising by definition; we verify the
+  Section 6 program decides correctly from arbitrary register
+  configurations (:func:`program_selfstab_trial`).
+* **Election level** — Lemma 15: from any protocol configuration with at
+  least ``|F|`` agents in the initial state, the ⟨elect⟩ transitions
+  funnel the population into a π-image of an initial machine configuration
+  (:func:`election_recovery_trial`).
+* **Protocol level** — Definition 7 end-to-end: seed a converted protocol
+  with arbitrary noise agents plus enough initial-state agents and check
+  the sampled run stabilises to ``φ(|C|)``
+  (:func:`protocol_selfstab_trial`).
+
+The ablation experiment (X2) reuses the program-level harness on the
+construction with ``error_checking=False`` and reports its failure rate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.multiset import Multiset
+from repro.core.scheduler import EnabledTransitionScheduler
+from repro.core.semantics import apply_transition_inplace
+from repro.core.simulation import simulate
+from repro.lipton.canonical import canonical_restart_policy, good_configuration
+from repro.lipton.construction import build_threshold_program
+from repro.lipton.levels import all_registers, threshold
+from repro.programs.ast import PopulationProgram
+from repro.programs.interpreter import decide_program
+from repro.programs.restart import uniform_composition
+from repro.conversion.mapping import inverse_pi
+from repro.conversion.protocol_from_machine import ConvertedProtocol
+
+
+@dataclass
+class TrialOutcome:
+    """One robustness trial: the sampled verdict vs the ground truth."""
+
+    total: int
+    expected: bool
+    got: Optional[bool]
+
+    @property
+    def correct(self) -> bool:
+        return self.got is not None and self.got == self.expected
+
+
+def program_selfstab_trial(
+    n: int,
+    total: int,
+    *,
+    seed: int,
+    error_checking: bool = True,
+    quiet_window: Optional[int] = None,
+    max_steps: int = 20_000_000,
+    program: Optional[PopulationProgram] = None,
+) -> TrialOutcome:
+    """Run the n-level program from a *uniformly random* register
+    configuration (fully adversarial initialisation) and compare the
+    stabilised output with ``total ≥ threshold(n)``."""
+    rng = random.Random(seed)
+    if quiet_window is None:
+        from repro.lipton.construction import suggested_quiet_window
+
+        quiet_window = suggested_quiet_window(n)
+    if program is None:
+        program = build_threshold_program(n, error_checking=error_checking)
+    registers = tuple(all_registers(n))
+    initial = uniform_composition(total, registers, rng)
+    got = decide_program(
+        program,
+        initial,
+        seed=rng.randrange(2**31),
+        restart_policy=canonical_restart_policy(n),
+        quiet_window=quiet_window,
+        max_steps=max_steps,
+        strict=False,
+    )
+    return TrialOutcome(total=total, expected=total >= threshold(n), got=got)
+
+
+def random_noise_configuration(
+    conversion: ConvertedProtocol,
+    noise_agents: int,
+    initial_agents: int,
+    rng: random.Random,
+) -> Multiset:
+    """``C_N + C_I``: ``noise_agents`` in arbitrary (inner-protocol)
+    states plus ``initial_agents`` in the initial state."""
+    protocol = conversion.protocol
+    states = sorted(protocol.states, key=repr)
+    counts: Dict[object, int] = {}
+    for _ in range(noise_agents):
+        state = rng.choice(states)
+        counts[state] = counts.get(state, 0) + 1
+    init = conversion.initial_state
+    counts[init] = counts.get(init, 0) + initial_agents
+    return Multiset(counts)
+
+
+def election_recovery_trial(
+    conversion: ConvertedProtocol,
+    *,
+    noise_agents: int,
+    initial_agents: Optional[int] = None,
+    seed: int = 0,
+    max_interactions: int = 500_000,
+) -> Optional[int]:
+    """Lemma 15: run the inner protocol from a noisy configuration with
+    ``initial_agents ≥ |F|`` agents in the initial state; return the number
+    of interactions until a π-image of an *initial* machine configuration
+    is reached (``None`` if not reached within the budget)."""
+    rng = random.Random(seed)
+    if initial_agents is None:
+        initial_agents = conversion.shift
+    if initial_agents < conversion.shift:
+        raise ValueError("Lemma 15 requires at least |F| initial-state agents")
+    config = random_noise_configuration(conversion, noise_agents, initial_agents, rng)
+    protocol = conversion.protocol
+    scheduler = EnabledTransitionScheduler()
+    machine = conversion.machine
+    for step in range(1, max_interactions + 1):
+        recovered = inverse_pi(conversion, config)
+        if recovered is not None:
+            from repro.machines.machine import IP, register_map_pointer
+
+            identity_map = all(
+                recovered.pointers[register_map_pointer(r)] == r
+                for r in machine.registers
+            )
+            if recovered.pointers[IP] == 1 and identity_map:
+                return step - 1
+        chosen = scheduler.select(protocol, config, rng)
+        if chosen.transition is None:
+            return None
+        apply_transition_inplace(config, chosen.transition)
+    return None
+
+
+def protocol_selfstab_trial(
+    pipeline,
+    predicate,
+    *,
+    noise_agents: int,
+    initial_agents: int,
+    seed: int = 0,
+    max_interactions: int = 2_000_000,
+    convergence_window: int = 100_000,
+) -> TrialOutcome:
+    """Definition 7 end-to-end on the broadcast protocol.
+
+    ``pipeline`` is a :class:`repro.conversion.pipeline.PipelineResult`;
+    ``predicate`` maps the total agent count to the expected verdict
+    (φ'(|C|), i.e. already shifted).  Noise agents are drawn from the
+    *broadcast* state space (arbitrary opinions included).
+    """
+    rng = random.Random(seed)
+    protocol = pipeline.protocol
+    states = sorted(protocol.states, key=repr)
+    counts: Dict[object, int] = {}
+    for _ in range(noise_agents):
+        state = rng.choice(states)
+        counts[state] = counts.get(state, 0) + 1
+    init = next(iter(protocol.input_states))
+    counts[init] = counts.get(init, 0) + initial_agents
+    config = Multiset(counts)
+    result = simulate(
+        protocol,
+        config,
+        seed=rng.randrange(2**31),
+        max_interactions=max_interactions,
+        convergence_window=convergence_window,
+    )
+    return TrialOutcome(
+        total=config.size, expected=predicate(config.size), got=result.verdict
+    )
+
+
+@dataclass
+class AblationSummary:
+    """X2: failure rates of the construction with error checking on/off."""
+
+    with_checks_correct: int
+    with_checks_total: int
+    without_checks_correct: int
+    without_checks_total: int
+
+
+def ablation_error_checks(
+    n: int,
+    totals: List[int],
+    *,
+    trials_per_total: int = 3,
+    seed: int = 0,
+    quiet_window: int = 30_000,
+    max_steps: int = 10_000_000,
+) -> AblationSummary:
+    """Run adversarial-initialisation trials with and without the §5.2
+    error-checking machinery; the bare counter should misbehave."""
+    rng = random.Random(seed)
+    checked = build_threshold_program(n, error_checking=True)
+    bare = build_threshold_program(n, error_checking=False)
+    results = {True: [0, 0], False: [0, 0]}
+    for program, key in ((checked, True), (bare, False)):
+        for total in totals:
+            for _ in range(trials_per_total):
+                outcome = program_selfstab_trial(
+                    n,
+                    total,
+                    seed=rng.randrange(2**31),
+                    quiet_window=quiet_window,
+                    max_steps=max_steps,
+                    program=program,
+                )
+                results[key][1] += 1
+                results[key][0] += outcome.correct
+    return AblationSummary(
+        with_checks_correct=results[True][0],
+        with_checks_total=results[True][1],
+        without_checks_correct=results[False][0],
+        without_checks_total=results[False][1],
+    )

@@ -1,0 +1,29 @@
+"""Baseline protocols for Table 1 and for exercising the core model."""
+
+from repro.baselines.binary import (
+    binary_state_count,
+    binary_threshold_predicate,
+    binary_threshold_protocol,
+    set_bits_descending,
+)
+from repro.baselines.majority import majority_predicate, majority_protocol
+from repro.baselines.remainder import remainder_predicate, remainder_protocol
+from repro.baselines.unary import (
+    unary_state_count,
+    unary_threshold_predicate,
+    unary_threshold_protocol,
+)
+
+__all__ = [
+    "majority_protocol",
+    "majority_predicate",
+    "unary_threshold_protocol",
+    "unary_threshold_predicate",
+    "unary_state_count",
+    "binary_threshold_protocol",
+    "binary_threshold_predicate",
+    "binary_state_count",
+    "set_bits_descending",
+    "remainder_protocol",
+    "remainder_predicate",
+]

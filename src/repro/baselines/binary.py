@@ -1,0 +1,121 @@
+"""Succinct binary threshold protocol — Θ(log k) states, 1-aware.
+
+This plays the role of the leaderless Blondin–Esparza–Jaax construction
+([14] in the paper, Table 1 row 1): it decides ``x ≥ k`` for *arbitrary*
+``k`` with Θ(log k) states.
+
+Construction (combine / split / collect):
+
+* value agents hold 0 or a power of two ``2^i`` with ``i ≤ L`` where
+  ``2^L`` is the highest set bit of ``k``;
+* equal powers combine (``2^i, 2^i ↦ 2^{i+1}, 0``) and, crucially, powers
+  can *split back* (``2^{i+1}, 0 ↦ 2^i, 2^i``), which makes the
+  non-accepting region reversible and rules out over-combination deadlocks;
+* a *collector* assembles the binary digits of ``k`` from the highest bit
+  down: ``c_j`` holds exactly the ``j`` highest set bits of ``k``.
+  Collectors can also disassemble step by step, again for reversibility;
+* the full collector ``c_B`` holds exactly ``k`` units — a sound witness,
+  since agent values are conserved — and converts the population to the
+  permanent accepting state ``⊤``.
+
+Soundness: an agent's value never exceeds the total ``x``, so ``c_B``
+(value exactly ``k``) can only appear when ``x ≥ k``.  Completeness: below
+acceptance every move is reversible, so from any reachable configuration
+the canonical assembly of ``k`` is reachable whenever ``x ≥ k``; fairness
+then guarantees acceptance.  Both directions are verified *exactly* for
+small ``k`` in the test suite via terminal-SCC analysis.
+
+The protocol is 1-aware: ``c_B`` certifies the threshold.
+
+Note on speed: reversibility buys correctness, not time — when ``x`` is
+close to ``k`` the random walk's hitting time for the exact assembly grows
+quickly (the construction trades convergence speed for state count, as
+succinct constructions generally do).  Sampled runs should allow slack
+above the threshold; tight boundaries are best checked exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.predicates import Threshold
+from repro.core.protocol import PopulationProtocol, Transition
+
+TOP = "TOP"
+
+
+def set_bits_descending(k: int) -> List[int]:
+    """The exponents of the set bits of ``k``, highest first."""
+    return [i for i in range(k.bit_length() - 1, -1, -1) if k >> i & 1]
+
+
+def _power(i: int) -> str:
+    return f"p{i}"
+
+
+def _collector(j: int) -> str:
+    return f"c{j}"
+
+
+def binary_threshold_protocol(k: int) -> PopulationProtocol:
+    """Build the Θ(log k)-state protocol deciding ``x ≥ k``."""
+    if k < 1:
+        raise ValueError("threshold must be at least 1")
+    if k == 1:
+        # x >= 1 holds on every nonempty population: the input state accepts.
+        return PopulationProtocol(
+            states=["p0"],
+            transitions=[],
+            input_states=["p0"],
+            accepting_states=["p0"],
+            name="binary-threshold(k=1)",
+        )
+
+    bits = set_bits_descending(k)
+    top_bit = bits[0]
+    n_bits = len(bits)
+    zero = "z"
+    powers = [_power(i) for i in range(top_bit + 1)]
+    collectors = [_collector(j) for j in range(1, n_bits + 1)]
+    states = [zero] + powers + collectors + [TOP]
+
+    transitions: List[Transition] = []
+    # Combine and split equal powers (reversible pair).
+    for i in range(top_bit):
+        transitions.append(Transition(_power(i), _power(i), _power(i + 1), zero))
+        transitions.append(Transition(_power(i + 1), zero, _power(i), _power(i)))
+    # Collector formation / disassembly: an agent holding the top bit of k
+    # may declare itself collector c1, and c1 may step back down.
+    for w in states:
+        transitions.append(Transition(_power(top_bit), w, _collector(1), w))
+        transitions.append(Transition(_collector(1), w, _power(top_bit), w))
+    # Collect the remaining bits of k, highest first (reversible).
+    for j in range(1, n_bits):
+        needed = _power(bits[j])
+        transitions.append(Transition(_collector(j), needed, _collector(j + 1), zero))
+        transitions.append(Transition(_collector(j + 1), zero, _collector(j), needed))
+    # The full collector is a sound witness; acceptance spreads permanently.
+    full = _collector(n_bits)
+    for w in states:
+        if w not in (full, TOP):
+            transitions.append(Transition(full, w, full, TOP))
+        transitions.append(Transition(TOP, w, TOP, TOP))
+
+    return PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_states=[_power(0)],
+        accepting_states=[full, TOP],
+        name=f"binary-threshold(k={k})",
+    )
+
+
+def binary_threshold_predicate(k: int) -> Threshold:
+    return Threshold(k)
+
+
+def binary_state_count(k: int) -> int:
+    """Number of states used by :func:`binary_threshold_protocol`."""
+    if k == 1:
+        return 1
+    return 1 + k.bit_length() + bin(k).count("1") + 1

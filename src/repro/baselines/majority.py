@@ -1,0 +1,45 @@
+"""The classic 4-state majority protocol (``φ(x, y) ⇔ x ≥ y``).
+
+This is the introductory example of the paper (Section 1) and a standard
+exercise for the core model: active agents ``X`` / ``Y`` cancel in pairs
+(ties resolve towards acceptance, matching ``x ≥ y``), and survivors
+convert the passive agents to their opinion.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicates import Majority
+from repro.core.protocol import PopulationProtocol, Transition
+
+ACTIVE_X = "X"
+ACTIVE_Y = "Y"
+PASSIVE_X = "x"
+PASSIVE_Y = "y"
+
+INPUT_MAP = {ACTIVE_X: "x", ACTIVE_Y: "y"}
+
+
+def majority_protocol() -> PopulationProtocol:
+    """Build the 4-state majority protocol deciding ``x ≥ y``."""
+    transitions = [
+        # Cancellation: active opponents neutralise each other.
+        Transition(ACTIVE_X, ACTIVE_Y, PASSIVE_X, PASSIVE_Y),
+        Transition(ACTIVE_Y, ACTIVE_X, PASSIVE_Y, PASSIVE_X),
+        # Survivors convert passives to their opinion.
+        Transition(ACTIVE_X, PASSIVE_Y, ACTIVE_X, PASSIVE_X),
+        Transition(ACTIVE_Y, PASSIVE_X, ACTIVE_Y, PASSIVE_Y),
+        # Tie-break among passives towards acceptance (phi is x >= y, so a
+        # fully cancelled population must converge to the accepting opinion).
+        Transition(PASSIVE_X, PASSIVE_Y, PASSIVE_X, PASSIVE_X),
+    ]
+    return PopulationProtocol(
+        states=[ACTIVE_X, ACTIVE_Y, PASSIVE_X, PASSIVE_Y],
+        transitions=transitions,
+        input_states=[ACTIVE_X, ACTIVE_Y],
+        accepting_states=[ACTIVE_X, PASSIVE_X],
+        name="majority(x>=y)",
+    )
+
+
+def majority_predicate() -> Majority:
+    return Majority()

@@ -1,0 +1,55 @@
+"""Standard remainder protocol — decides ``x ≡ r (mod m)`` with Θ(m) states.
+
+The paper's conclusion asks whether remainder predicates admit very
+succinct protocols; this module provides the *textbook* construction as a
+reference point and as an exercise of the core model: active agents sum
+their values modulo ``m``; the unique surviving active agent knows
+``x mod m`` and converts the passive agents to its verdict.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.predicates import Remainder
+from repro.core.protocol import PopulationProtocol, Transition
+
+
+def _active(v: int) -> str:
+    return f"a{v}"
+
+
+def _passive(accept: bool) -> str:
+    return "pT" if accept else "pF"
+
+
+def remainder_protocol(m: int, r: int = 0) -> PopulationProtocol:
+    """Build the protocol deciding ``x ≡ r (mod m)`` (input state a1)."""
+    if m < 1:
+        raise ValueError("modulus must be positive")
+    r = r % m
+    states: List[str] = [_active(v) for v in range(m)] + [_passive(True), _passive(False)]
+    transitions: List[Transition] = []
+    for v in range(m):
+        for w in range(m):
+            total = (v + w) % m
+            transitions.append(
+                Transition(_active(v), _active(w), _active(total), _passive(total == r))
+            )
+        for b in (True, False):
+            if (v % m == r) != b:
+                transitions.append(
+                    Transition(_active(v), _passive(b), _active(v), _passive(v % m == r))
+                )
+    accepting = [_active(v) for v in range(m) if v == r] + [_passive(True)]
+    return PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_states=[_active(1 % m)],
+        accepting_states=accepting,
+        name=f"remainder(x={r} mod {m})",
+    )
+
+
+def remainder_predicate(m: int, r: int = 0) -> Remainder:
+    return Remainder(m, r)

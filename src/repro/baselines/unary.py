@@ -1,0 +1,48 @@
+"""Classic unary threshold protocol — Θ(k) states, 1-aware.
+
+This is the original "flock of birds" construction (Angluin et al. [4],
+Table 1 context): every agent holds a partial sum in {0, …, k}; two agents
+merge their sums, and an agent reaching ``k`` becomes a permanent accepting
+witness that converts everyone.  It is the canonical *1-aware* protocol:
+the state ``k`` is reachable iff the threshold is met, and any agent in it
+knows the predicate holds.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicates import Threshold
+from repro.core.protocol import PopulationProtocol, Transition
+
+
+def unary_threshold_protocol(k: int) -> PopulationProtocol:
+    """Build the (k+1)-state protocol deciding ``x ≥ k`` (k ≥ 1).
+
+    States are integers 0…k; the input state is 1; k is accepting.
+    """
+    if k < 1:
+        raise ValueError("threshold must be at least 1")
+    transitions = []
+    for a in range(1, k):
+        for b in range(1, k):
+            if a + b < k:
+                transitions.append(Transition(a, b, a + b, 0))
+            else:
+                transitions.append(Transition(a, b, k, k))
+    for a in range(0, k):
+        transitions.append(Transition(k, a, k, k))
+    return PopulationProtocol(
+        states=range(k + 1),
+        transitions=transitions,
+        input_states=[1] if k > 1 else [1],
+        accepting_states=[k],
+        name=f"unary-threshold(k={k})",
+    )
+
+
+def unary_threshold_predicate(k: int) -> Threshold:
+    return Threshold(k)
+
+
+def unary_state_count(k: int) -> int:
+    """Number of states used by :func:`unary_threshold_protocol`."""
+    return k + 1

@@ -1,0 +1,58 @@
+"""Machine → protocol conversion (Section 7.3, Appendix B.3)."""
+
+from repro.conversion.broadcast import OpinionState, with_output_broadcast
+from repro.conversion.mapping import (
+    initial_protocol_configuration,
+    inverse_pi,
+    is_pi_image,
+    pi,
+)
+from repro.conversion.pipeline import (
+    PipelineResult,
+    compile_program,
+    compile_threshold_protocol,
+)
+from repro.conversion.protocol_from_machine import (
+    ConvertedProtocol,
+    convert_machine,
+    converted_state_count,
+    default_initial_values,
+    final_state_count,
+    pointer_enumeration,
+    proposition16_state_bound,
+)
+from repro.conversion.states import (
+    IP_STAGES,
+    MapState,
+    PLAIN_STAGES,
+    PointerState,
+    REGISTER_MAP_STAGES,
+    pointer_states,
+    stages_of,
+)
+
+__all__ = [
+    "convert_machine",
+    "ConvertedProtocol",
+    "pointer_enumeration",
+    "default_initial_values",
+    "proposition16_state_bound",
+    "converted_state_count",
+    "final_state_count",
+    "with_output_broadcast",
+    "OpinionState",
+    "pi",
+    "inverse_pi",
+    "is_pi_image",
+    "initial_protocol_configuration",
+    "compile_program",
+    "compile_threshold_protocol",
+    "PipelineResult",
+    "PointerState",
+    "MapState",
+    "pointer_states",
+    "stages_of",
+    "IP_STAGES",
+    "REGISTER_MAP_STAGES",
+    "PLAIN_STAGES",
+]

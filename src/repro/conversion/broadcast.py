@@ -1,0 +1,113 @@
+"""The output-broadcast construction (end of Appendix B.3).
+
+The converted protocol holds the verdict in the single OF pointer agent;
+for a *stable consensus* every agent needs an opinion.  The standard
+construction doubles the state space with an opinion bit: whenever an
+interaction's successor states include an OF state with value ``b``, both
+participants adopt opinion ``b``; additionally any agent meeting the OF
+agent copies its value.  All other interactions preserve opinions.
+
+We omit the identity transitions between two non-OF agents (they are
+no-ops on both components, hence semantically inert), keeping the
+transition set finite-by-need while preserving the reachable behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, NamedTuple, Optional, Tuple
+
+from repro.core.protocol import PopulationProtocol, Transition
+from repro.machines.machine import OF
+from repro.conversion.states import PointerState, stages_of
+
+
+class OpinionState(NamedTuple):
+    """A state of the broadcast protocol: base state plus opinion bit."""
+
+    base: object
+    opinion: bool
+
+    def __repr__(self) -> str:
+        return f"({self.base!r}, {'T' if self.opinion else 'F'})"
+
+
+def _of_value(state: object) -> Optional[bool]:
+    """The OF pointer's value if ``state`` belongs to the OF agent."""
+    if isinstance(state, PointerState) and state.pointer == OF:
+        return bool(state.value)
+    return None
+
+
+def with_output_broadcast(
+    protocol: PopulationProtocol, name: Optional[str] = None
+) -> PopulationProtocol:
+    """Wrap ``protocol`` with the output broadcast; accepting states are
+    exactly the opinion-true states."""
+    bits = (False, True)
+    states: List[OpinionState] = [
+        OpinionState(q, b) for q in protocol.states for b in bits
+    ]
+    transitions: List[Transition] = []
+
+    for t in protocol.transitions:
+        broadcast_value: Optional[bool] = None
+        for post in (t.q2, t.r2):
+            value = _of_value(post)
+            if value is not None:
+                broadcast_value = value
+        for b1 in bits:
+            for b2 in bits:
+                if broadcast_value is None:
+                    transitions.append(
+                        Transition(
+                            OpinionState(t.q, b1),
+                            OpinionState(t.r, b2),
+                            OpinionState(t.q2, b1),
+                            OpinionState(t.r2, b2),
+                        )
+                    )
+                else:
+                    transitions.append(
+                        Transition(
+                            OpinionState(t.q, b1),
+                            OpinionState(t.r, b2),
+                            OpinionState(t.q2, broadcast_value),
+                            OpinionState(t.r2, broadcast_value),
+                        )
+                    )
+
+    # Identity interactions involving the OF agent: opinion epidemics.
+    of_states = [q for q in protocol.states if _of_value(q) is not None]
+    for of_state in of_states:
+        value = _of_value(of_state)
+        for q in protocol.states:
+            if _of_value(q) is not None:
+                # Two OF agents never coexist after election; skip the
+                # (unreachable, ill-defined) OF-meets-OF identity pairs.
+                continue
+            for b1 in bits:
+                for b2 in bits:
+                    transitions.append(
+                        Transition(
+                            OpinionState(of_state, b1),
+                            OpinionState(q, b2),
+                            OpinionState(of_state, value),
+                            OpinionState(q, value),
+                        )
+                    )
+                    transitions.append(
+                        Transition(
+                            OpinionState(q, b2),
+                            OpinionState(of_state, b1),
+                            OpinionState(q, value),
+                            OpinionState(of_state, value),
+                        )
+                    )
+
+    return PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_states=[OpinionState(q, False) for q in protocol.input_states],
+        accepting_states=[s for s in states if s.opinion],
+        name=name or f"{protocol.name}+broadcast",
+    )

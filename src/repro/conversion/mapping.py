@@ -1,0 +1,68 @@
+"""The π-mapping between machine and protocol configurations (App. B.3).
+
+``π(C)`` places ``C(x)`` register agents in state ``x`` for each register
+and one agent in ``X^{C(X)}_none`` for each pointer.  Lemma 15: any
+protocol configuration with at least ``|F|`` agents in the initial state
+reaches some ``π(C)`` with ``C`` initial; Proposition 16 then relates runs
+through π.  These helpers let the tests state both facts executably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.multiset import Multiset
+from repro.machines.machine import (
+    MachineConfiguration,
+    PopulationMachine,
+)
+from repro.conversion.protocol_from_machine import ConvertedProtocol
+from repro.conversion.states import NONE, PointerState
+
+
+def pi(
+    conversion: ConvertedProtocol, config: MachineConfiguration
+) -> Multiset:
+    """``π(C)`` — the protocol configuration representing machine config C."""
+    counts: Dict[object, int] = {}
+    for register, value in config.registers.items():
+        if value:
+            counts[register] = value
+    for pointer in conversion.pointer_order:
+        state = PointerState(pointer, config.pointers[pointer], NONE)
+        counts[state] = counts.get(state, 0) + 1
+    return Multiset(counts)
+
+
+def inverse_pi(
+    conversion: ConvertedProtocol, protocol_config: Multiset
+) -> Optional[MachineConfiguration]:
+    """Recover the machine configuration if ``protocol_config`` is a
+    π-image (exactly one agent per pointer, all in stage *none*, everything
+    else a register agent); otherwise ``None``."""
+    machine = conversion.machine
+    registers = {reg: 0 for reg in machine.registers}
+    pointers: Dict[str, object] = {}
+    for state, count in protocol_config.items():
+        if isinstance(state, PointerState):
+            if state.stage != NONE or count != 1 or state.pointer in pointers:
+                return None
+            pointers[state.pointer] = state.value
+        elif state in registers:
+            registers[state] = count
+        else:
+            return None
+    if set(pointers) != set(conversion.pointer_order):
+        return None
+    return MachineConfiguration(registers=registers, pointers=pointers)
+
+
+def is_pi_image(conversion: ConvertedProtocol, protocol_config: Multiset) -> bool:
+    return inverse_pi(conversion, protocol_config) is not None
+
+
+def initial_protocol_configuration(
+    conversion: ConvertedProtocol, population: int
+) -> Multiset:
+    """All ``population`` agents in the protocol's unique initial state."""
+    return Multiset({conversion.initial_state: population})

@@ -1,0 +1,86 @@
+"""End-to-end pipeline: population program → machine → protocol.
+
+This is the constructive content of Theorem 1 / Theorem 5: given a
+population program of size n deciding φ, produce a population protocol
+with O(n) states deciding ``φ'(x) ⇔ φ(x − i) ∧ x ≥ i`` where ``i = |F|``
+is the number of pointer agents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.predicates import Predicate, ShiftedThreshold
+from repro.core.protocol import PopulationProtocol
+from repro.machines.lowering import lower_program
+from repro.machines.machine import PopulationMachine
+from repro.programs.ast import PopulationProgram
+from repro.programs.size import ProgramSize, program_size
+from repro.conversion.broadcast import with_output_broadcast
+from repro.conversion.protocol_from_machine import (
+    ConvertedProtocol,
+    convert_machine,
+    proposition16_state_bound,
+)
+
+
+@dataclass
+class PipelineResult:
+    """All artefacts of the program → machine → protocol pipeline."""
+
+    program: PopulationProgram
+    program_size: ProgramSize
+    machine: PopulationMachine
+    machine_size: int
+    conversion: ConvertedProtocol
+    inner_protocol: PopulationProtocol
+    protocol: PopulationProtocol
+    shift: int
+
+    @property
+    def inner_state_count(self) -> int:
+        """|Q*| — states before the output broadcast."""
+        return self.inner_protocol.state_count
+
+    @property
+    def state_count(self) -> int:
+        """|Q'| = 2·|Q*| — states of the final consensus protocol."""
+        return self.protocol.state_count
+
+    @property
+    def state_bound(self) -> int:
+        """Proposition 16's bound on |Q*|."""
+        return proposition16_state_bound(self.machine)
+
+    def shifted_predicate(self, inner: Predicate) -> ShiftedThreshold:
+        """Theorem 5: the protocol decides ``φ(x − |F|) ∧ x ≥ |F|``."""
+        return ShiftedThreshold(inner, self.shift)
+
+
+def compile_program(
+    program: PopulationProgram, name: str = "pipeline"
+) -> PipelineResult:
+    """Run the full compilation pipeline on a population program."""
+    machine = lower_program(program, name=f"{name}-machine")
+    conversion = convert_machine(machine, name=f"{name}-inner")
+    protocol = with_output_broadcast(conversion.protocol, name=f"{name}-protocol")
+    return PipelineResult(
+        program=program,
+        program_size=program_size(program),
+        machine=machine,
+        machine_size=machine.size(),
+        conversion=conversion,
+        inner_protocol=conversion.protocol,
+        protocol=protocol,
+        shift=conversion.shift,
+    )
+
+
+def compile_threshold_protocol(n: int, *, error_checking: bool = True) -> PipelineResult:
+    """Theorem 1's protocol: O(n) states deciding ``x ≥ k + |F|`` with
+    ``k = threshold(n) ≥ 2^(2^(n-1))``."""
+    from repro.lipton.construction import build_threshold_program
+
+    program = build_threshold_program(n, error_checking=error_checking)
+    return compile_program(program, name=f"lipton-n{n}")

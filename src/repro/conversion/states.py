@@ -1,0 +1,75 @@
+"""Protocol state space for the machine → protocol conversion (App. B.3).
+
+``Q* = Q ∪ ⋃_{X∈F} Q_X ∪ Q_map`` where
+
+* register agents use the machine's register names directly,
+* the pointer agent for ``X`` uses states ``X^v_s`` — value ``v ∈ 𝓕_X``
+  plus a *stage* ``s`` tracking progress through the current instruction's
+  gadget.  Stage sets (App. B.3):
+
+  - ``S_IP       = {none, wait, half}``
+  - ``S_{V_x}    = {none, done, emit, take, test, true, false}``
+  - ``S_X        = {none, done}`` otherwise,
+
+* ``Q_map`` holds one intermediate state ``X^i_map`` per general pointer
+  assignment instruction.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Tuple
+
+from repro.machines.machine import IP, PopulationMachine
+
+NONE = "none"
+WAIT = "wait"
+HALF = "half"
+DONE = "done"
+EMIT = "emit"
+TAKE = "take"
+TEST = "test"
+TRUE = "true"
+FALSE = "false"
+
+IP_STAGES: Tuple[str, ...] = (NONE, WAIT, HALF)
+REGISTER_MAP_STAGES: Tuple[str, ...] = (NONE, DONE, EMIT, TAKE, TEST, TRUE, FALSE)
+PLAIN_STAGES: Tuple[str, ...] = (NONE, DONE)
+
+
+class PointerState(NamedTuple):
+    """``X^v_s`` — the agent responsible for pointer ``X``."""
+
+    pointer: str
+    value: object
+    stage: str
+
+    def __repr__(self) -> str:
+        return f"{self.pointer}^{self.value!r}_{self.stage}"
+
+
+class MapState(NamedTuple):
+    """``X^i_map`` — pointer ``X`` awaiting its new value at instruction i."""
+
+    pointer: str
+    instruction: int
+
+    def __repr__(self) -> str:
+        return f"{self.pointer}^{self.instruction}_map"
+
+
+def stages_of(pointer: str) -> Tuple[str, ...]:
+    """The stage set ``S_X`` for a pointer name."""
+    if pointer == IP:
+        return IP_STAGES
+    if pointer.startswith("V["):
+        return REGISTER_MAP_STAGES
+    return PLAIN_STAGES
+
+
+def pointer_states(machine: PopulationMachine, pointer: str) -> List[PointerState]:
+    """``Q_X`` — all states of the agent for ``pointer``."""
+    return [
+        PointerState(pointer, value, stage)
+        for value in machine.pointer_domains[pointer]
+        for stage in stages_of(pointer)
+    ]

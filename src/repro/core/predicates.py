@@ -1,0 +1,182 @@
+"""Predicates and their encoding size (|φ|).
+
+The paper measures space complexity against the length of the predicate
+written as a quantifier-free Presburger formula *with coefficients in
+binary*.  For a threshold ``τ_k(x) ⇔ x ≥ k`` this length is
+``Θ(log k)`` — we use ``bit_length(k)`` as the canonical size, so the
+headline result reads: protocols with ``O(log |τ_k|)`` states, i.e.
+``O(log log k)`` states, exist for infinitely many ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.core.multiset import Multiset
+
+
+def binary_length(value: int) -> int:
+    """Number of bits of ``value`` (≥ 1, so constants contribute size)."""
+    return max(1, abs(value).bit_length())
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class: a predicate over named nonnegative integer variables."""
+
+    def variables(self) -> Tuple[str, ...]:
+        raise NotImplementedError
+
+    def formula_size(self) -> int:
+        """|φ| — length of the quantifier-free Presburger encoding."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, *args: int, **kwargs: int) -> bool:
+        names = self.variables()
+        assignment = dict(zip(names, args))
+        assignment.update(kwargs)
+        missing = set(names) - set(assignment)
+        if missing:
+            raise TypeError(f"missing variables: {sorted(missing)}")
+        return self.evaluate(assignment)
+
+    def of_input_configuration(
+        self, config: Multiset, input_map: Mapping[object, str]
+    ) -> bool:
+        """Evaluate on an initial configuration, mapping input states to
+        variables (states mapped to the same variable are summed)."""
+        assignment = {name: 0 for name in self.variables()}
+        for state, count in config.items():
+            assignment[input_map[state]] += count
+        return self.evaluate(assignment)
+
+
+@dataclass(frozen=True)
+class Threshold(Predicate):
+    """``τ_k(x) ⇔ x ≥ k`` — the paper's central family."""
+
+    k: int
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x",)
+
+    def formula_size(self) -> int:
+        return binary_length(self.k)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return assignment["x"] >= self.k
+
+    def __str__(self) -> str:
+        return f"x >= {self.k}"
+
+
+@dataclass(frozen=True)
+class Equality(Predicate):
+    """``x = k`` (the paper notes the construction extends to this)."""
+
+    k: int
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x",)
+
+    def formula_size(self) -> int:
+        return binary_length(self.k)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return assignment["x"] == self.k
+
+    def __str__(self) -> str:
+        return f"x = {self.k}"
+
+
+@dataclass(frozen=True)
+class Interval(Predicate):
+    """``lo ≤ x < hi`` — the Figure 1 example uses ``4 ≤ x < 7``."""
+
+    lo: int
+    hi: int
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x",)
+
+    def formula_size(self) -> int:
+        return binary_length(self.lo) + binary_length(self.hi)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return self.lo <= assignment["x"] < self.hi
+
+    def __str__(self) -> str:
+        return f"{self.lo} <= x < {self.hi}"
+
+
+@dataclass(frozen=True)
+class Remainder(Predicate):
+    """``x ≡ r (mod m)``."""
+
+    m: int
+    r: int = 0
+
+    def __post_init__(self):
+        if self.m <= 0:
+            raise ValueError("modulus must be positive")
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x",)
+
+    def formula_size(self) -> int:
+        return binary_length(self.m) + binary_length(self.r)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return assignment["x"] % self.m == self.r % self.m
+
+    def __str__(self) -> str:
+        return f"x = {self.r} (mod {self.m})"
+
+
+@dataclass(frozen=True)
+class Majority(Predicate):
+    """``x ≥ y`` — the introductory example of the paper."""
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x", "y")
+
+    def formula_size(self) -> int:
+        return 2
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        return assignment["x"] >= assignment["y"]
+
+    def __str__(self) -> str:
+        return "x >= y"
+
+
+@dataclass(frozen=True)
+class ShiftedThreshold(Predicate):
+    """``φ'(x) ⇔ φ(x − i) ∧ x ≥ i`` for a unary predicate ``φ``.
+
+    Theorem 5: converting a population program into a protocol costs a shift
+    of ``i = |F|`` agents (the pointer agents).  For ``φ = τ_k`` this is
+    simply ``x ≥ k + i``, but the class keeps the paper's general shape.
+    """
+
+    inner: Predicate
+    shift: int
+
+    def variables(self) -> Tuple[str, ...]:
+        return ("x",)
+
+    def formula_size(self) -> int:
+        return self.inner.formula_size() + binary_length(self.shift)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> bool:
+        x = assignment["x"]
+        if x < self.shift:
+            return False
+        return self.inner.evaluate({"x": x - self.shift})
+
+    def __str__(self) -> str:
+        return f"({self.inner}) shifted by {self.shift}"

@@ -1,0 +1,177 @@
+"""The population protocol model of Section 3 of the paper.
+
+A population protocol is a tuple ``PP = (Q, δ, I, O)`` with states ``Q``,
+transitions ``δ ⊆ Q⁴`` written ``(q, r ↦ q', r')``, input states ``I ⊆ Q``
+and accepting states ``O ⊆ Q``.  A configuration is a multiset ``C ∈ ℕ^Q``
+with ``|C| > 0``; it has output *true* if every agent is in an accepting
+state and output *false* if no agent is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.errors import InvalidConfigurationError, InvalidProtocolError
+from repro.core.multiset import Multiset, State
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A pairwise transition ``(q, r ↦ q2, r2)``.
+
+    The pair is *ordered*: the first agent is conventionally called the
+    initiator and the second the responder.  A transition is a *no-op* if it
+    leaves both agents unchanged.
+    """
+
+    q: State
+    r: State
+    q2: State
+    r2: State
+
+    def is_noop(self) -> bool:
+        return self.q == self.q2 and self.r == self.r2
+
+    def pre(self) -> Multiset:
+        return Multiset([self.q, self.r])
+
+    def post(self) -> Multiset:
+        return Multiset([self.q2, self.r2])
+
+    def __repr__(self) -> str:
+        return f"({self.q!r}, {self.r!r} -> {self.q2!r}, {self.r2!r})"
+
+
+class PopulationProtocol:
+    """A population protocol ``(Q, δ, I, O)``.
+
+    The constructor validates well-formedness: every transition must mention
+    only known states, ``I`` must be a nonempty subset of ``Q`` and ``O``
+    a subset of ``Q``.
+
+    >>> from repro.baselines.majority import majority_protocol
+    >>> pp = majority_protocol()
+    >>> sorted(pp.input_states)
+    ['X', 'Y']
+    """
+
+    def __init__(
+        self,
+        states: Iterable[State],
+        transitions: Iterable[Transition | Tuple[State, State, State, State]],
+        input_states: Iterable[State],
+        accepting_states: Iterable[State],
+        name: str = "protocol",
+    ):
+        self.states: FrozenSet[State] = frozenset(states)
+        normalised: List[Transition] = []
+        for t in transitions:
+            if not isinstance(t, Transition):
+                t = Transition(*t)
+            normalised.append(t)
+        self.transitions: Tuple[Transition, ...] = tuple(dict.fromkeys(normalised))
+        self.input_states: FrozenSet[State] = frozenset(input_states)
+        self.accepting_states: FrozenSet[State] = frozenset(accepting_states)
+        self.name = name
+        self._index: Dict[Tuple[State, State], List[Transition]] = {}
+        self._validate()
+        for t in self.transitions:
+            self._index.setdefault((t.q, t.r), []).append(t)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.states:
+            raise InvalidProtocolError("a protocol needs at least one state")
+        if not self.input_states:
+            raise InvalidProtocolError("a protocol needs at least one input state")
+        if not self.input_states <= self.states:
+            raise InvalidProtocolError("input states must be a subset of Q")
+        if not self.accepting_states <= self.states:
+            raise InvalidProtocolError("accepting states must be a subset of Q")
+        for t in self.transitions:
+            for s in (t.q, t.r, t.q2, t.r2):
+                if s not in self.states:
+                    raise InvalidProtocolError(
+                        f"transition {t} mentions unknown state {s!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        """``|Q|`` — the space-complexity measure of the paper."""
+        return len(self.states)
+
+    def transitions_from(self, q: State, r: State) -> List[Transition]:
+        """All transitions whose (ordered) precondition is ``(q, r)``."""
+        return self._index.get((q, r), [])
+
+    def has_interaction(self, q: State, r: State) -> bool:
+        """Whether the ordered pair (q, r) has any non-no-op transition."""
+        return any(not t.is_noop() for t in self.transitions_from(q, r))
+
+    def is_initial(self, config: Multiset) -> bool:
+        """Whether ``config`` is an initial configuration (``C ∈ ℕ^I``)."""
+        return config.size > 0 and config.support() <= self.input_states
+
+    def check_configuration(self, config: Multiset) -> None:
+        if config.size <= 0:
+            raise InvalidConfigurationError("configurations must be nonempty")
+        unknown = config.support() - self.states
+        if unknown:
+            raise InvalidConfigurationError(
+                f"configuration contains unknown states: {sorted(map(repr, unknown))}"
+            )
+
+    def output(self, config: Multiset) -> Optional[bool]:
+        """The output of a configuration per Section 3.
+
+        Returns ``True`` if every agent is in an accepting state, ``False``
+        if no agent is, and ``None`` when the configuration has no output
+        (mixed opinions).
+        """
+        support = config.support()
+        if support <= self.accepting_states:
+            return True
+        if not (support & self.accepting_states):
+            return False
+        return None
+
+    def initial_configuration(self, counts: Dict[State, int]) -> Multiset:
+        """Build and validate an initial configuration from input counts."""
+        config = Multiset(counts)
+        if not self.is_initial(config):
+            raise InvalidConfigurationError(
+                "counts do not describe a valid initial configuration"
+            )
+        return config
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"PopulationProtocol(name={self.name!r}, |Q|={len(self.states)}, "
+            f"|delta|={len(self.transitions)}, |I|={len(self.input_states)})"
+        )
+
+    def describe(self) -> str:
+        """A multi-line human-readable description of the protocol."""
+        lines = [
+            f"protocol {self.name}",
+            f"  states ({len(self.states)}): "
+            + ", ".join(sorted(map(str, self.states)))[:400],
+            f"  inputs: {', '.join(sorted(map(str, self.input_states)))}",
+            f"  accepting: {len(self.accepting_states)} states",
+            f"  transitions: {len(self.transitions)}",
+        ]
+        return "\n".join(lines)
+
+
+def iter_nontrivial(protocol: PopulationProtocol) -> Iterator[Transition]:
+    """Iterate over the transitions of ``protocol`` that change some agent."""
+    return (t for t in protocol.transitions if not t.is_noop())

@@ -1,0 +1,144 @@
+"""Step relation and reachability for population protocols (Section 3).
+
+For configurations ``C, C'`` the paper defines ``C → C'`` iff ``C = C'`` or
+there is a transition ``(q, r ↦ q', r') ∈ δ`` with ``C ≥ q + r`` and
+``C' = C − q − r + q' + r'``.  This module provides
+
+* :func:`enabled_transitions` — the transitions applicable in ``C``,
+* :func:`apply_transition` — one step of the relation (pure),
+* :func:`successors` — all distinct one-step successors (for exhaustive
+  exploration),
+* :func:`reachable_configurations` — BFS over the (finite, since the number
+  of agents is invariant) configuration graph.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from repro.core.errors import InvalidConfigurationError
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol, Transition
+
+
+def transition_enabled(config: Multiset, transition: Transition) -> bool:
+    """Whether ``config`` contains two (distinct) agents matching the
+    transition's ordered precondition."""
+    q, r = transition.q, transition.r
+    if q == r:
+        return config[q] >= 2
+    return config[q] >= 1 and config[r] >= 1
+
+
+def enabled_transitions(
+    protocol: PopulationProtocol, config: Multiset
+) -> List[Transition]:
+    """All transitions of ``protocol`` enabled in ``config``.
+
+    Iterates over ordered pairs of *occupied* states, so the cost is
+    ``O(support²)`` rather than ``O(|δ|)`` for sparse configurations.
+    """
+    support = list(config.support())
+    result: List[Transition] = []
+    for q in support:
+        for r in support:
+            for t in protocol.transitions_from(q, r):
+                if transition_enabled(config, t):
+                    result.append(t)
+    return result
+
+
+def apply_transition(config: Multiset, transition: Transition) -> Multiset:
+    """The configuration after executing ``transition`` in ``config``."""
+    if not transition_enabled(config, transition):
+        raise InvalidConfigurationError(
+            f"transition {transition} is not enabled in {config}"
+        )
+    result = config.copy()
+    result.dec(transition.q)
+    result.dec(transition.r)
+    result.inc(transition.q2)
+    result.inc(transition.r2)
+    return result
+
+
+def apply_transition_inplace(config: Multiset, transition: Transition) -> None:
+    """Execute ``transition`` on ``config`` in place (hot-loop variant).
+
+    The caller is responsible for having checked enabledness; the multiset
+    itself still raises if a count would go negative.
+    """
+    config.dec(transition.q)
+    config.dec(transition.r)
+    config.inc(transition.q2)
+    config.inc(transition.r2)
+
+
+def successors(
+    protocol: PopulationProtocol, config: Multiset
+) -> Iterator[Tuple[Transition, Multiset]]:
+    """All distinct ``(transition, successor)`` pairs with a real change."""
+    seen: Set[frozenset] = set()
+    for t in enabled_transitions(protocol, config):
+        if t.is_noop():
+            continue
+        nxt = apply_transition(config, t)
+        key = nxt.freeze()
+        if key != config.freeze() and key not in seen:
+            seen.add(key)
+            yield t, nxt
+
+
+def reachable_configurations(
+    protocol: PopulationProtocol,
+    initial: Multiset | Iterable[Multiset],
+    max_configurations: int | None = None,
+) -> Dict[frozenset, Multiset]:
+    """BFS of the configuration graph from one or more configurations.
+
+    Returns a map from frozen snapshots to configurations.  Since agents are
+    conserved, the graph is finite; ``max_configurations`` guards against
+    accidental blow-ups and raises when exceeded.
+    """
+    if isinstance(initial, Multiset):
+        frontier = deque([initial])
+    else:
+        frontier = deque(initial)
+    seen: Dict[frozenset, Multiset] = {c.freeze(): c for c in frontier}
+    while frontier:
+        config = frontier.popleft()
+        for _t, nxt in successors(protocol, config):
+            key = nxt.freeze()
+            if key not in seen:
+                if max_configurations is not None and len(seen) >= max_configurations:
+                    raise InvalidConfigurationError(
+                        f"reachability exceeded {max_configurations} configurations"
+                    )
+                seen[key] = nxt
+                frontier.append(nxt)
+    return seen
+
+
+def configuration_graph(
+    protocol: PopulationProtocol,
+    initial: Multiset | Iterable[Multiset],
+    max_configurations: int | None = None,
+) -> Tuple[Dict[frozenset, Multiset], Dict[frozenset, FrozenSet[frozenset]]]:
+    """The reachable configuration graph as ``(nodes, edges)``.
+
+    ``edges[c]`` is the frozenset of snapshots reachable from ``c`` in one
+    *proper* step (i.e. excluding the reflexive steps the paper adds to make
+    the relation left-total).
+    """
+    nodes = reachable_configurations(protocol, initial, max_configurations)
+    edges: Dict[frozenset, FrozenSet[frozenset]] = {}
+    for key, config in nodes.items():
+        edges[key] = frozenset(nxt.freeze() for _t, nxt in successors(protocol, config))
+    return nodes, edges
+
+
+def is_silent(protocol: PopulationProtocol, config: Multiset) -> bool:
+    """Whether no enabled transition changes ``config`` (a *silent* or
+    terminal configuration)."""
+    return next(successors(protocol, config), None) is None

@@ -1,0 +1,173 @@
+"""Simulation driver: sample a (probabilistically fair) run of a protocol.
+
+Stabilisation in the paper is a property of infinite runs; a simulation can
+only ever observe a finite prefix.  The driver therefore reports a verdict
+based on two signals:
+
+* **silence** — no enabled transition changes the configuration any more;
+  the run has provably stabilised (the remainder of the run is constant);
+* **a convergence window** — the configuration has had a constant, defined
+  output for ``convergence_window`` consecutive productive interactions.
+  This is a heuristic (the standard one for population-protocol
+  simulation); exact verification on small instances lives in
+  :mod:`repro.core.stability`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.errors import NonConvergenceError
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol
+from repro.core.scheduler import (
+    EnabledTransitionScheduler,
+    UniformPairScheduler,
+)
+from repro.core.semantics import apply_transition_inplace, is_silent
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of :func:`simulate`.
+
+    ``verdict`` is the stabilised output (``True``/``False``) or ``None``
+    if the budget ran out first.  ``silent`` records whether the final
+    configuration was provably terminal.  ``interactions`` counts scheduler
+    steps (including null steps for the uniform scheduler); ``productive``
+    counts steps that changed the configuration.
+    """
+
+    final: Multiset
+    verdict: Optional[bool]
+    silent: bool
+    interactions: int
+    productive: int
+    population: int
+    output_trace: List[Tuple[int, Optional[bool]]] = field(default_factory=list)
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by population size — the usual notion of
+        parallel time for population protocols."""
+        if self.population == 0:
+            return 0.0
+        return self.interactions / self.population
+
+
+def simulate(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+    scheduler=None,
+    max_interactions: int = 1_000_000,
+    convergence_window: int = 2_000,
+    check_silence_every: int = 512,
+) -> SimulationResult:
+    """Sample one run of ``protocol`` from ``config``.
+
+    The run stops when the configuration is silent, when the output has been
+    constant and defined for ``convergence_window`` productive steps, or
+    when ``max_interactions`` scheduler steps have elapsed.
+    """
+    protocol.check_configuration(config)
+    if rng is None:
+        rng = random.Random(seed)
+    if scheduler is None:
+        scheduler = EnabledTransitionScheduler()
+    current = config.copy()
+    population = current.size
+    interactions = 0
+    productive = 0
+    stable_output: Optional[bool] = protocol.output(current)
+    stable_since = 0
+    trace: List[Tuple[int, Optional[bool]]] = [(0, stable_output)]
+
+    while interactions < max_interactions:
+        step = scheduler.select(protocol, current, rng)
+        interactions += 1
+        if step.transition is None:
+            if isinstance(scheduler, EnabledTransitionScheduler):
+                # No productive transition exists at all: provably silent.
+                break
+            if interactions % check_silence_every == 0 and is_silent(
+                protocol, current
+            ):
+                break
+            continue
+        before = (
+            current[step.transition.q],
+            current[step.transition.r],
+            current[step.transition.q2],
+            current[step.transition.r2],
+        )
+        apply_transition_inplace(current, step.transition)
+        after = (
+            current[step.transition.q],
+            current[step.transition.r],
+            current[step.transition.q2],
+            current[step.transition.r2],
+        )
+        if before != after:
+            productive += 1
+        output = protocol.output(current)
+        if output != stable_output:
+            stable_output = output
+            stable_since = productive
+            trace.append((interactions, output))
+        if (
+            stable_output is not None
+            and productive - stable_since >= convergence_window
+        ):
+            return SimulationResult(
+                final=current,
+                verdict=stable_output,
+                silent=False,
+                interactions=interactions,
+                productive=productive,
+                population=population,
+                output_trace=trace,
+            )
+
+    silent = is_silent(protocol, current)
+    verdict = protocol.output(current) if silent else None
+    return SimulationResult(
+        final=current,
+        verdict=verdict,
+        silent=silent,
+        interactions=interactions,
+        productive=productive,
+        population=population,
+        output_trace=trace,
+    )
+
+
+def decide(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    seed: int | None = None,
+    attempts: int = 3,
+    **kwargs,
+) -> bool:
+    """Run :func:`simulate` until a verdict is reached, retrying with fresh
+    seeds up to ``attempts`` times.  Raises :class:`NonConvergenceError` if
+    no attempt stabilises."""
+    base = seed if seed is not None else random.Random().randrange(2**31)
+    for attempt in range(attempts):
+        result = simulate(protocol, config, seed=base + attempt, **kwargs)
+        if result.verdict is not None:
+            return result.verdict
+    raise NonConvergenceError(
+        f"protocol {protocol.name!r} did not stabilise on |C|={config.size} "
+        f"within the budget ({attempts} attempts)"
+    )
+
+
+def uniform_scheduler() -> UniformPairScheduler:
+    """Convenience factory for the paper's uniform random scheduler."""
+    return UniformPairScheduler()

@@ -1,0 +1,162 @@
+"""Exact stable-computation checking on the finite configuration graph.
+
+Fairness (Section 3) says the set of configurations visited infinitely
+often is closed under ``→``.  On the finite configuration graph of a fixed
+population this means exactly: every fair run is eventually trapped in, and
+covers, a *terminal* (bottom) strongly connected component.  Hence:
+
+    every fair run from C stabilises to b
+        ⇔  every terminal SCC reachable from C consists solely of
+           configurations with output b.
+
+This module computes that criterion exactly (Tarjan SCCs over a BFS of the
+configuration graph), giving a *proof-quality* verdict for small instances —
+the complement to the sampled runs of :mod:`repro.core.simulation`.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.errors import NonConvergenceError
+from repro.core.multiset import Multiset, State
+from repro.core.protocol import PopulationProtocol
+from repro.core.semantics import configuration_graph
+
+
+def strongly_connected_components(
+    nodes: Iterable[frozenset],
+    edges: Dict[frozenset, FrozenSet[frozenset]],
+) -> List[Set[frozenset]]:
+    """Iterative Tarjan SCC decomposition (recursion-free for deep graphs)."""
+    index: Dict[frozenset, int] = {}
+    lowlink: Dict[frozenset, int] = {}
+    on_stack: Set[frozenset] = set()
+    stack: List[frozenset] = []
+    counter = 0
+    components: List[Set[frozenset]] = []
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: List[Tuple[frozenset, Iterator[frozenset]]] = []
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(edges.get(root, ()))))
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(edges.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[frozenset] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def terminal_sccs(
+    nodes: Iterable[frozenset],
+    edges: Dict[frozenset, FrozenSet[frozenset]],
+) -> List[Set[frozenset]]:
+    """The bottom SCCs: components with no edge leaving them."""
+    components = strongly_connected_components(nodes, edges)
+    result = []
+    for component in components:
+        if all(succ in component for node in component for succ in edges.get(node, ())):
+            result.append(component)
+    return result
+
+
+def stabilisation_verdict(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    max_configurations: int = 200_000,
+) -> Optional[bool]:
+    """The exact fair-run verdict from ``config``.
+
+    Returns ``True``/``False`` if *every* fair run from ``config``
+    stabilises to that value, and ``None`` if fair runs disagree or fail to
+    stabilise (i.e. the protocol does not decide anything from here).
+    """
+    nodes, edges = configuration_graph(protocol, config, max_configurations)
+    verdicts: Set[Optional[bool]] = set()
+    for component in terminal_sccs(nodes.keys(), edges):
+        outputs = {protocol.output(nodes[key]) for key in component}
+        if len(outputs) != 1:
+            return None
+        verdicts.add(outputs.pop())
+    if len(verdicts) != 1 or None in verdicts:
+        return None
+    return verdicts.pop()
+
+
+def initial_configurations(
+    protocol: PopulationProtocol, population: int
+) -> Iterator[Multiset]:
+    """All initial configurations with exactly ``population`` agents."""
+    states = sorted(protocol.input_states, key=repr)
+    if population <= 0:
+        return
+    # Compositions of `population` into len(states) parts (stars and bars).
+    k = len(states)
+    if k == 1:
+        yield Multiset({states[0]: population})
+        return
+    for dividers in combinations(range(population + k - 1), k - 1):
+        counts = []
+        previous = -1
+        for d in dividers:
+            counts.append(d - previous - 1)
+            previous = d
+        counts.append(population + k - 2 - previous)
+        yield Multiset(
+            {s: c for s, c in zip(states, counts) if c}
+        )
+
+
+def verify_decides(
+    protocol: PopulationProtocol,
+    predicate,
+    populations: Iterable[int],
+    max_configurations: int = 200_000,
+) -> None:
+    """Exhaustively check that ``protocol`` decides ``predicate`` on every
+    initial configuration of the given population sizes.
+
+    ``predicate`` is a callable taking the initial configuration (a
+    :class:`Multiset` over the input states) and returning a bool.  Raises
+    :class:`NonConvergenceError` on the first counterexample.
+    """
+    for population in populations:
+        for config in initial_configurations(protocol, population):
+            expected = predicate(config)
+            verdict = stabilisation_verdict(protocol, config, max_configurations)
+            if verdict is not expected:
+                raise NonConvergenceError(
+                    f"protocol {protocol.name!r}: initial {config} expected "
+                    f"{expected}, exact verdict {verdict}"
+                )

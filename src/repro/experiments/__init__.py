@@ -1,0 +1,109 @@
+"""Experiment drivers — one per table/figure/theorem of the paper.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for the
+recorded results.  Every driver is also exposed through a benchmark in
+``benchmarks/``.
+"""
+
+from repro.experiments.ablation import AblationReport, run_ablation
+from repro.experiments.awareness_probe import AwarenessReport, run_awareness
+from repro.experiments.convergence import (
+    ConvergenceReport,
+    measure_convergence,
+    run_convergence,
+)
+from repro.experiments.figure1 import Figure1Report, run_figure1
+from repro.experiments.figure2 import (
+    Figure2Report,
+    figure2_configurations,
+    run_figure2,
+)
+from repro.experiments.figure4 import Figure4Report, figure4_machine, run_figure4
+from repro.experiments.figures_lowering import (
+    GadgetFacts,
+    analyse,
+    figure3_machine,
+    figure5_machine,
+    figure6_machine,
+    figure7_machine,
+    run_figures_lowering,
+)
+from repro.experiments.lemma4 import (
+    Lemma4Report,
+    check_lemma4_case,
+    enumerate_register_configurations,
+    observe_main_behaviour,
+    run_lemma4,
+)
+from repro.experiments.lemma15 import ElectionReport, run_lemma15
+from repro.experiments.report import render_table
+from repro.experiments.table1 import Table1Report, run_table1
+from repro.experiments.theorem1 import (
+    Theorem1Report,
+    run_theorem1_end_to_end,
+    run_theorem1_sizes,
+)
+from repro.experiments.theorem2 import (
+    SelfStabReport,
+    run_program_selfstab,
+    run_protocol_selfstab,
+)
+from repro.experiments.theorem3 import (
+    Theorem3Report,
+    run_theorem3_decisions,
+    run_theorem3_sizes,
+)
+from repro.experiments.theorem5 import (
+    LockstepViolation,
+    conversion_rows,
+    lockstep_check,
+    render_conversion,
+)
+
+__all__ = [
+    "render_table",
+    "run_table1",
+    "Table1Report",
+    "run_theorem1_sizes",
+    "run_theorem1_end_to_end",
+    "Theorem1Report",
+    "run_theorem3_sizes",
+    "run_theorem3_decisions",
+    "Theorem3Report",
+    "conversion_rows",
+    "render_conversion",
+    "lockstep_check",
+    "LockstepViolation",
+    "run_program_selfstab",
+    "run_protocol_selfstab",
+    "SelfStabReport",
+    "run_lemma4",
+    "Lemma4Report",
+    "enumerate_register_configurations",
+    "observe_main_behaviour",
+    "check_lemma4_case",
+    "run_lemma15",
+    "ElectionReport",
+    "run_figure1",
+    "Figure1Report",
+    "run_figure2",
+    "Figure2Report",
+    "figure2_configurations",
+    "run_figure4",
+    "Figure4Report",
+    "figure4_machine",
+    "run_figures_lowering",
+    "GadgetFacts",
+    "analyse",
+    "figure3_machine",
+    "figure5_machine",
+    "figure6_machine",
+    "figure7_machine",
+    "run_awareness",
+    "AwarenessReport",
+    "run_ablation",
+    "run_convergence",
+    "measure_convergence",
+    "ConvergenceReport",
+    "AblationReport",
+]

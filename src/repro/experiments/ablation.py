@@ -1,0 +1,75 @@
+"""Experiment X2 — ablation: remove the §5.2 error-checking machinery.
+
+The paper's central technical contribution over Lipton's counter is the
+detect–restart error handling.  With it, adversarial initialisation is
+harmless (Theorem 2); without it, the bare counter silently accepts or
+rejects incorrectly.  This driver measures both failure rates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.robustness import AblationSummary, ablation_error_checks
+from repro.experiments.report import render_table
+from repro.lipton.levels import threshold
+
+
+@dataclass
+class AblationReport:
+    n: int
+    summary: AblationSummary
+
+    @property
+    def checks_help(self) -> bool:
+        """With checks strictly more correct than without."""
+        with_rate = self.summary.with_checks_correct / self.summary.with_checks_total
+        without_rate = (
+            self.summary.without_checks_correct / self.summary.without_checks_total
+        )
+        return with_rate > without_rate
+
+    def render(self) -> str:
+        header = ["variant", "correct", "total", "rate"]
+        s = self.summary
+        rows = [
+            (
+                "with error checks",
+                s.with_checks_correct,
+                s.with_checks_total,
+                s.with_checks_correct / s.with_checks_total,
+            ),
+            (
+                "without (bare Lipton)",
+                s.without_checks_correct,
+                s.without_checks_total,
+                s.without_checks_correct / s.without_checks_total,
+            ),
+        ]
+        return render_table(header, rows)
+
+
+def run_ablation(
+    n: int = 2,
+    *,
+    trials_per_total: int = 3,
+    seed: int = 0,
+    quiet_window: int = 30_000,
+    max_steps: int = 10_000_000,
+) -> AblationReport:
+    k = threshold(n)
+    totals = [max(1, k - 3), k - 1, k, k + 2, k + 6]
+    summary = ablation_error_checks(
+        n,
+        totals,
+        trials_per_total=trials_per_total,
+        seed=seed,
+        quiet_window=quiet_window,
+        max_steps=max_steps,
+    )
+    return AblationReport(n=n, summary=summary)
+
+
+if __name__ == "__main__":
+    report = run_ablation()
+    print(report.render())
+    print("error checking helps:", report.checks_help)

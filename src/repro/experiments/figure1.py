@@ -1,0 +1,85 @@
+"""Experiment F1 — Figure 1: the worked example program (4 ≤ x < 7).
+
+Rebuilds the figure's program verbatim and samples its decision for a
+sweep of totals, including totals split across noise registers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.predicates import Interval
+from repro.experiments.report import render_table
+from repro.programs.examples import figure1_program
+from repro.programs.interpreter import decide_program
+
+
+@dataclass
+class Figure1Trial:
+    initial: Dict[str, int]
+    total: int
+    expected: bool
+    got: bool
+
+    @property
+    def correct(self) -> bool:
+        return self.expected == self.got
+
+
+@dataclass
+class Figure1Report:
+    trials: List[Figure1Trial]
+
+    @property
+    def correct(self) -> int:
+        return sum(t.correct for t in self.trials)
+
+    def render(self) -> str:
+        header = ["initial registers", "m", "4 <= m < 7", "program output", "correct"]
+        rows = [
+            (str(t.initial), t.total, t.expected, t.got, t.correct)
+            for t in self.trials
+        ]
+        return render_table(header, rows)
+
+
+def run_figure1(
+    *,
+    seed: int = 0,
+    quiet_window: int = 20_000,
+    max_steps: int = 5_000_000,
+) -> Figure1Report:
+    program = figure1_program()
+    predicate = Interval(4, 7)
+    cases: List[Dict[str, int]] = [{"x": m} for m in range(1, 11)]
+    cases += [
+        {"x": 2, "y": 3, "z": 1},
+        {"x": 1, "y": 1, "z": 3},
+        {"x": 0, "y": 5, "z": 0},
+        {"x": 3, "y": 0, "z": 2},
+    ]
+    trials = []
+    for index, initial in enumerate(cases):
+        total = sum(initial.values())
+        got = decide_program(
+            program,
+            initial,
+            seed=seed + index,
+            quiet_window=quiet_window,
+            max_steps=max_steps,
+        )
+        trials.append(
+            Figure1Trial(
+                initial=initial,
+                total=total,
+                expected=predicate.evaluate({"x": total}),
+                got=got,
+            )
+        )
+    return Figure1Report(trials)
+
+
+if __name__ == "__main__":
+    report = run_figure1()
+    print(report.render())
+    print(f"correct: {report.correct}/{len(report.trials)}")

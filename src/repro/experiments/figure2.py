@@ -1,0 +1,129 @@
+"""Experiment F2 — Figure 2: example configurations of each type.
+
+Figure 2 sketches, for a level i, one example each of an i-proper, weakly
+i-proper, i-low, i-high and i-empty configuration.  We materialise the
+figure's register patterns (for i = 3, where N_i = 25 accommodates the
+figure's offsets 3 and 7) and check that the classifier of
+:mod:`repro.lipton.classify` assigns exactly the claimed types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.report import render_table
+from repro.lipton.classify import (
+    is_i_empty,
+    is_i_high,
+    is_i_low,
+    is_i_proper,
+    is_weakly_i_proper,
+)
+from repro.lipton.levels import RESERVE, level_constant, x, xbar, y, ybar
+
+
+def _proper_prefix(i: int) -> Dict[str, int]:
+    config: Dict[str, int] = {}
+    for j in range(1, i):
+        nj = level_constant(j)
+        config[xbar(j)] = nj
+        config[ybar(j)] = nj
+    return config
+
+
+def figure2_configurations(i: int = 3) -> Dict[str, Dict[str, int]]:
+    """The five example rows of Figure 2, for level ``i`` (default 3 so
+    the figure's offsets 3 and 7 fit below N_i)."""
+    ni = level_constant(i)
+    if ni <= 7:
+        raise ValueError("need N_i > 7 to reproduce the figure's offsets")
+    rows: Dict[str, Dict[str, int]] = {}
+
+    proper = _proper_prefix(i)
+    proper.update({xbar(i): ni, ybar(i): ni})
+    rows["i-proper"] = proper
+
+    weakly = _proper_prefix(i)
+    weakly.update({x(i): 3, xbar(i): ni - 3, y(i): ni - 7, ybar(i): 7})
+    rows["weakly i-proper"] = weakly
+
+    low = _proper_prefix(i)
+    low.update({xbar(i): ni - 3, ybar(i): ni})
+    rows["i-low"] = low
+
+    high = _proper_prefix(i)
+    high.update({x(i): 3, xbar(i): ni, y(i): 7, ybar(i): ni - 5})
+    rows["i-high"] = high
+
+    # i-empty: junk below level i, nothing at level i or above.
+    empty = {
+        x(1): 2, xbar(1): 4, y(1): 8, ybar(1): 3,
+    }
+    if i >= 3:
+        empty.update({x(2): 5, xbar(2): 3, ybar(2): 7})
+    rows["i-empty"] = empty
+    return rows
+
+
+@dataclass
+class Figure2Row:
+    label: str
+    config: Dict[str, int]
+    i_proper: bool
+    weakly: bool
+    low: bool
+    high: bool
+    empty: bool
+
+    def matches(self) -> bool:
+        expectations = {
+            "i-proper": self.i_proper and self.weakly and not self.low and not self.high,
+            "weakly i-proper": self.weakly and not self.i_proper,
+            "i-low": self.low and not self.high and not self.i_proper,
+            "i-high": self.high and not self.low and not self.i_proper,
+            "i-empty": self.empty,
+        }
+        return expectations[self.label]
+
+
+@dataclass
+class Figure2Report:
+    i: int
+    n: int
+    rows: List[Figure2Row]
+
+    @property
+    def all_match(self) -> bool:
+        return all(row.matches() for row in self.rows)
+
+    def render(self) -> str:
+        header = ["example", "proper", "weakly", "low", "high", "empty", "matches"]
+        rows = [
+            (r.label, r.i_proper, r.weakly, r.low, r.high, r.empty, r.matches())
+            for r in self.rows
+        ]
+        return render_table(header, rows)
+
+
+def run_figure2(i: int = 3, n: int = 3) -> Figure2Report:
+    configs = figure2_configurations(i)
+    rows = []
+    for label, config in configs.items():
+        rows.append(
+            Figure2Row(
+                label=label,
+                config=config,
+                i_proper=is_i_proper(config, i),
+                weakly=is_weakly_i_proper(config, i),
+                low=is_i_low(config, i),
+                high=is_i_high(config, i),
+                empty=is_i_empty(config, i, n),
+            )
+        )
+    return Figure2Report(i=i, n=n, rows=rows)
+
+
+if __name__ == "__main__":
+    report = run_figure2()
+    print(report.render())
+    print("all examples classified as in the figure:", report.all_match)

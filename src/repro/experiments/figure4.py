@@ -1,0 +1,132 @@
+"""Experiment F4 — Figure 4: instruction → transition gadgets.
+
+Builds a four-instruction machine containing each instruction kind of the
+figure (a move, a detect, a conditional jump and an OF assignment),
+converts it, and reports the generated transition families per
+instruction, checking the structural properties Figure 4 depicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.machines.machine import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    CF,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    register_map_pointer,
+)
+from repro.conversion.protocol_from_machine import ConvertedProtocol, convert_machine
+from repro.conversion.states import (
+    DONE,
+    EMIT,
+    FALSE,
+    NONE,
+    PointerState,
+    TAKE,
+    TEST,
+    TRUE,
+    WAIT,
+)
+
+
+def figure4_machine() -> PopulationMachine:
+    """The four-line machine of Figure 4:
+
+    1. ``x ↦ y``
+    2. ``detect x > 0``
+    3. ``IP := 1 if CF else 4``
+    4. ``OF := ¬CF``  (a general pointer assignment)
+    5. ``IP := 1``    (loop back, so instruction 4 is not terminal)
+    """
+    instructions = (
+        MoveInstr("x", "y"),
+        DetectInstr("x"),
+        AssignInstr(IP, CF, {True: 1, False: 4}),
+        AssignInstr(OF, CF, {True: False, False: True}),
+        AssignInstr(IP, CF, {True: 1, False: 1}),
+    )
+    domains = {
+        OF: BOOL_DOMAIN,
+        CF: BOOL_DOMAIN,
+        IP: (1, 2, 3, 4, 5),
+        register_map_pointer("x"): ("x",),
+        register_map_pointer("y"): ("y",),
+        register_map_pointer("#"): ("x",),
+    }
+    return PopulationMachine(
+        registers=("x", "y"),
+        pointer_domains=domains,
+        instructions=instructions,
+        name="figure4",
+    )
+
+
+@dataclass
+class Figure4Report:
+    conversion: ConvertedProtocol
+    per_instruction_counts: Dict[int, int]
+    facts: Dict[str, bool]
+
+
+def run_figure4() -> Figure4Report:
+    machine = figure4_machine()
+    conversion = convert_machine(machine, "figure4")
+    counts = {
+        index: len(gadget)
+        for index, gadget in conversion.instruction_transitions.items()
+    }
+    vx = register_map_pointer("x")
+    vy = register_map_pointer("y")
+    gadget1 = conversion.instruction_transitions[1]
+    gadget2 = conversion.instruction_transitions[2]
+    gadget3 = conversion.instruction_transitions[3]
+    gadget4 = conversion.instruction_transitions[4]
+
+    facts = {
+        # (move) recruits V_x into emit and V_y into take.
+        "move_has_emit": any(
+            isinstance(t.r2, PointerState) and t.r2.stage == EMIT for t in gadget1
+        ),
+        "move_has_take": any(
+            isinstance(t.r2, PointerState) and t.r2.stage == TAKE for t in gadget1
+        ),
+        # (test) has a true-branch on meeting the register's own state and
+        # false-branches on meeting anything else.
+        "test_true_on_own_state": any(
+            isinstance(t.q2, PointerState)
+            and t.q2.stage == TRUE
+            and t.r == "x"
+            for t in gadget2
+        ),
+        "test_false_on_other_states": sum(
+            isinstance(t.q2, PointerState) and t.q2.stage == FALSE for t in gadget2
+        )
+        > 1,
+        # (pointer) conditional jump reads CF directly (two-agent rule).
+        "jump_reads_cf": all(
+            isinstance(t.r, PointerState) and t.r.pointer == CF
+            for t in gadget3
+            if isinstance(t.q, PointerState) and t.q.stage == NONE
+        ),
+        # OF := not CF is a general assignment going through a map state.
+        "of_assignment_uses_map_state": any(
+            type(t.r2).__name__ == "MapState" or type(t.q2).__name__ == "MapState"
+            for t in gadget4
+        ),
+    }
+    return Figure4Report(
+        conversion=conversion, per_instruction_counts=counts, facts=facts
+    )
+
+
+if __name__ == "__main__":
+    report = run_figure4()
+    print("transitions per instruction:", report.per_instruction_counts)
+    for name, value in report.facts.items():
+        print(f"{name}: {value}")

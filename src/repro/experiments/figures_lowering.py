@@ -1,0 +1,155 @@
+"""Experiment F3/F5/F6/F7 — the lowering gadgets of Figures 3, 5, 6, 7.
+
+Each figure shows how one source construct compiles: Figure 3 (a while
+loop with a swap), Figure 5 (a while loop with a negated detect),
+Figure 6 (a procedure call with return value), Figure 7 (the restart
+helper).  The driver compiles each fragment and extracts the structural
+facts the figures depict: jump shapes, register-map assignments, return
+pointers and the scramble loops of the restart helper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.machines.lowering import lower_program, procedure_pointer
+from repro.machines.machine import (
+    AssignInstr,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    PopulationMachine,
+    register_map_pointer,
+)
+from repro.programs.ast import (
+    CallExpr,
+    Detect,
+    If,
+    Move,
+    Not,
+    Return,
+    Swap,
+    While,
+)
+from repro.programs.builder import procedure, program, seq, while_true
+
+
+def figure3_machine() -> PopulationMachine:
+    """Figure 3: ``while detect x > 0 do { x ↦ y; swap x, y }``."""
+    main = procedure(
+        "Main",
+        While(Detect("x"), seq(Move("x", "y"), Swap("x", "y"))),
+        while_true(),
+    )
+    return lower_program(program(["x", "y"], [main]), "figure3")
+
+
+def figure5_machine() -> PopulationMachine:
+    """Figure 5: ``while ¬(detect x > 0) do x ↦ y``."""
+    main = procedure(
+        "Main",
+        While(Not(Detect("x")), seq(Move("x", "y"))),
+        while_true(),
+    )
+    return lower_program(program(["x", "y"], [main]), "figure5")
+
+
+def figure6_machine() -> PopulationMachine:
+    """Figure 6: a call to ``AddTwo`` which moves twice and returns true."""
+    add_two = procedure(
+        "AddTwo",
+        Move("x", "y"),
+        Move("x", "y"),
+        Return(True),
+        returns_value=True,
+    )
+    main = procedure(
+        "Main",
+        If(CallExpr("AddTwo"), then_body=seq()),
+        while_true(),
+    )
+    return lower_program(program(["x", "y"], [main, add_two]), "figure6")
+
+
+def figure7_machine() -> PopulationMachine:
+    """Figure 7: a program whose body is a single restart."""
+    from repro.programs.ast import Restart
+
+    main = procedure("Main", Restart(), while_true())
+    return lower_program(program(["x", "y", "z"], [main]), "figure7")
+
+
+@dataclass
+class GadgetFacts:
+    """Structural facts extracted from a compiled figure fragment."""
+
+    name: str
+    length: int
+    detects: int
+    moves: int
+    ip_assignments: int
+    register_map_assignments: int
+    return_pointer_indirect_jumps: int
+    restart_entry: int | None
+    facts: Dict[str, bool]
+
+
+def analyse(machine: PopulationMachine) -> GadgetFacts:
+    detects = sum(isinstance(i, DetectInstr) for i in machine.instructions)
+    moves = sum(isinstance(i, MoveInstr) for i in machine.instructions)
+    ip_assigns = sum(
+        isinstance(i, AssignInstr) and i.target == IP for i in machine.instructions
+    )
+    vmap_assigns = sum(
+        isinstance(i, AssignInstr) and i.target.startswith("V[")
+        for i in machine.instructions
+    )
+    indirect_returns = sum(
+        isinstance(i, AssignInstr)
+        and i.target == IP
+        and i.source.startswith("P[")
+        for i in machine.instructions
+    )
+    facts: Dict[str, bool] = {}
+    # Figure 3/5 shape: a conditional branch on CF follows every detect.
+    follows = []
+    for index, instr in enumerate(machine.instructions[:-1]):
+        if isinstance(instr, DetectInstr):
+            nxt = machine.instructions[index + 1]
+            follows.append(
+                isinstance(nxt, AssignInstr)
+                and nxt.target == IP
+                and nxt.source == "CF"
+            )
+    facts["branch_follows_every_detect"] = bool(follows) and all(follows)
+    # Figure 3 shape: swaps become exactly three register-map assignments.
+    facts["swap_is_three_map_assignments"] = vmap_assigns % 3 == 0
+    return GadgetFacts(
+        name=machine.name,
+        length=machine.length,
+        detects=detects,
+        moves=moves,
+        ip_assignments=ip_assigns,
+        register_map_assignments=vmap_assigns,
+        return_pointer_indirect_jumps=indirect_returns,
+        restart_entry=machine.restart_entry,
+        facts=facts,
+    )
+
+
+def run_figures_lowering() -> List[GadgetFacts]:
+    return [
+        analyse(figure3_machine()),
+        analyse(figure5_machine()),
+        analyse(figure6_machine()),
+        analyse(figure7_machine()),
+    ]
+
+
+if __name__ == "__main__":
+    from repro.machines.machine import pretty_print
+
+    for make in (figure3_machine, figure5_machine, figure6_machine, figure7_machine):
+        machine = make()
+        print(pretty_print(machine))
+        print()

@@ -1,0 +1,83 @@
+"""Experiment L15 — Lemma 15: leader election recovers pointer agents.
+
+From random protocol configurations with at least ``|F|`` agents in the
+initial state (plus arbitrary noise), the ⟨elect⟩ transitions funnel the
+population into the π-image of an initial machine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.robustness import election_recovery_trial
+from repro.experiments.report import render_table
+from repro.programs.examples import simple_threshold_program
+from repro.conversion.pipeline import PipelineResult, compile_program
+
+
+@dataclass
+class ElectionTrial:
+    noise_agents: int
+    initial_agents: int
+    recovered_after: Optional[int]
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovered_after is not None
+
+
+@dataclass
+class ElectionReport:
+    trials: List[ElectionTrial]
+
+    @property
+    def recovered(self) -> int:
+        return sum(t.recovered for t in self.trials)
+
+    def render(self) -> str:
+        header = ["noise agents", "initial agents", "recovered after", "ok"]
+        rows = [
+            (t.noise_agents, t.initial_agents, t.recovered_after, t.recovered)
+            for t in self.trials
+        ]
+        return render_table(header, rows)
+
+
+def run_lemma15(
+    *,
+    pipeline: Optional[PipelineResult] = None,
+    noise_levels: Optional[List[int]] = None,
+    trials_per_level: int = 3,
+    seed: int = 0,
+    max_interactions: int = 500_000,
+) -> ElectionReport:
+    if pipeline is None:
+        pipeline = compile_program(simple_threshold_program(2), "thr2")
+    conversion = pipeline.conversion
+    if noise_levels is None:
+        noise_levels = [0, 3, 8, 15]
+    trials: List[ElectionTrial] = []
+    for level_index, noise in enumerate(noise_levels):
+        for trial in range(trials_per_level):
+            initial_agents = conversion.shift + trial  # >= |F|
+            recovered = election_recovery_trial(
+                conversion,
+                noise_agents=noise,
+                initial_agents=initial_agents,
+                seed=seed + 100 * level_index + trial,
+                max_interactions=max_interactions,
+            )
+            trials.append(
+                ElectionTrial(
+                    noise_agents=noise,
+                    initial_agents=initial_agents,
+                    recovered_after=recovered,
+                )
+            )
+    return ElectionReport(trials)
+
+
+if __name__ == "__main__":
+    report = run_lemma15()
+    print(report.render())
+    print(f"recovered: {report.recovered}/{len(report.trials)}")

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a fixed-width text table (right-aligned numbers)."""
+    materialised: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        materialised.append([_fmt(cell) for cell in row])
+    widths = [
+        max(len(r[col]) for r in materialised)
+        for col in range(len(materialised[0]))
+    ]
+    lines = []
+    for index, row in enumerate(materialised):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, int) and abs(cell) >= 10**15:
+        return f"{cell:.3e}"
+    if cell is None:
+        return "-"
+    return str(cell)

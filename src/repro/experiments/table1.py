@@ -1,0 +1,72 @@
+"""Experiment T1 — regenerate Table 1 (state complexity of thresholds).
+
+The paper's Table 1 lists asymptotic bounds; the reproduction reports the
+*measured* state counts of the four constructions on the threshold family
+``k_n = threshold(n)``, verifying the claimed ordering
+
+    classic Θ(k)  ≫  binary Θ(log k)  ≫  this paper Θ(log log k)
+
+and that the leaderless Theorem 1 protocol matches the leader-assisted
+size up to a constant factor (the paper's headline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.state_complexity import Table1Row, table1_rows
+from repro.experiments.report import render_table
+
+
+@dataclass
+class Table1Report:
+    rows: List[Table1Row]
+
+    def ordering_holds(self) -> bool:
+        """For every row large enough to compare: unary > binary >
+        this-paper growth (the latter checked as states ∈ O(n) via a
+        per-level constant)."""
+        counts = [row.this_paper_states for row in self.rows]
+        increments = [b - a for a, b in zip(counts, counts[1:])]
+        linear = len(set(increments[2:])) <= 1
+        ordered = all(
+            row.unary_states is None or row.unary_states > row.binary_states
+            for row in self.rows
+            if row.n >= 3
+        )
+        return linear and ordered
+
+    def render(self) -> str:
+        header = [
+            "n",
+            "k",
+            "|phi|",
+            "classic unary",
+            "binary (BEJ)",
+            "leader (bare Lipton)",
+            "this paper (Thm 1)",
+        ]
+        rows = [
+            (
+                row.n,
+                row.k,
+                row.formula_size,
+                row.unary_states,
+                row.binary_states,
+                row.leader_states,
+                row.this_paper_states,
+            )
+            for row in self.rows
+        ]
+        return render_table(header, rows)
+
+
+def run_table1(max_n: int = 6) -> Table1Report:
+    return Table1Report(rows=table1_rows(max_n))
+
+
+if __name__ == "__main__":
+    report = run_table1()
+    print(report.render())
+    print("\nasymptotic ordering holds:", report.ordering_holds())

@@ -1,0 +1,126 @@
+"""Experiment TH2 — Theorem 2 / Definition 7: almost self-stabilisation.
+
+Program level: the Section 6 program from uniformly random (fully
+adversarial) register configurations must still stabilise to
+``m ≥ threshold(n)``.  Protocol level: the converted protocol seeded with
+arbitrary noise agents plus enough initial-state agents must stabilise to
+``φ'(|C|)``."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.robustness import (
+    TrialOutcome,
+    program_selfstab_trial,
+    protocol_selfstab_trial,
+)
+from repro.core.predicates import ShiftedThreshold, Threshold
+from repro.experiments.report import render_table
+from repro.lipton.construction import suggested_quiet_window
+from repro.lipton.levels import threshold
+from repro.conversion.pipeline import PipelineResult, compile_threshold_protocol
+
+
+@dataclass
+class SelfStabReport:
+    outcomes: List[TrialOutcome]
+
+    @property
+    def correct(self) -> int:
+        return sum(outcome.correct for outcome in self.outcomes)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def render(self) -> str:
+        header = ["total agents", "expected", "stabilised to", "correct"]
+        rows = [
+            (o.total, o.expected, o.got, o.correct) for o in self.outcomes
+        ]
+        return render_table(header, rows)
+
+
+def run_program_selfstab(
+    n: int = 2,
+    *,
+    totals: List[int] | None = None,
+    trials_per_total: int = 3,
+    seed: int = 0,
+    quiet_window: int | None = None,
+    max_steps: int = 20_000_000,
+) -> SelfStabReport:
+    if quiet_window is None:
+        quiet_window = suggested_quiet_window(n)
+    k = threshold(n)
+    if totals is None:
+        totals = [max(1, k - 3), k - 1, k, k + 2, k + 7]
+    outcomes = []
+    for index, total in enumerate(totals):
+        for trial in range(trials_per_total):
+            outcomes.append(
+                program_selfstab_trial(
+                    n,
+                    total,
+                    seed=seed + 1000 * index + trial,
+                    quiet_window=quiet_window,
+                    max_steps=max_steps,
+                )
+            )
+    return SelfStabReport(outcomes)
+
+
+def run_protocol_selfstab(
+    *,
+    pipeline: PipelineResult | None = None,
+    cases: List[tuple] | None = None,
+    seed: int = 0,
+    max_interactions: int = 30_000_000,
+    convergence_window: int = 300_000,
+) -> SelfStabReport:
+    """Definition 7 on the n=1 protocol: noise + (≥ |F|) initial agents.
+
+    ``cases`` is a list of ``(noise_agents, initial_agents)`` pairs; the
+    default exercises one rejecting and one accepting population.  Accepting
+    populations need the large default budgets (see run_theorem1_end_to_end).
+    """
+    if pipeline is None:
+        pipeline = compile_threshold_protocol(1)
+    k = threshold(1)
+    predicate = ShiftedThreshold(Threshold(k), pipeline.shift)
+
+    def phi(total: int) -> bool:
+        return predicate.evaluate({"x": total})
+
+    if cases is None:
+        # Rejecting populations with noise (totals |F|+1 and |F|+1 with
+        # noise spread differently).  The accepting side of Definition 7
+        # is exercised by run_theorem1_end_to_end (same protocol, no
+        # noise) and by the thr2-pipeline test in tests/analysis — an
+        # accepting lipton-n1 run *with* noise needs tens of millions of
+        # interactions, beyond a benchmark's budget.
+        # (Definition 7 needs >= |F| initial agents, and rejection needs
+        # total <= |F| + k - 1 = |F| + 1, so exactly one default case.)
+        cases = [(1, pipeline.shift)]
+    outcomes = []
+    for index, (noise_agents, initial_agents) in enumerate(cases):
+        outcomes.append(
+            protocol_selfstab_trial(
+                pipeline,
+                phi,
+                noise_agents=noise_agents,
+                initial_agents=initial_agents,
+                seed=seed + index,
+                max_interactions=max_interactions,
+                convergence_window=convergence_window,
+            )
+        )
+    return SelfStabReport(outcomes)
+
+
+if __name__ == "__main__":
+    report = run_program_selfstab()
+    print(report.render())
+    print(f"program level: {report.correct}/{report.total} correct")

@@ -1,0 +1,94 @@
+"""The paper's construction (Sections 5–6): double-exponential thresholds."""
+
+from repro.lipton.canonical import (
+    canonical_restart_policy,
+    expected_behaviour,
+    good_configuration,
+)
+from repro.lipton.classify import (
+    Classification,
+    MainBehaviour,
+    classify,
+    is_i_empty,
+    is_i_high,
+    is_i_low,
+    is_i_proper,
+    is_weakly_i_proper,
+    max_proper_prefix,
+)
+from repro.lipton.construction import (
+    assert_empty_name,
+    assert_proper_name,
+    build_equality_program,
+    build_threshold_program,
+    equality_predicate,
+    incr_pair_name,
+    large_name,
+    suggested_quiet_window,
+    threshold_predicate,
+    zero_name,
+)
+from repro.lipton.levels import (
+    RESERVE,
+    all_registers,
+    bar,
+    double_exponential_lower_bound,
+    level_constant,
+    level_of,
+    level_registers,
+    threshold,
+    x,
+    xbar,
+    y,
+    ybar,
+)
+from repro.lipton.parallel import (
+    build_parallel_program,
+    decide_with_trusted_initialisation,
+    parallel_program_size,
+)
+
+__all__ = [
+    # levels
+    "level_constant",
+    "threshold",
+    "double_exponential_lower_bound",
+    "all_registers",
+    "level_registers",
+    "level_of",
+    "bar",
+    "x",
+    "xbar",
+    "y",
+    "ybar",
+    "RESERVE",
+    # classification
+    "is_i_proper",
+    "is_weakly_i_proper",
+    "is_i_low",
+    "is_i_high",
+    "is_i_empty",
+    "max_proper_prefix",
+    "classify",
+    "Classification",
+    "MainBehaviour",
+    # construction
+    "build_threshold_program",
+    "build_equality_program",
+    "equality_predicate",
+    "threshold_predicate",
+    "suggested_quiet_window",
+    "assert_empty_name",
+    "assert_proper_name",
+    "zero_name",
+    "large_name",
+    "incr_pair_name",
+    # canonical configurations
+    "good_configuration",
+    "expected_behaviour",
+    "canonical_restart_policy",
+    # parallel / leader baseline
+    "build_parallel_program",
+    "parallel_program_size",
+    "decide_with_trusted_initialisation",
+]

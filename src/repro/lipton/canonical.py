@@ -1,0 +1,75 @@
+"""Canonical "good" configurations C_m (proof of Theorem 3, App. A.4).
+
+For each total ``m`` the proof designates one configuration the program
+may stabilise on:
+
+* if ``m ≥ k_n``: the n-proper configuration with the surplus in ``R``;
+* otherwise: take the maximal ``j`` with ``2·Σ_{i<j} N_i ≤ m``, make the
+  configuration (j−1)-proper and j-empty, and distribute the remaining
+  ``r < 2·N_j`` units evenly across ``x̄_j`` and ``ȳ_j`` — which is j-low
+  and (j+1)-empty.
+
+These are exactly the configurations Lemma 4 lets Main stabilise on; every
+other configuration (eventually) restarts.  :class:`CanonicalRestart`
+policies built from :func:`good_configuration` therefore sample the runs
+used in the paper's existence proof.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.lipton.classify import classify, MainBehaviour
+from repro.lipton.levels import (
+    RESERVE,
+    level_constant,
+    threshold,
+    xbar,
+    ybar,
+)
+from repro.programs.restart import CanonicalRestart
+
+
+def good_configuration(n: int, m: int) -> Dict[str, int]:
+    """The canonical configuration C_m for a population program with ``n``
+    levels and ``m`` total units (zero registers omitted)."""
+    if m < 0:
+        raise ValueError("total must be nonnegative")
+    k = threshold(n)
+    config: Dict[str, int] = {}
+    if m >= k:
+        for i in range(1, n + 1):
+            ni = level_constant(i)
+            config[xbar(i)] = ni
+            config[ybar(i)] = ni
+        if m > k:
+            config[RESERVE] = m - k
+        return config
+    # Maximal j with 2 * sum_{i<j} N_i <= m.
+    j = 1
+    used = 0
+    while j < n and used + 2 * level_constant(j) <= m:
+        used += 2 * level_constant(j)
+        j += 1
+    for i in range(1, j):
+        ni = level_constant(i)
+        config[xbar(i)] = ni
+        config[ybar(i)] = ni
+    remaining = m - used
+    half = remaining // 2
+    if half:
+        config[xbar(j)] = half
+    if remaining - half:
+        config[ybar(j)] = remaining - half
+    return config
+
+
+def expected_behaviour(n: int, m: int) -> MainBehaviour:
+    """Lemma 4's verdict on the canonical configuration (never RESTART)."""
+    return classify(good_configuration(n, m), n).behaviour
+
+
+def canonical_restart_policy(n: int) -> CanonicalRestart:
+    """A restart policy that jumps straight to C_m (a legal outcome of the
+    nondeterministic restart; sampling the proof's chosen fair run)."""
+    return CanonicalRestart(lambda total: good_configuration(n, total))

@@ -1,0 +1,153 @@
+"""Configuration classification for the construction (Figure 2, App. A).
+
+Let ``C ∈ ℕ^Q`` and ``i ∈ {1, …, n}``.  ``C`` is
+
+* *i-proper*       if ``C(x_j) = C(y_j) = 0`` and ``C(x̄_j) = C(ȳ_j) = N_j``
+  for all ``j ≤ i``;
+* *weakly i-proper* if it is (i−1)-proper and ``C(x) + C(x̄) = N_i`` for
+  ``x ∈ {x_i, y_i}``;
+* *i-low*  if it is (i−1)-proper, not i-proper, and ``C(x) = 0`` and
+  ``C(x̄) ≤ N_i`` for all ``x ∈ {x_i, y_i}``;
+* *i-high* if it is (i−1)-proper, not i-proper, and
+  ``C(x) + C(x̄) ≥ N_i`` for all ``x ∈ {x_i, y_i}``;
+* *i-empty* if all registers on levels ``i, …, n+1`` are empty.
+
+These predicates drive Lemma 4: Main may stabilise to *false* exactly on
+configurations that are j-low and (j+1)-empty for some j, to *true* exactly
+on n-proper configurations, and must restart otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping, Optional
+
+from repro.lipton.levels import (
+    RESERVE,
+    level_constant,
+    level_registers,
+    x,
+    xbar,
+    y,
+    ybar,
+)
+
+Registers = Mapping[str, int]
+
+
+def _get(config: Registers, register: str) -> int:
+    return config.get(register, 0)
+
+
+def is_i_proper(config: Registers, i: int) -> bool:
+    """0-proper is vacuously true; otherwise check levels 1…i."""
+    for j in range(1, i + 1):
+        nj = level_constant(j)
+        if _get(config, x(j)) or _get(config, y(j)):
+            return False
+        if _get(config, xbar(j)) != nj or _get(config, ybar(j)) != nj:
+            return False
+    return True
+
+
+def is_weakly_i_proper(config: Registers, i: int) -> bool:
+    if not is_i_proper(config, i - 1):
+        return False
+    ni = level_constant(i)
+    return (
+        _get(config, x(i)) + _get(config, xbar(i)) == ni
+        and _get(config, y(i)) + _get(config, ybar(i)) == ni
+    )
+
+
+def is_i_low(config: Registers, i: int) -> bool:
+    if not is_i_proper(config, i - 1) or is_i_proper(config, i):
+        return False
+    ni = level_constant(i)
+    return (
+        _get(config, x(i)) == 0
+        and _get(config, y(i)) == 0
+        and _get(config, xbar(i)) <= ni
+        and _get(config, ybar(i)) <= ni
+    )
+
+
+def is_i_high(config: Registers, i: int) -> bool:
+    if not is_i_proper(config, i - 1) or is_i_proper(config, i):
+        return False
+    ni = level_constant(i)
+    return (
+        _get(config, x(i)) + _get(config, xbar(i)) >= ni
+        and _get(config, y(i)) + _get(config, ybar(i)) >= ni
+    )
+
+
+def is_i_empty(config: Registers, i: int, n: int) -> bool:
+    """All registers on levels ``i, …, n`` and ``R`` are empty.
+
+    ``i = n + 1`` checks only ``R``.
+    """
+    for j in range(i, n + 1):
+        if any(_get(config, reg) for reg in level_registers(j)):
+            return False
+    return _get(config, RESERVE) == 0
+
+
+class MainBehaviour(Enum):
+    """Lemma 4's trichotomy for Main run on a register configuration."""
+
+    STABILISE_FALSE = "stabilise_false"
+    STABILISE_TRUE = "stabilise_true"
+    RESTART = "restart"
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Summary of a configuration against the Lemma 4 case analysis.
+
+    ``low_level`` is the ``j`` for which the configuration is j-low and
+    (j+1)-empty (if any); ``behaviour`` is the verdict Lemma 4 assigns.
+    """
+
+    behaviour: MainBehaviour
+    n_proper: bool
+    low_level: Optional[int]
+    max_proper_prefix: int
+
+
+def max_proper_prefix(config: Registers, n: int) -> int:
+    """The largest ``i ≤ n`` such that the configuration is i-proper."""
+    best = 0
+    for i in range(1, n + 1):
+        if is_i_proper(config, i):
+            best = i
+        else:
+            break
+    return best
+
+
+def classify(config: Registers, n: int) -> Classification:
+    """Apply Lemma 4's case analysis to a register configuration."""
+    if is_i_proper(config, n):
+        return Classification(
+            behaviour=MainBehaviour.STABILISE_TRUE,
+            n_proper=True,
+            low_level=None,
+            max_proper_prefix=n,
+        )
+    prefix = max_proper_prefix(config, n)
+    j = prefix + 1
+    if j <= n and is_i_low(config, j) and is_i_empty(config, j + 1, n):
+        return Classification(
+            behaviour=MainBehaviour.STABILISE_FALSE,
+            n_proper=False,
+            low_level=j,
+            max_proper_prefix=prefix,
+        )
+    return Classification(
+        behaviour=MainBehaviour.RESTART,
+        n_proper=False,
+        low_level=None,
+        max_proper_prefix=prefix,
+    )

@@ -1,0 +1,355 @@
+"""The succinct population program of Section 6 (Theorem 3).
+
+Builds, for any ``n ≥ 1``, the population program with registers
+``Q_1 ∪ … ∪ Q_n ∪ {R}`` and procedures **Main**, **AssertEmpty(i)**,
+**AssertProper(i)**, **Zero(x)**, **IncrPair(x, y)** and **Large(x)** that
+decides ``φ(m) ⇔ m ≥ k_n`` with ``k_n = 2·Σᵢ Nᵢ ≥ 2^(2^(n-1))``, using
+size O(n).
+
+Procedures are instantiated lazily (only the ones reachable from Main are
+emitted), exactly mirroring the paper's "parameterised copies" convention:
+``Large(x̄₂)`` and ``Large(ȳ₂)`` are distinct procedures of constant size.
+
+The ``error_checking`` flag controls the paper's §5.2 machinery
+(AssertProper / AssertEmpty calls and Large's entry check).  Disabling it
+yields Lipton's *original* double-exponential counter, which is only
+correct under trusted initialisation — this is both the leader-assisted
+baseline (a leader is what buys trusted initialisation) and the ablation
+of experiment X2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.predicates import Threshold
+from repro.programs.ast import (
+    And,
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    PopulationProgram,
+    Procedure,
+    Restart,
+    Return,
+    SetOutput,
+    Statement,
+    Swap,
+    While,
+)
+from repro.programs.builder import program, seq
+from repro.lipton.levels import (
+    RESERVE,
+    all_registers,
+    bar,
+    level_of,
+    level_registers,
+    threshold,
+    x,
+    xbar,
+    y,
+    ybar,
+)
+
+
+def assert_empty_name(i: int) -> str:
+    return f"AssertEmpty({i})"
+
+
+def assert_proper_name(i: int) -> str:
+    return f"AssertProper({i})"
+
+
+def zero_name(register: str) -> str:
+    return f"Zero({register})"
+
+
+def large_name(register: str) -> str:
+    return f"Large({register})"
+
+
+def incr_pair_name(xreg: str, yreg: str) -> str:
+    return f"IncrPair({xreg},{yreg})"
+
+
+class _ConstructionBuilder:
+    """Emit the reachable procedure set on demand."""
+
+    def __init__(self, n: int, error_checking: bool):
+        self.n = n
+        self.error_checking = error_checking
+        self.procedures: Dict[str, Procedure] = {}
+
+    # -- helpers -------------------------------------------------------
+    def _add(self, proc: Procedure) -> str:
+        if proc.name not in self.procedures:
+            self.procedures[proc.name] = proc
+        return proc.name
+
+    def _maybe_assert_proper(self, i: int) -> List[Statement]:
+        """A call to AssertProper(i), or nothing for i ≤ 0 (the paper notes
+        AssertProper(0) has no effect) or with error checking disabled."""
+        if i < 1 or not self.error_checking:
+            return []
+        return [CallStmt(self.assert_proper(i))]
+
+    # -- AssertEmpty (levels i … n+1) -----------------------------------
+    def assert_empty(self, i: int) -> str:
+        name = assert_empty_name(i)
+        if name in self.procedures:
+            return name
+        body: List[Statement] = []
+        if i <= self.n:
+            body.append(CallStmt(self.assert_empty(i + 1)))
+            for reg in level_registers(i):
+                body.append(If(Detect(reg), then_body=seq(Restart())))
+        else:
+            body.append(If(Detect(RESERVE), then_body=seq(Restart())))
+        return self._add(Procedure(name, tuple(body)))
+
+    # -- AssertProper ----------------------------------------------------
+    def assert_proper(self, i: int) -> str:
+        name = assert_proper_name(i)
+        if name in self.procedures:
+            return name
+        # Reserve the name first: AssertProper(i) and Large/Zero on lower
+        # levels never call AssertProper(i) back (calls are strictly
+        # downward), but reserving avoids re-entry while building.
+        body: List[Statement] = []
+        if i > 1:
+            body.append(CallStmt(self.assert_proper(i - 1)))
+        for reg in (x(i), y(i)):
+            body.append(If(Detect(reg), then_body=seq(Restart())))
+            body.append(CallStmt(self.large(bar(reg))))
+            body.append(If(Detect(reg), then_body=seq(Restart())))
+        return self._add(Procedure(name, tuple(body)))
+
+    # -- Zero ------------------------------------------------------------
+    def zero(self, register: str) -> str:
+        name = zero_name(register)
+        if name in self.procedures:
+            return name
+        i = level_of(register)
+        loop_body: List[Statement] = []
+        loop_body.extend(self._maybe_assert_proper(i - 1))
+        loop_body.append(If(Detect(register), then_body=seq(Return(False))))
+        loop_body.append(
+            If(CallExpr(self.large(bar(register))), then_body=seq(Return(True)))
+        )
+        body = (While(Const(True), tuple(loop_body)),)
+        return self._add(Procedure(name, body, returns_value=True))
+
+    # -- IncrPair ----------------------------------------------------------
+    def incr_pair(self, xreg: str, yreg: str) -> str:
+        name = incr_pair_name(xreg, yreg)
+        if name in self.procedures:
+            return name
+        body = (
+            If(
+                CallExpr(self.zero(bar(yreg))),
+                then_body=seq(
+                    Swap(yreg, bar(yreg)),
+                    If(
+                        CallExpr(self.zero(bar(xreg))),
+                        then_body=seq(Swap(xreg, bar(xreg))),
+                        else_body=seq(Move(bar(xreg), xreg)),
+                    ),
+                ),
+                else_body=seq(Move(bar(yreg), yreg)),
+            ),
+        )
+        return self._add(Procedure(name, body))
+
+    # -- Large -------------------------------------------------------------
+    def large(self, register: str) -> str:
+        name = large_name(register)
+        if name in self.procedures:
+            return name
+        i = level_of(register)
+        comp = bar(register)
+        if i == 1:
+            body = (
+                If(
+                    Detect(register),
+                    then_body=seq(
+                        Move(register, comp),
+                        Swap(register, comp),
+                        Return(True),
+                    ),
+                    else_body=seq(Return(False)),
+                ),
+            )
+            return self._add(Procedure(name, body, returns_value=True))
+
+        lx, ly = x(i - 1), y(i - 1)
+        lxb, lyb = xbar(i - 1), ybar(i - 1)
+        entry_check: List[Statement] = []
+        if self.error_checking:
+            entry_check.append(
+                If(
+                    Or(
+                        Not(CallExpr(self.zero(lx))),
+                        Not(CallExpr(self.zero(ly))),
+                    ),
+                    then_body=seq(Restart()),
+                )
+            )
+        loop_body: List[Statement] = []
+        loop_body.extend(self._maybe_assert_proper(i - 2))
+        loop_body.append(
+            If(
+                Detect(register),
+                then_body=seq(
+                    Move(register, comp),
+                    CallStmt(self.incr_pair(lx, ly)),
+                    If(
+                        And(CallExpr(self.zero(lx)), CallExpr(self.zero(ly))),
+                        then_body=seq(Swap(register, comp), Return(True)),
+                    ),
+                ),
+                else_body=seq(
+                    If(
+                        And(CallExpr(self.zero(lx)), CallExpr(self.zero(ly))),
+                        then_body=seq(Return(False)),
+                    ),
+                    If(
+                        Detect(comp),
+                        then_body=seq(
+                            Move(comp, register),
+                            CallStmt(self.incr_pair(lxb, lyb)),
+                        ),
+                    ),
+                ),
+            )
+        )
+        body = tuple(entry_check) + (While(Const(True), tuple(loop_body)),)
+        return self._add(Procedure(name, body, returns_value=True))
+
+    # -- Main ----------------------------------------------------------------
+    def _level_verification(self) -> List[Statement]:
+        """The for-loop of Main: verify levels 1…n bottom-up."""
+        body: List[Statement] = []
+        for i in range(1, self.n + 1):
+            loop_body: List[Statement] = []
+            if self.error_checking:
+                loop_body.append(CallStmt(self.assert_proper(i)))
+                loop_body.append(CallStmt(self.assert_empty(i + 1)))
+            body.append(
+                While(
+                    Or(
+                        Not(CallExpr(self.large(xbar(i)))),
+                        Not(CallExpr(self.large(ybar(i)))),
+                    ),
+                    tuple(loop_body),
+                )
+            )
+        return body
+
+    def main(self) -> str:
+        body: List[Statement] = [SetOutput(False)]
+        body.extend(self._level_verification())
+        body.append(SetOutput(True))
+        final_body: List[Statement] = []
+        if self.error_checking:
+            final_body.append(CallStmt(self.assert_proper(self.n)))
+        body.append(While(Const(True), tuple(final_body)))
+        return self._add(Procedure("Main", tuple(body)))
+
+    def equality_main(self) -> str:
+        """Main for ``m = k`` (the Section 9 extension).
+
+        After the levels verify, a surplus in R distinguishes ``m > k``
+        from ``m = k``: the surplus branch parks with OF = false, the
+        accepting branch re-checks R forever and restarts if a surplus is
+        ever certified (so spurious detect-false answers cannot make
+        ``m > k`` accept stably)."""
+        body: List[Statement] = [SetOutput(False)]
+        body.extend(self._level_verification())
+        park_body: List[Statement] = []
+        if self.error_checking:
+            park_body.append(CallStmt(self.assert_proper(self.n)))
+        body.append(
+            If(
+                Detect(RESERVE),
+                then_body=(While(Const(True), tuple(park_body)),),
+            )
+        )
+        body.append(SetOutput(True))
+        accept_body: List[Statement] = []
+        if self.error_checking:
+            accept_body.append(CallStmt(self.assert_proper(self.n)))
+        accept_body.append(If(Detect(RESERVE), then_body=seq(Restart())))
+        body.append(While(Const(True), tuple(accept_body)))
+        return self._add(Procedure("Main", tuple(body)))
+
+
+def build_threshold_program(
+    n: int, *, error_checking: bool = True
+) -> PopulationProgram:
+    """The Section 6 population program deciding ``m ≥ threshold(n)``.
+
+    With ``error_checking=False`` the §5.2 detect–restart machinery is
+    stripped, leaving Lipton's bare counter (correct only from canonical
+    initial configurations — the leader baseline / X2 ablation).
+    """
+    if n < 1:
+        raise ValueError("need at least one level")
+    builder = _ConstructionBuilder(n, error_checking)
+    builder.main()
+    return program(
+        registers=all_registers(n),
+        procedures=builder.procedures.values(),
+        main="Main",
+    )
+
+
+def build_equality_program(
+    n: int, *, error_checking: bool = True
+) -> PopulationProgram:
+    """The Section 9 extension: a population program of size O(n) deciding
+    ``m = threshold(n)`` (equality instead of threshold).
+
+    Identical to :func:`build_threshold_program` except for Main: after the
+    level verification, a certified surplus in ``R`` parks the run with
+    output *false* (the ``m > k`` case), while the accepting loop keeps
+    re-checking ``R`` and restarts whenever a surplus is certified.
+    """
+    if n < 1:
+        raise ValueError("need at least one level")
+    builder = _ConstructionBuilder(n, error_checking)
+    builder.equality_main()
+    return program(
+        registers=all_registers(n),
+        procedures=builder.procedures.values(),
+        main="Main",
+    )
+
+
+def equality_predicate(n: int):
+    """The predicate decided by :func:`build_equality_program`."""
+    from repro.core.predicates import Equality
+
+    return Equality(threshold(n))
+
+
+def threshold_predicate(n: int) -> Threshold:
+    """The predicate decided by :func:`build_threshold_program`."""
+    return Threshold(threshold(n))
+
+
+def suggested_quiet_window(n: int) -> int:
+    """A quiet-window size safely above the measured time-to-accept of the
+    n-level program under canonical restarts.
+
+    The accepting run must clear every level's verification loop without an
+    intermediate observable event, and the level-i check costs ~N_i counter
+    steps; measured accept times grow roughly 5x per level (n=1 ≈ 1k,
+    n=2 ≈ 3k, n=3 ≈ 400k steps).  Deciders must not declare an output
+    stable before that, hence these windows.
+    """
+    return min(1_000_000, 20_000 * 5 ** (n - 1))

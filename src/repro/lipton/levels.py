@@ -1,0 +1,95 @@
+"""Level constants and register naming for the Section 6 construction.
+
+The construction uses registers ``Q = Q_1 ∪ … ∪ Q_n ∪ {R}`` with
+``Q_i = {x_i, y_i, x̄_i, ȳ_i}`` and level constants
+
+    N_1 = 1,   N_{i+1} = (N_i + 1)²
+
+so ``N_i + 1 = 2^(2^(i-1))`` and the decided threshold
+``k_n = 2·Σᵢ N_i`` satisfies ``k_n ≥ 2^(2^(n-1))`` (Theorem 3).  All
+arithmetic uses native bignums, so any level is representable.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+RESERVE = "R"
+
+
+@lru_cache(maxsize=None)
+def level_constant(i: int) -> int:
+    """``N_i`` — the invariant sum ``x_i + x̄_i = y_i + ȳ_i = N_i``."""
+    if i < 1:
+        raise ValueError("levels are numbered from 1")
+    if i == 1:
+        return 1
+    previous = level_constant(i - 1)
+    return (previous + 1) ** 2
+
+
+def threshold(n: int) -> int:
+    """``k_n = 2·Σ_{i=1}^n N_i`` — the threshold decided with n levels."""
+    if n < 1:
+        raise ValueError("need at least one level")
+    return 2 * sum(level_constant(i) for i in range(1, n + 1))
+
+
+def double_exponential_lower_bound(n: int) -> int:
+    """The guarantee of Theorem 3: ``k_n ≥ 2^(2^(n-1))``."""
+    return 2 ** (2 ** (n - 1))
+
+
+def x(i: int) -> str:
+    return f"x{i}"
+
+
+def xbar(i: int) -> str:
+    return f"xb{i}"
+
+
+def y(i: int) -> str:
+    return f"y{i}"
+
+
+def ybar(i: int) -> str:
+    return f"yb{i}"
+
+
+def bar(register: str) -> str:
+    """The complement register (the paper identifies x̄̄ with x)."""
+    if register == RESERVE:
+        raise ValueError("R has no complement")
+    if register.startswith("xb"):
+        return "x" + register[2:]
+    if register.startswith("yb"):
+        return "y" + register[2:]
+    if register.startswith("x"):
+        return "xb" + register[1:]
+    if register.startswith("y"):
+        return "yb" + register[1:]
+    raise ValueError(f"not a level register: {register!r}")
+
+
+def level_of(register: str) -> int:
+    """The level a register belongs to (R is level n+1 by convention and
+    raises here; callers handle it explicitly)."""
+    if register == RESERVE:
+        raise ValueError("R is the level-(n+1) register")
+    digits = register.lstrip("xyb")
+    return int(digits)
+
+
+def level_registers(i: int) -> Tuple[str, str, str, str]:
+    """``Q_i = (x_i, x̄_i, y_i, ȳ_i)``."""
+    return (x(i), xbar(i), y(i), ybar(i))
+
+
+def all_registers(n: int) -> List[str]:
+    """``Q_1 ∪ … ∪ Q_n ∪ {R}`` in a stable order."""
+    registers: List[str] = []
+    for i in range(1, n + 1):
+        registers.extend(level_registers(i))
+    registers.append(RESERVE)
+    return registers

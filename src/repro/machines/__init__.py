@@ -1,0 +1,48 @@
+"""Population machines (Section 7.1–7.2 of the paper)."""
+
+from repro.machines.machine import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    BOX,
+    CF,
+    DetectInstr,
+    IP,
+    Instruction,
+    MachineConfiguration,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    pretty_print,
+    register_map_pointer,
+)
+from repro.machines.interpreter import (
+    MachineRunResult,
+    decide_machine,
+    machine_step,
+    machine_successors,
+    run_machine,
+)
+from repro.machines.lowering import lower_program, procedure_pointer
+
+__all__ = [
+    "PopulationMachine",
+    "MachineConfiguration",
+    "MoveInstr",
+    "DetectInstr",
+    "AssignInstr",
+    "Instruction",
+    "OF",
+    "CF",
+    "IP",
+    "BOX",
+    "BOOL_DOMAIN",
+    "register_map_pointer",
+    "procedure_pointer",
+    "pretty_print",
+    "machine_step",
+    "machine_successors",
+    "run_machine",
+    "decide_machine",
+    "MachineRunResult",
+    "lower_program",
+]

@@ -1,0 +1,209 @@
+"""Executing population machines (Definition 13), randomized-fair.
+
+:func:`machine_step` implements one step of the ``→`` relation with the
+``detect`` nondeterminism resolved by coin flip; :func:`run_machine` and
+:func:`decide_machine` mirror the program-level drivers, using the same
+quiet-period criterion (no output change and no pass through the restart
+helper for a long stretch).
+
+:func:`machine_successors` enumerates *all* successors of a configuration
+(both detect outcomes), which the conversion tests use for lockstep
+machine ↔ protocol co-simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.errors import InvalidMachineError, NonConvergenceError
+from repro.machines.machine import (
+    AssignInstr,
+    CF,
+    DetectInstr,
+    IP,
+    MachineConfiguration,
+    MoveInstr,
+    PopulationMachine,
+)
+
+
+def machine_successors(
+    machine: PopulationMachine, config: MachineConfiguration
+) -> List[MachineConfiguration]:
+    """All proper successors of ``config`` (empty list ⇒ the machine hangs
+    and the configuration self-loops)."""
+    instr = machine.instruction_at(config.ip)
+    successors: List[MachineConfiguration] = []
+    if isinstance(instr, MoveInstr):
+        src = config.resolve(instr.x)
+        dst = config.resolve(instr.y)
+        if src == dst:
+            raise InvalidMachineError(
+                "register map aliased a move's operands (corrupt lowering)"
+            )
+        if config.registers[src] > 0 and config.ip < machine.length:
+            nxt = config.copy()
+            nxt.registers[src] -= 1
+            nxt.registers[dst] += 1
+            nxt.pointers[IP] = config.ip + 1
+            successors.append(nxt)
+    elif isinstance(instr, DetectInstr):
+        if config.ip < machine.length:
+            actual = config.registers[config.resolve(instr.x)] > 0
+            for outcome in {False, actual}:
+                nxt = config.copy()
+                nxt.pointers[CF] = outcome
+                nxt.pointers[IP] = config.ip + 1
+                successors.append(nxt)
+    elif isinstance(instr, AssignInstr):
+        value = instr.mapping[config.pointers[instr.source]]
+        if instr.target == IP:
+            nxt = config.copy()
+            nxt.pointers[IP] = value
+            successors.append(nxt)
+        elif config.ip < machine.length:
+            nxt = config.copy()
+            nxt.pointers[instr.target] = value
+            nxt.pointers[IP] = config.ip + 1
+            successors.append(nxt)
+    else:  # pragma: no cover - machine validation forbids this
+        raise InvalidMachineError(f"unknown instruction {instr!r}")
+    return successors
+
+
+def machine_step(
+    machine: PopulationMachine,
+    config: MachineConfiguration,
+    rng: random.Random,
+    detect_true_probability: float = 0.75,
+) -> bool:
+    """Execute one instruction *in place*; returns False when the machine
+    hangs (no proper successor exists)."""
+    instr = machine.instruction_at(config.ip)
+    if isinstance(instr, MoveInstr):
+        src = config.resolve(instr.x)
+        dst = config.resolve(instr.y)
+        if src == dst:
+            raise InvalidMachineError(
+                "register map aliased a move's operands (corrupt lowering)"
+            )
+        if config.registers[src] == 0 or config.ip >= machine.length:
+            return False
+        config.registers[src] -= 1
+        config.registers[dst] += 1
+        config.pointers[IP] = config.ip + 1
+        return True
+    if isinstance(instr, DetectInstr):
+        if config.ip >= machine.length:
+            return False
+        actual = config.registers[config.resolve(instr.x)] > 0
+        config.pointers[CF] = actual and rng.random() < detect_true_probability
+        config.pointers[IP] = config.ip + 1
+        return True
+    if isinstance(instr, AssignInstr):
+        value = instr.mapping[config.pointers[instr.source]]
+        if instr.target == IP:
+            config.pointers[IP] = value
+            return True
+        if config.ip >= machine.length:
+            return False
+        config.pointers[instr.target] = value
+        config.pointers[IP] = config.ip + 1
+        return True
+    raise InvalidMachineError(f"unknown instruction {instr!r}")
+
+
+@dataclass
+class MachineRunResult:
+    """Observable outcome of a sampled machine run prefix."""
+
+    config: MachineConfiguration
+    output: bool
+    steps: int
+    restarts: int
+    hung: bool
+    quiet_steps: int
+    of_trace: List[Tuple[int, bool]] = field(default_factory=list)
+
+
+def run_machine(
+    machine: PopulationMachine,
+    register_values: Mapping[str, int],
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    detect_true_probability: float = 0.75,
+    max_steps: int = 1_000_000,
+    quiet_window: Optional[int] = None,
+    initial: Optional[MachineConfiguration] = None,
+) -> MachineRunResult:
+    """Sample a run from an initial configuration (or ``initial``).
+
+    Stops on hang, on ``quiet_window`` steps without an output change or a
+    pass through the restart helper, or on ``max_steps``.
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    config = initial.copy() if initial is not None else machine.initial_configuration(
+        register_values
+    )
+    steps = 0
+    restarts = 0
+    last_event = 0
+    hung = False
+    of_trace: List[Tuple[int, bool]] = []
+    previous_of = config.output
+    while steps < max_steps:
+        if quiet_window is not None and steps - last_event >= quiet_window:
+            break
+        if not machine_step(machine, config, rng, detect_true_probability):
+            hung = True
+            break
+        steps += 1
+        if config.output != previous_of:
+            previous_of = config.output
+            of_trace.append((steps, previous_of))
+            last_event = steps
+        if machine.restart_entry is not None and config.ip == machine.restart_entry:
+            restarts += 1
+            last_event = steps
+    return MachineRunResult(
+        config=config,
+        output=config.output,
+        steps=steps,
+        restarts=restarts,
+        hung=hung,
+        quiet_steps=steps - last_event,
+        of_trace=of_trace,
+    )
+
+
+def decide_machine(
+    machine: PopulationMachine,
+    register_values: Mapping[str, int],
+    *,
+    seed: Optional[int] = None,
+    detect_true_probability: float = 0.75,
+    quiet_window: int = 100_000,
+    max_steps: int = 20_000_000,
+    strict: bool = True,
+) -> bool:
+    """Quiet-period decision, mirroring
+    :func:`repro.programs.interpreter.decide_program`."""
+    result = run_machine(
+        machine,
+        register_values,
+        seed=seed,
+        detect_true_probability=detect_true_probability,
+        max_steps=max_steps,
+        quiet_window=quiet_window,
+    )
+    if result.hung or result.quiet_steps >= quiet_window:
+        return result.output
+    if strict:
+        raise NonConvergenceError(
+            f"machine did not reach a quiet period within {max_steps} steps"
+        )
+    return result.output

@@ -1,0 +1,396 @@
+"""Compiling population programs to population machines (§7.2, App. B.2).
+
+The translation is the classical structured-programming-to-goto lowering,
+specialised to the machine's three instruction kinds:
+
+* ``if`` / ``while`` — conditions are evaluated short-circuit; atomic
+  conditions leave their truth in ``CF`` and a conditional jump
+  ``IP := f(CF)`` branches (Figure 5);
+* procedure calls — each procedure ``P`` gets a pointer whose domain is its
+  set of return addresses; a call stores the return address and jumps, a
+  return jumps indirectly through the pointer (Figure 6).  Return *values*
+  travel in ``CF``;
+* ``swap x, y`` — three register-map assignments
+  ``V_□ := V_x; V_x := V_y; V_y := V_□`` (Figure 3).  Register-map domains
+  are pruned to the swap components, so ``Σ_x |𝓕_{V_x}|`` matches the
+  program's swap-size;
+* ``restart`` — a jump into a single shared helper that nondeterministically
+  redistributes all registers through a hub register and then jumps back to
+  address 1 (Figure 7);
+* the machine starts with a synthetic preamble ``1: P_Main := 3;
+  2: IP := start(Main); 3: IP := 3`` — call Main, then spin forever should
+  it ever return.
+
+Proposition 14: the resulting machine has size O(program size); verified
+empirically in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import InvalidProgramError
+from repro.machines.machine import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    BOX,
+    CF,
+    DetectInstr,
+    IP,
+    Instruction,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    register_map_pointer,
+)
+from repro.programs.ast import (
+    And,
+    CallExpr,
+    CallStmt,
+    Condition,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    PopulationProgram,
+    Restart,
+    Return,
+    SetOutput,
+    Statement,
+    Swap,
+    While,
+)
+from repro.programs.size import swap_components
+from repro.programs.validate import validate_program
+
+
+class _Label:
+    """A forward-referencable instruction address."""
+
+    __slots__ = ("address",)
+
+    def __init__(self) -> None:
+        self.address: Optional[int] = None
+
+
+@dataclass
+class _PendingJump:
+    """Placeholder: ``IP := target``."""
+
+    target: _Label
+
+
+@dataclass
+class _PendingBranch:
+    """Placeholder: ``IP := (true_target if CF else false_target)``."""
+
+    true_target: _Label
+    false_target: _Label
+
+
+@dataclass
+class _PendingCall:
+    """Placeholder: set the callee's return pointer, then jump to it."""
+
+    procedure: str
+    return_label: _Label
+
+
+@dataclass
+class _PendingReturn:
+    """Placeholder: ``IP := P_proc`` (indirect return)."""
+
+    procedure: str
+
+
+_Pending = Union[Instruction, _PendingJump, _PendingBranch, _PendingCall, _PendingReturn]
+
+
+def procedure_pointer(name: str) -> str:
+    """The return-address pointer for procedure ``name``."""
+    return f"P[{name}]"
+
+
+class _Lowerer:
+    def __init__(self, program: PopulationProgram):
+        validate_program(program)
+        self.program = program
+        self.code: List[_Pending] = []
+        self.starts: Dict[str, _Label] = {
+            name: _Label() for name in program.procedures
+        }
+        self.return_sites: Dict[str, List[_Label]] = {
+            name: [] for name in program.procedures
+        }
+        self.restart_label: Optional[_Label] = None
+        self.components = swap_components(program)
+        self._needs_restart = False
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+    def _emit(self, item: _Pending) -> int:
+        self.code.append(item)
+        return len(self.code)  # 1-based address of the emitted instruction
+
+    def _here(self) -> int:
+        return len(self.code) + 1
+
+    def _bind(self, label: _Label) -> None:
+        label.address = self._here()
+
+    def _emit_call(self, procedure: str) -> None:
+        if procedure not in self.program.procedures:
+            raise InvalidProgramError(f"call to undefined procedure {procedure!r}")
+        return_label = _Label()
+        self.return_sites[procedure].append(return_label)
+        self._emit(_PendingCall(procedure, return_label))
+        self._emit(_PendingJump(self.starts[procedure]))
+        self._bind(return_label)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _compile_block(self, body: Tuple[Statement, ...], proc_name: str) -> None:
+        for stmt in body:
+            self._compile_statement(stmt, proc_name)
+
+    def _compile_statement(self, stmt: Statement, proc_name: str) -> None:
+        if isinstance(stmt, Move):
+            self._emit(MoveInstr(stmt.src, stmt.dst))
+        elif isinstance(stmt, Swap):
+            va = register_map_pointer(stmt.a)
+            vb = register_map_pointer(stmt.b)
+            vbox = register_map_pointer(BOX)
+            self._emit(AssignInstr(vbox, va, self._identity_map(stmt.a, BOX)))
+            self._emit(AssignInstr(va, vb, self._identity_map(stmt.b, stmt.a)))
+            self._emit(AssignInstr(vb, vbox, self._identity_map(BOX, stmt.b)))
+        elif isinstance(stmt, SetOutput):
+            self._emit(AssignInstr(OF, OF, {False: stmt.value, True: stmt.value}))
+        elif isinstance(stmt, Restart):
+            self._needs_restart = True
+            if self.restart_label is None:
+                self.restart_label = _Label()
+            self._emit(_PendingJump(self.restart_label))
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._emit(AssignInstr(CF, CF, {False: stmt.value, True: stmt.value}))
+            self._emit(_PendingReturn(proc_name))
+        elif isinstance(stmt, CallStmt):
+            self._emit_call(stmt.procedure)
+        elif isinstance(stmt, If):
+            then_label, else_label, end_label = _Label(), _Label(), _Label()
+            self._compile_condition(stmt.condition, then_label, else_label)
+            self._bind(then_label)
+            self._compile_block(stmt.then_body, proc_name)
+            self._emit(_PendingJump(end_label))
+            self._bind(else_label)
+            self._compile_block(stmt.else_body, proc_name)
+            self._bind(end_label)
+        elif isinstance(stmt, While):
+            head_label, body_label, end_label = _Label(), _Label(), _Label()
+            self._bind(head_label)
+            self._compile_condition(stmt.condition, body_label, end_label)
+            self._bind(body_label)
+            self._compile_block(stmt.body, proc_name)
+            self._emit(_PendingJump(head_label))
+            self._bind(end_label)
+        else:
+            raise InvalidProgramError(f"unknown statement {stmt!r}")
+
+    # ------------------------------------------------------------------
+    # Conditions (short-circuit, Figure 5)
+    # ------------------------------------------------------------------
+    def _compile_condition(
+        self, condition: Condition, true_label: _Label, false_label: _Label
+    ) -> None:
+        if isinstance(condition, Const):
+            self._emit(_PendingJump(true_label if condition.value else false_label))
+        elif isinstance(condition, Detect):
+            self._emit(DetectInstr(condition.register))
+            self._emit(_PendingBranch(true_label, false_label))
+        elif isinstance(condition, CallExpr):
+            self._emit_call(condition.procedure)
+            self._emit(_PendingBranch(true_label, false_label))
+        elif isinstance(condition, Not):
+            self._compile_condition(condition.inner, false_label, true_label)
+        elif isinstance(condition, And):
+            middle = _Label()
+            self._compile_condition(condition.left, middle, false_label)
+            self._bind(middle)
+            self._compile_condition(condition.right, true_label, false_label)
+        elif isinstance(condition, Or):
+            middle = _Label()
+            self._compile_condition(condition.left, true_label, middle)
+            self._bind(middle)
+            self._compile_condition(condition.right, true_label, false_label)
+        else:
+            raise InvalidProgramError(f"unknown condition {condition!r}")
+
+    # ------------------------------------------------------------------
+    # Register-map domains
+    # ------------------------------------------------------------------
+    def _component_of(self, register: str) -> Tuple[str, ...]:
+        for members in self.components.values():
+            if register in members:
+                return members
+        return (register,)
+
+    def _box_domain(self) -> Tuple[str, ...]:
+        union: List[str] = []
+        for members in self.components.values():
+            union.extend(members)
+        if not union:
+            union = [self.program.registers[0]]
+        return tuple(sorted(set(union)))
+
+    def _identity_map(self, source_reg: str, target_reg: str) -> Dict[str, str]:
+        """Identity over the source pointer's domain, clamped into the
+        target pointer's domain.
+
+        When swap components partition the registers, the temporary's
+        domain is their union; values outside the target's component are
+        unreachable at runtime (a swap only moves values within one
+        component) and are clamped to keep the tabulated map well-typed.
+        """
+        source_domain = (
+            self._box_domain() if source_reg == BOX else self._component_of(source_reg)
+        )
+        target_domain = set(
+            self._box_domain() if target_reg == BOX else self._component_of(target_reg)
+        )
+        fallback = target_reg if target_reg != BOX else next(iter(sorted(target_domain)))
+        return {
+            value: (value if value in target_domain else fallback)
+            for value in source_domain
+        }
+
+    # ------------------------------------------------------------------
+    # Restart helper (Figure 7)
+    # ------------------------------------------------------------------
+    def _emit_restart_helper(self) -> int:
+        assert self.restart_label is not None
+        entry = self._here()
+        self._bind(self.restart_label)
+        hub = self.program.registers[0]
+        pairs = [(reg, hub) for reg in self.program.registers if reg != hub]
+        pairs += [(hub, reg) for reg in self.program.registers if reg != hub]
+        for src, dst in pairs:
+            head, body, end = _Label(), _Label(), _Label()
+            self._bind(head)
+            self._emit(DetectInstr(src))
+            self._emit(_PendingBranch(body, end))
+            self._bind(body)
+            self._emit(MoveInstr(src, dst))
+            self._emit(_PendingJump(head))
+            self._bind(end)
+        # The residual restart instruction becomes IP := 1 (App. B.2).
+        self._emit(AssignInstr(IP, CF, {False: 1, True: 1}))
+        return entry
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def lower(self, name: str) -> PopulationMachine:
+        # Preamble: call Main, then spin forever if it returns (B.2).
+        main = self.program.main
+        spin_label = _Label()
+        main_return = _Label()
+        self.return_sites[main].append(main_return)
+        self._emit(_PendingCall(main, main_return))
+        self._emit(_PendingJump(self.starts[main]))
+        self._bind(main_return)
+        self._bind(spin_label)
+        self._emit(_PendingJump(spin_label))
+
+        for proc_name, proc in self.program.procedures.items():
+            self._bind(self.starts[proc_name])
+            self._compile_block(proc.body, proc_name)
+            # Fall-through: implicit plain return.
+            self._emit(_PendingReturn(proc_name))
+
+        restart_entry: Optional[int] = None
+        if self._needs_restart:
+            restart_entry = self._emit_restart_helper()
+
+        return self._assemble(name, restart_entry)
+
+    def _assemble(self, name: str, restart_entry: Optional[int]) -> PopulationMachine:
+        length = len(self.code)
+        proc_domains: Dict[str, Tuple[int, ...]] = {}
+        for proc_name, sites in self.return_sites.items():
+            addresses = sorted({site.address for site in sites if site.address})
+            proc_domains[proc_name] = tuple(addresses) if addresses else (1,)
+
+        def resolve(label: _Label) -> int:
+            if label.address is None:
+                raise InvalidProgramError("unresolved label during lowering")
+            if label.address > length:
+                # A label bound past the end (e.g. the end label of a
+                # trailing infinite loop) — point it at the spin loop.
+                return 3
+            return label.address
+
+        instructions: List[Instruction] = []
+        for item in self.code:
+            if isinstance(item, _PendingJump):
+                target = resolve(item.target)
+                instructions.append(
+                    AssignInstr(IP, CF, {False: target, True: target})
+                )
+            elif isinstance(item, _PendingBranch):
+                instructions.append(
+                    AssignInstr(
+                        IP,
+                        CF,
+                        {
+                            True: resolve(item.true_target),
+                            False: resolve(item.false_target),
+                        },
+                    )
+                )
+            elif isinstance(item, _PendingCall):
+                pointer = procedure_pointer(item.procedure)
+                ret = resolve(item.return_label)
+                domain = proc_domains[item.procedure]
+                instructions.append(
+                    AssignInstr(pointer, pointer, {value: ret for value in domain})
+                )
+            elif isinstance(item, _PendingReturn):
+                pointer = procedure_pointer(item.procedure)
+                domain = proc_domains[item.procedure]
+                instructions.append(
+                    AssignInstr(IP, pointer, {value: value for value in domain})
+                )
+            else:
+                instructions.append(item)
+
+        pointer_domains: Dict[str, Tuple[object, ...]] = {
+            OF: BOOL_DOMAIN,
+            CF: BOOL_DOMAIN,
+            IP: tuple(range(1, length + 1)),
+        }
+        for reg in self.program.registers:
+            pointer_domains[register_map_pointer(reg)] = self._component_of(reg)
+        pointer_domains[register_map_pointer(BOX)] = self._box_domain()
+        for proc_name, domain in proc_domains.items():
+            pointer_domains[procedure_pointer(proc_name)] = domain
+
+        return PopulationMachine(
+            registers=tuple(self.program.registers),
+            pointer_domains=pointer_domains,
+            instructions=tuple(instructions),
+            restart_entry=restart_entry,
+            name=name,
+        )
+
+
+def lower_program(
+    program: PopulationProgram, name: str = "machine"
+) -> PopulationMachine:
+    """Compile a population program into an equivalent population machine
+    (Proposition 14: size O(program size))."""
+    return _Lowerer(program).lower(name)

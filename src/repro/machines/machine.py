@@ -1,0 +1,255 @@
+"""Population machines (Definition 6) and their semantics (Definition 13).
+
+A population machine ``A = (Q, F, 𝓕, 𝓘)`` has
+
+* registers ``Q`` with values in ℕ,
+* pointers ``F``, each with a finite domain ``𝓕_X``; three are special:
+  the output flag ``OF`` and condition flag ``CF`` (domains
+  ``{false, true}``) and the instruction pointer ``IP`` (domain
+  ``{1, …, L}``); additionally each register ``x`` (and the temporary
+  ``□``) has a register-map pointer ``V_x`` with ``x ∈ 𝓕_{V_x} ⊆ Q``,
+* a sequence of instructions of three kinds: ``x ↦ y``,
+  ``detect x > 0``, and the pointer assignment ``X := f(Y)``.
+
+Size is ``|Q| + |F| + Σ_X |𝓕_X| + |𝓘|``.
+
+Semantics (Definition 13): ``move`` and ``detect`` address registers
+*through the register map* (``C(V_x)``); ``detect`` sets ``CF``
+nondeterministically to ``false`` or to the actual nonzero-ness; a
+configuration with no proper successor (a move from an empty register, or
+stepping past the last instruction) self-loops, i.e. the machine *hangs*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import InvalidMachineError
+
+OF = "OF"
+CF = "CF"
+IP = "IP"
+BOX = "#"  # the paper's □ (temporary used by swap lowering)
+
+
+def register_map_pointer(register: str) -> str:
+    """The pointer ``V_x`` holding the register ``x`` currently refers to."""
+    return f"V[{register}]"
+
+
+@dataclass(frozen=True)
+class MoveInstr:
+    """``x ↦ y`` — move one unit from ``C(V_x)`` to ``C(V_y)``."""
+
+    x: str
+    y: str
+
+    def __str__(self) -> str:
+        return f"{self.x} -> {self.y}"
+
+
+@dataclass(frozen=True)
+class DetectInstr:
+    """``detect x > 0`` — set ``CF`` to ``false`` or to ``C(C(V_x)) > 0``."""
+
+    x: str
+
+    def __str__(self) -> str:
+        return f"detect {self.x} > 0"
+
+
+@dataclass(frozen=True)
+class AssignInstr:
+    """``X := f(Y)`` — general pointer assignment; implements all control
+    flow.  ``mapping`` tabulates ``f`` over ``𝓕_Y``."""
+
+    target: str
+    source: str
+    mapping: Mapping[object, object]
+
+    def __post_init__(self):
+        object.__setattr__(self, "mapping", MappingProxyType(dict(self.mapping)))
+
+    def __str__(self) -> str:
+        if len(set(self.mapping.values())) == 1:
+            value = next(iter(self.mapping.values()))
+            return f"{self.target} := {value!r}"
+        return f"{self.target} := f({self.source})"
+
+    def __hash__(self):
+        return hash((self.target, self.source, tuple(sorted(self.mapping.items(), key=repr))))
+
+
+Instruction = Union[MoveInstr, DetectInstr, AssignInstr]
+
+BOOL_DOMAIN = (False, True)
+
+
+@dataclass
+class PopulationMachine:
+    """A population machine per Definition 6.
+
+    ``pointer_domains`` must include OF, CF, IP and one register-map
+    pointer per register plus the temporary ``V[#]``.  ``instructions``
+    are 1-indexed through pointer values (``instructions[0]`` is
+    instruction 1).  ``restart_entry`` is compiler metadata: the address of
+    the restart helper, used by drivers to count restarts (it does not
+    affect semantics).
+    """
+
+    registers: Tuple[str, ...]
+    pointer_domains: Dict[str, Tuple[object, ...]]
+    instructions: Tuple[Instruction, ...]
+    restart_entry: Optional[int] = None
+    name: str = "machine"
+
+    def __post_init__(self) -> None:
+        self.registers = tuple(self.registers)
+        self.instructions = tuple(self.instructions)
+        self.pointer_domains = {
+            pointer: tuple(domain)
+            for pointer, domain in self.pointer_domains.items()
+        }
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        L = len(self.instructions)
+        if L == 0:
+            raise InvalidMachineError("a machine needs at least one instruction")
+        domains = self.pointer_domains
+        for special, expected in ((OF, BOOL_DOMAIN), (CF, BOOL_DOMAIN)):
+            if tuple(domains.get(special, ())) != expected:
+                raise InvalidMachineError(f"{special} must have domain {expected}")
+        if tuple(domains.get(IP, ())) != tuple(range(1, L + 1)):
+            raise InvalidMachineError("IP domain must be {1, …, L}")
+        for reg in self.registers + (BOX,):
+            pointer = register_map_pointer(reg)
+            domain = domains.get(pointer)
+            if domain is None:
+                raise InvalidMachineError(f"missing register-map pointer {pointer}")
+            if not set(domain) <= set(self.registers):
+                raise InvalidMachineError(f"{pointer} domain must be ⊆ Q")
+            if reg != BOX and reg not in domain:
+                raise InvalidMachineError(f"{reg!r} must be in the domain of {pointer}")
+        for pointer, domain in domains.items():
+            if not domain:
+                raise InvalidMachineError(f"empty domain for pointer {pointer}")
+        for index, instr in enumerate(self.instructions, start=1):
+            if isinstance(instr, MoveInstr):
+                if instr.x == instr.y:
+                    raise InvalidMachineError(f"{index}: move with x = y")
+                for reg in (instr.x, instr.y):
+                    if reg not in self.registers:
+                        raise InvalidMachineError(
+                            f"{index}: unknown register {reg!r}"
+                        )
+            elif isinstance(instr, DetectInstr):
+                if instr.x not in self.registers:
+                    raise InvalidMachineError(f"{index}: unknown register {instr.x!r}")
+            elif isinstance(instr, AssignInstr):
+                if instr.target not in domains or instr.source not in domains:
+                    raise InvalidMachineError(f"{index}: unknown pointer in {instr}")
+                source_domain = set(domains[instr.source])
+                target_domain = set(domains[instr.target])
+                if set(instr.mapping) != source_domain:
+                    raise InvalidMachineError(
+                        f"{index}: mapping keys must equal the source domain"
+                    )
+                if not set(instr.mapping.values()) <= target_domain:
+                    raise InvalidMachineError(
+                        f"{index}: mapping values outside the target domain"
+                    )
+            else:
+                raise InvalidMachineError(f"{index}: unknown instruction {instr!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def pointers(self) -> Tuple[str, ...]:
+        return tuple(self.pointer_domains)
+
+    @property
+    def length(self) -> int:
+        """``L`` — number of instructions."""
+        return len(self.instructions)
+
+    def instruction_at(self, address: int) -> Instruction:
+        return self.instructions[address - 1]
+
+    def size(self) -> int:
+        """Definition 6: ``|Q| + |F| + Σ_X |𝓕_X| + |𝓘|``."""
+        return (
+            len(self.registers)
+            + len(self.pointer_domains)
+            + sum(len(domain) for domain in self.pointer_domains.values())
+            + len(self.instructions)
+        )
+
+    # ------------------------------------------------------------------
+    def initial_configuration(
+        self, register_values: Mapping[str, int]
+    ) -> "MachineConfiguration":
+        """An initial configuration (Definition 13): ``IP = 1``, identity
+        register map; other pointers take their first domain value (the
+        model allows any — see :meth:`arbitrary_configuration`)."""
+        pointers: Dict[str, object] = {}
+        for pointer, domain in self.pointer_domains.items():
+            pointers[pointer] = domain[0]
+        pointers[IP] = 1
+        pointers[OF] = False
+        pointers[CF] = False
+        for reg in self.registers:
+            pointers[register_map_pointer(reg)] = reg
+        registers = {reg: 0 for reg in self.registers}
+        for reg, value in register_values.items():
+            if reg not in registers:
+                raise InvalidMachineError(f"unknown register {reg!r}")
+            if value < 0:
+                raise InvalidMachineError("register values must be nonnegative")
+            registers[reg] = value
+        return MachineConfiguration(registers=registers, pointers=pointers)
+
+
+@dataclass
+class MachineConfiguration:
+    """A machine configuration: register values plus pointer values."""
+
+    registers: Dict[str, int]
+    pointers: Dict[str, object]
+
+    @property
+    def ip(self) -> int:
+        return self.pointers[IP]
+
+    @property
+    def output(self) -> bool:
+        return self.pointers[OF]
+
+    @property
+    def total(self) -> int:
+        return sum(self.registers.values())
+
+    def resolve(self, register: str) -> str:
+        """The actual register the name refers to via the register map."""
+        return self.pointers[register_map_pointer(register)]
+
+    def copy(self) -> "MachineConfiguration":
+        return MachineConfiguration(dict(self.registers), dict(self.pointers))
+
+    def freeze(self) -> Tuple[frozenset, frozenset]:
+        return (
+            frozenset(self.registers.items()),
+            frozenset(self.pointers.items()),
+        )
+
+
+def pretty_print(machine: PopulationMachine) -> str:
+    """A human-readable disassembly of the instruction sequence."""
+    lines = [f"machine {machine.name}: |Q|={len(machine.registers)}, "
+             f"L={machine.length}, size={machine.size()}"]
+    for index, instr in enumerate(machine.instructions, start=1):
+        marker = " <- restart helper" if index == machine.restart_entry else ""
+        lines.append(f"{index:4d}: {instr}{marker}")
+    return "\n".join(lines)

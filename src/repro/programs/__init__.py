@@ -1,0 +1,120 @@
+"""Population programs (Section 4 of the paper)."""
+
+from repro.programs.ast import (
+    And,
+    CallExpr,
+    CallStmt,
+    Condition,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    PopulationProgram,
+    Procedure,
+    Restart,
+    Return,
+    SetOutput,
+    Statement,
+    Swap,
+    While,
+)
+from repro.programs.builder import for_loop, procedure, program, seq, while_true
+from repro.programs.examples import (
+    figure1_predicate,
+    figure1_program,
+    interval_program,
+    simple_threshold_predicate,
+    simple_threshold_program,
+)
+from repro.programs.interpreter import (
+    ProcedureOutcome,
+    ProgramInterpreter,
+    RunResult,
+    call_procedure,
+    decide_program,
+    run_program,
+)
+from repro.programs.restart import (
+    AdversarialRestart,
+    CanonicalRestart,
+    MixtureRestart,
+    RestartPolicy,
+    UniformRestart,
+    uniform_composition,
+)
+from repro.programs.pretty import (
+    render_condition,
+    render_procedure,
+    render_program,
+)
+from repro.programs.size import (
+    ProgramSize,
+    instruction_count,
+    program_size,
+    swap_components,
+    swap_size,
+)
+from repro.programs.validate import call_graph, topological_order, validate_program
+
+__all__ = [
+    # AST
+    "PopulationProgram",
+    "Procedure",
+    "Statement",
+    "Condition",
+    "Move",
+    "Swap",
+    "SetOutput",
+    "Restart",
+    "Return",
+    "CallStmt",
+    "If",
+    "While",
+    "Detect",
+    "CallExpr",
+    "Const",
+    "Not",
+    "And",
+    "Or",
+    # Builder
+    "program",
+    "procedure",
+    "seq",
+    "for_loop",
+    "while_true",
+    # Size
+    "ProgramSize",
+    "program_size",
+    "instruction_count",
+    "swap_size",
+    "swap_components",
+    # Validation
+    "validate_program",
+    "call_graph",
+    "topological_order",
+    # Interpreter
+    "ProgramInterpreter",
+    "RunResult",
+    "run_program",
+    "decide_program",
+    "call_procedure",
+    "ProcedureOutcome",
+    # Restart policies
+    "RestartPolicy",
+    "UniformRestart",
+    "CanonicalRestart",
+    "MixtureRestart",
+    "AdversarialRestart",
+    "uniform_composition",
+    "render_program",
+    "render_procedure",
+    "render_condition",
+    # Examples
+    "figure1_program",
+    "figure1_predicate",
+    "interval_program",
+    "simple_threshold_program",
+    "simple_threshold_predicate",
+]

@@ -1,0 +1,262 @@
+"""Abstract syntax for population programs (Section 4 of the paper).
+
+A population program is a pair ``P = (Q, Proc)`` of registers and
+procedures.  Procedures contain (possibly nested) while-loops,
+if-statements and the primitive instructions
+
+* ``move`` (``x ↦ y``) — move one unit; hangs if ``x`` is empty,
+* ``detect x > 0`` — nondeterministic nonzero check (may always answer
+  *false*; an answer of *true* certifies ``x > 0``),
+* ``swap x, y`` — exchange register values,
+* ``OF := b`` — set the output flag,
+* ``restart`` — restart at Main with a nondeterministically chosen register
+  configuration of the same total,
+* procedure calls (acyclic, no arguments; parameterised *copies* of a
+  procedure are distinct procedures, e.g. ``Test(4)`` and ``Test(7)``),
+* ``return`` / ``return b`` — leave the current procedure.
+
+Conditions of ``while``/``if`` are boolean expressions over ``detect`` and
+boolean-returning calls, combined with short-circuit ``¬``, ``∧``, ``∨``.
+The paper treats for-loops as macros that expand into copies of their body;
+:func:`repro.programs.builder.for_loop` performs that expansion, so the AST
+itself has no for-node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.core.errors import InvalidProgramError
+
+# ---------------------------------------------------------------------------
+# Conditions (boolean expressions)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Detect:
+    """``detect x > 0`` used as a condition."""
+
+    register: str
+
+    def __str__(self) -> str:
+        return f"detect {self.register} > 0"
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    """A call to a boolean-returning procedure, used as a condition."""
+
+    procedure: str
+
+    def __str__(self) -> str:
+        return f"{self.procedure}()"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A boolean literal (``while true`` loops use ``Const(True)``)."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Not:
+    inner: "Condition"
+
+    def __str__(self) -> str:
+        return f"not ({self.inner})"
+
+
+@dataclass(frozen=True)
+class And:
+    """Short-circuit conjunction."""
+
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left}) and ({self.right})"
+
+
+@dataclass(frozen=True)
+class Or:
+    """Short-circuit disjunction."""
+
+    left: "Condition"
+    right: "Condition"
+
+    def __str__(self) -> str:
+        return f"({self.left}) or ({self.right})"
+
+
+Condition = Union[Detect, CallExpr, Const, Not, And, Or]
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Move:
+    """``src ↦ dst``: move one unit; hangs if ``src`` is empty."""
+
+    src: str
+    dst: str
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst}"
+
+
+@dataclass(frozen=True)
+class Swap:
+    """``swap a, b``: exchange the values of two registers."""
+
+    a: str
+    b: str
+
+    def __str__(self) -> str:
+        return f"swap {self.a}, {self.b}"
+
+
+@dataclass(frozen=True)
+class SetOutput:
+    """``OF := value``."""
+
+    value: bool
+
+    def __str__(self) -> str:
+        return f"OF := {'true' if self.value else 'false'}"
+
+
+@dataclass(frozen=True)
+class Restart:
+    """Restart the computation with a fresh initial configuration."""
+
+    def __str__(self) -> str:
+        return "restart"
+
+
+@dataclass(frozen=True)
+class Return:
+    """Leave the current procedure, optionally with a boolean value."""
+
+    value: Optional[bool] = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return "return"
+        return f"return {'true' if self.value else 'false'}"
+
+
+@dataclass(frozen=True)
+class CallStmt:
+    """Call a procedure for its effect, discarding any return value."""
+
+    procedure: str
+
+    def __str__(self) -> str:
+        return f"{self.procedure}()"
+
+
+@dataclass(frozen=True)
+class If:
+    condition: Condition
+    then_body: Tuple["Statement", ...]
+    else_body: Tuple["Statement", ...] = ()
+
+
+@dataclass(frozen=True)
+class While:
+    condition: Condition
+    body: Tuple["Statement", ...]
+
+
+Statement = Union[Move, Swap, SetOutput, Restart, Return, CallStmt, If, While]
+
+# ---------------------------------------------------------------------------
+# Procedures and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """A named procedure.  ``returns_value`` records whether calls to it may
+    be used as boolean expressions."""
+
+    name: str
+    body: Tuple[Statement, ...]
+    returns_value: bool = False
+
+
+@dataclass
+class PopulationProgram:
+    """A population program ``(Q, Proc)`` with a designated Main procedure."""
+
+    registers: Tuple[str, ...]
+    procedures: Dict[str, Procedure]
+    main: str = "Main"
+
+    def __post_init__(self) -> None:
+        if len(set(self.registers)) != len(self.registers):
+            raise InvalidProgramError("duplicate register names")
+        if self.main not in self.procedures:
+            raise InvalidProgramError(f"missing main procedure {self.main!r}")
+
+    def procedure(self, name: str) -> Procedure:
+        try:
+            return self.procedures[name]
+        except KeyError:
+            raise InvalidProgramError(f"undefined procedure {name!r}") from None
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def iter_statements(body: Tuple[Statement, ...]) -> Iterator[Statement]:
+    """Depth-first iteration over all statements in a body (incl. nested)."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from iter_statements(stmt.then_body)
+            yield from iter_statements(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from iter_statements(stmt.body)
+
+
+def iter_conditions(body: Tuple[Statement, ...]) -> Iterator[Condition]:
+    """All conditions appearing in a body, in evaluation-site order."""
+    for stmt in iter_statements(body):
+        if isinstance(stmt, (If, While)):
+            yield stmt.condition
+
+
+def condition_atoms(condition: Condition) -> Iterator[Union[Detect, CallExpr, Const]]:
+    """The atomic sub-conditions of a boolean expression."""
+    if isinstance(condition, (Detect, CallExpr, Const)):
+        yield condition
+    elif isinstance(condition, Not):
+        yield from condition_atoms(condition.inner)
+    elif isinstance(condition, (And, Or)):
+        yield from condition_atoms(condition.left)
+        yield from condition_atoms(condition.right)
+    else:
+        raise InvalidProgramError(f"unknown condition node {condition!r}")
+
+
+def called_procedures(procedure: Procedure) -> Iterator[str]:
+    """Names of procedures invoked (as statements or conditions) by
+    ``procedure``, with duplicates."""
+    for stmt in iter_statements(procedure.body):
+        if isinstance(stmt, CallStmt):
+            yield stmt.procedure
+        elif isinstance(stmt, (If, While)):
+            for atom in condition_atoms(stmt.condition):
+                if isinstance(atom, CallExpr):
+                    yield atom.procedure

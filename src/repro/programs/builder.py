@@ -1,0 +1,85 @@
+"""Convenience constructors for building population-program ASTs.
+
+The AST node constructors in :mod:`repro.programs.ast` are usable directly;
+this module adds the small amount of sugar that makes transcribing the
+paper's pseudocode pleasant:
+
+* :func:`for_loop` — the paper's for-loops are macros expanding into copies
+  of the body (Section 4, "Loops and branches");
+* :func:`while_true` — infinite loops;
+* :func:`seq` — flatten nested statement sequences into one body tuple;
+* :func:`program` — assemble and immediately validate a program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.programs.ast import (
+    Condition,
+    Const,
+    PopulationProgram,
+    Procedure,
+    Statement,
+    While,
+)
+
+Body = Union[Statement, Sequence["Body"]]
+
+
+def seq(*parts: Body) -> Tuple[Statement, ...]:
+    """Flatten statements and (nested) sequences into a single body tuple."""
+    out: List[Statement] = []
+    for part in parts:
+        if isinstance(part, (list, tuple)):
+            out.extend(seq(*part))
+        else:
+            out.append(part)
+    return tuple(out)
+
+
+def for_loop(count: int, make_body: Callable[[int], Body]) -> Tuple[Statement, ...]:
+    """Expand ``for j = 1, …, count do body(j)`` into ``count`` copies.
+
+    Mirrors the paper's definition of for-loops as macros.  ``make_body``
+    receives the 1-based iteration index, so parameterised bodies (like
+    Figure 1's ``Test(i)``) are easy to express.
+    """
+    if count < 0:
+        raise ValueError("for-loop count must be nonnegative")
+    out: List[Statement] = []
+    for j in range(1, count + 1):
+        out.extend(seq(make_body(j)))
+    return tuple(out)
+
+
+def while_true(*body: Body) -> While:
+    """``while true do …``"""
+    return While(Const(True), seq(*body))
+
+
+def procedure(name: str, *body: Body, returns_value: bool = False) -> Procedure:
+    return Procedure(name=name, body=seq(*body), returns_value=returns_value)
+
+
+def program(
+    registers: Iterable[str],
+    procedures: Iterable[Procedure],
+    main: str = "Main",
+    validate: bool = True,
+) -> PopulationProgram:
+    """Assemble a :class:`PopulationProgram` and validate it (Section 4
+    rules: acyclic calls, defined procedures, known registers)."""
+    table: Dict[str, Procedure] = {}
+    for proc in procedures:
+        if proc.name in table:
+            raise ValueError(f"duplicate procedure {proc.name!r}")
+        table[proc.name] = proc
+    prog = PopulationProgram(
+        registers=tuple(registers), procedures=table, main=main
+    )
+    if validate:
+        from repro.programs.validate import validate_program
+
+        validate_program(prog)
+    return prog

@@ -1,0 +1,94 @@
+"""Render population programs back to paper-style pseudocode.
+
+Produces listings in the style of the paper's figures (Figure 1, the
+Section 6 algorithm boxes): one procedure per block, two-space indents,
+``detect x > 0`` conditions and ``x -> y`` moves.  Useful for inspecting
+generated constructions and for documentation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.errors import InvalidProgramError
+from repro.programs.ast import (
+    And,
+    CallExpr,
+    CallStmt,
+    Condition,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    PopulationProgram,
+    Procedure,
+    Restart,
+    Return,
+    SetOutput,
+    Statement,
+    Swap,
+    While,
+)
+
+
+def render_condition(condition: Condition) -> str:
+    if isinstance(condition, (Detect, CallExpr, Const)):
+        return str(condition)
+    if isinstance(condition, Not):
+        return f"not {render_condition(condition.inner)}"
+    if isinstance(condition, And):
+        return (
+            f"({render_condition(condition.left)} and "
+            f"{render_condition(condition.right)})"
+        )
+    if isinstance(condition, Or):
+        return (
+            f"({render_condition(condition.left)} or "
+            f"{render_condition(condition.right)})"
+        )
+    raise InvalidProgramError(f"unknown condition {condition!r}")
+
+
+def _render_block(body, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if not body:
+        lines.append(f"{pad}pass")
+        return
+    for stmt in body:
+        _render_statement(stmt, indent, lines)
+
+
+def _render_statement(stmt: Statement, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    if isinstance(stmt, (Move, Swap, SetOutput, Restart, Return, CallStmt)):
+        lines.append(f"{pad}{stmt}")
+    elif isinstance(stmt, If):
+        lines.append(f"{pad}if {render_condition(stmt.condition)}:")
+        _render_block(stmt.then_body, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}else:")
+            _render_block(stmt.else_body, indent + 1, lines)
+    elif isinstance(stmt, While):
+        lines.append(f"{pad}while {render_condition(stmt.condition)}:")
+        _render_block(stmt.body, indent + 1, lines)
+    else:
+        raise InvalidProgramError(f"unknown statement {stmt!r}")
+
+
+def render_procedure(procedure: Procedure) -> str:
+    suffix = "  # returns bool" if procedure.returns_value else ""
+    lines = [f"procedure {procedure.name}:{suffix}"]
+    _render_block(procedure.body, 1, lines)
+    return "\n".join(lines)
+
+
+def render_program(program: PopulationProgram) -> str:
+    """The whole program as paper-style pseudocode (Main first)."""
+    order = [program.main] + sorted(
+        name for name in program.procedures if name != program.main
+    )
+    blocks = [f"registers: {', '.join(program.registers)}"]
+    blocks.extend(render_procedure(program.procedures[name]) for name in order)
+    return "\n\n".join(blocks)

@@ -1,0 +1,134 @@
+"""Restart policies: how ``restart`` resolves its nondeterminism.
+
+The ``restart`` instruction nondeterministically picks *any* register
+configuration with the same total (Section 4).  An executable interpreter
+must turn that into a sampling rule.  Runs sampled with any policy that
+assigns positive probability to every configuration are fair with
+probability 1; policies that steer towards specific configurations sample
+*particular* runs, which is exactly what the paper's existence proofs do
+("it is *possible* that the procedure enters a state where it cannot
+restart", Section 5.2).
+
+* :class:`UniformRestart` — uniform over all compositions of the total.
+* :class:`CanonicalRestart` — jump to a caller-supplied "good"
+  configuration (e.g. the C_m of Theorem 3's proof); the canonical choice
+  is one of the legal nondeterministic outcomes.
+* :class:`MixtureRestart` — with probability ``p`` use one policy, else
+  another (e.g. mostly uniform, occasionally canonical: fair *and*
+  convergent).
+* :class:`AdversarialRestart` — cycle through a fixed list of
+  configurations (for robustness and failure-injection tests).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+
+RegisterConfig = Dict[str, int]
+
+
+class RestartPolicy:
+    """Interface: produce the register configuration after a restart."""
+
+    def sample(
+        self,
+        total: int,
+        registers: Tuple[str, ...],
+        rng: random.Random,
+    ) -> RegisterConfig:
+        raise NotImplementedError
+
+
+def uniform_composition(
+    total: int, parts: Sequence[str], rng: random.Random
+) -> RegisterConfig:
+    """A uniformly random composition of ``total`` over ``parts``
+    (stars-and-bars sampling; works for bignum totals)."""
+    k = len(parts)
+    if k == 0:
+        if total:
+            raise ValueError("cannot distribute units over zero registers")
+        return {}
+    if k == 1:
+        return {parts[0]: total}
+    # rng.sample cannot handle bignum ranges; rejection-sample the k-1
+    # distinct divider positions instead (k is tiny, totals may be huge).
+    positions = set()
+    while len(positions) < k - 1:
+        positions.add(rng.randrange(total + k - 1))
+    dividers = sorted(positions)
+    config: RegisterConfig = {}
+    previous = -1
+    for name, divider in zip(parts, dividers):
+        config[name] = divider - previous - 1
+        previous = divider
+    config[parts[-1]] = total + k - 2 - previous
+    return config
+
+
+class UniformRestart(RestartPolicy):
+    """Uniform over all register configurations with the given total."""
+
+    def sample(self, total, registers, rng):
+        return uniform_composition(total, registers, rng)
+
+
+class CanonicalRestart(RestartPolicy):
+    """Restart directly to ``chooser(total)`` — a designated configuration.
+
+    ``chooser`` must return a dict summing to ``total`` over the program's
+    registers (missing registers default to 0).
+    """
+
+    def __init__(self, chooser: Callable[[int], Mapping[str, int]]):
+        self.chooser = chooser
+
+    def sample(self, total, registers, rng):
+        config = dict(self.chooser(total))
+        missing = set(config) - set(registers)
+        if missing:
+            raise ValueError(f"canonical restart uses unknown registers {missing}")
+        if sum(config.values()) != total:
+            raise ValueError(
+                "canonical restart configuration does not preserve the total"
+            )
+        full = {name: 0 for name in registers}
+        full.update(config)
+        return full
+
+
+class MixtureRestart(RestartPolicy):
+    """With probability ``p_first`` sample from ``first``, else ``second``."""
+
+    def __init__(self, first: RestartPolicy, second: RestartPolicy, p_first: float):
+        if not 0.0 <= p_first <= 1.0:
+            raise ValueError("p_first must be a probability")
+        self.first = first
+        self.second = second
+        self.p_first = p_first
+
+    def sample(self, total, registers, rng):
+        policy = self.first if rng.random() < self.p_first else self.second
+        return policy.sample(total, registers, rng)
+
+
+class AdversarialRestart(RestartPolicy):
+    """Cycle deterministically through a list of configurations (each must
+    sum to the run's total); used to inject hostile restarts in tests."""
+
+    def __init__(self, configurations: Sequence[Mapping[str, int]]):
+        if not configurations:
+            raise ValueError("need at least one configuration")
+        self.configurations: List[Mapping[str, int]] = list(configurations)
+        self._index = 0
+
+    def sample(self, total, registers, rng):
+        config = dict(self.configurations[self._index % len(self.configurations)])
+        self._index += 1
+        if sum(config.values()) != total:
+            raise ValueError("adversarial restart configuration has wrong total")
+        full = {name: 0 for name in registers}
+        full.update(config)
+        return full

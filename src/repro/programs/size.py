@@ -1,0 +1,121 @@
+"""The size metric of population programs (Section 4).
+
+``size(P) = |Q| + L + S`` where
+
+* ``|Q|`` is the number of registers,
+* ``L`` is the number of instructions.  We count every primitive operation
+  site: moves, swaps, output-flag assignments, restarts, returns, call
+  statements, and each atomic condition (``detect`` or boolean call) —
+  i.e. exactly the sites that lower to population-machine instructions.
+  Control-flow nodes themselves are free (they lower to constant-size jump
+  glue around their condition's atoms);
+* ``S`` is the *swap-size*: the number of ordered pairs ``(x, y)`` that can
+  syntactically end up swapped through any sequence of swap instructions.
+  This is computed as the transitive closure of the swap relation: each
+  connected component of the swap graph with ``c ≥ 2`` registers
+  contributes ``c·(c−1)`` ordered pairs.  (Paper footnote 1: without this
+  accounting, swaps would cause a quadratic state blow-up in the protocol
+  conversion.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.programs.ast import (
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    PopulationProgram,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    condition_atoms,
+    iter_statements,
+)
+
+
+@dataclass(frozen=True)
+class ProgramSize:
+    """Size decomposition ``|Q| + L + S``."""
+
+    registers: int
+    instructions: int
+    swap_size: int
+
+    @property
+    def total(self) -> int:
+        return self.registers + self.instructions + self.swap_size
+
+
+def instruction_count(program: PopulationProgram) -> int:
+    """``L`` — the number of primitive instruction sites in the program."""
+    count = 0
+    for proc in program.procedures.values():
+        for stmt in iter_statements(proc.body):
+            if isinstance(stmt, (Move, Swap, SetOutput, Restart, Return, CallStmt)):
+                count += 1
+            elif isinstance(stmt, (If, While)):
+                for atom in condition_atoms(stmt.condition):
+                    if isinstance(atom, (Detect, CallExpr)):
+                        count += 1
+                    elif isinstance(atom, Const):
+                        pass  # constants evaluate to jumps, no instruction
+    return count
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: Dict[str, str] = {}
+
+    def find(self, item: str) -> str:
+        self.parent.setdefault(item, item)
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def swap_components(program: PopulationProgram) -> Dict[str, Tuple[str, ...]]:
+    """Connected components of the swap graph, keyed by representative."""
+    uf = _UnionFind()
+    for proc in program.procedures.values():
+        for stmt in iter_statements(proc.body):
+            if isinstance(stmt, Swap):
+                uf.union(stmt.a, stmt.b)
+    groups: Dict[str, list] = {}
+    for reg in uf.parent:
+        groups.setdefault(uf.find(reg), []).append(reg)
+    return {root: tuple(sorted(members)) for root, members in groups.items()}
+
+
+def swap_size(program: PopulationProgram) -> int:
+    """``S`` — ordered pairs of registers that are transitively swappable."""
+    total = 0
+    for members in swap_components(program).values():
+        c = len(members)
+        if c >= 2:
+            total += c * (c - 1)
+    return total
+
+
+def program_size(program: PopulationProgram) -> ProgramSize:
+    """The paper's size metric ``|Q| + L + S`` with its decomposition."""
+    return ProgramSize(
+        registers=len(program.registers),
+        instructions=instruction_count(program),
+        swap_size=swap_size(program),
+    )

@@ -1,0 +1,128 @@
+"""Static validation of population programs (Section 4 well-formedness).
+
+Checks:
+
+* every called procedure is defined;
+* the call graph is acyclic (no recursion, bounded stack — a hard model
+  requirement, since the conversion stores return addresses in pointers);
+* every register mentioned by an instruction is declared;
+* ``return b`` with a value only occurs in procedures marked as returning
+  one, and calls used as conditions target value-returning procedures;
+* Main does not return a value (its "output" is the output flag).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.errors import InvalidProgramError
+from repro.programs.ast import (
+    CallExpr,
+    CallStmt,
+    Detect,
+    If,
+    Move,
+    PopulationProgram,
+    Procedure,
+    Return,
+    Swap,
+    While,
+    called_procedures,
+    condition_atoms,
+    iter_statements,
+)
+
+
+def call_graph(program: PopulationProgram) -> Dict[str, Set[str]]:
+    """Map each procedure name to the set of procedures it calls."""
+    return {
+        name: set(called_procedures(proc))
+        for name, proc in program.procedures.items()
+    }
+
+
+def topological_order(program: PopulationProgram) -> List[str]:
+    """Procedures ordered callees-first; raises on cyclic calls."""
+    graph = call_graph(program)
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    def visit(name: str, trail: List[str]) -> None:
+        if name not in program.procedures:
+            raise InvalidProgramError(f"call to undefined procedure {name!r}")
+        mark = state.get(name)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(trail + [name])
+            raise InvalidProgramError(f"cyclic procedure calls: {cycle}")
+        state[name] = 0
+        for callee in sorted(graph[name]):
+            visit(callee, trail + [name])
+        state[name] = 1
+        order.append(name)
+
+    for name in sorted(program.procedures):
+        visit(name, [])
+    return order
+
+
+def _check_registers(program: PopulationProgram, proc: Procedure) -> None:
+    known = set(program.registers)
+    for stmt in iter_statements(proc.body):
+        if isinstance(stmt, Move):
+            for reg in (stmt.src, stmt.dst):
+                if reg not in known:
+                    raise InvalidProgramError(
+                        f"{proc.name}: move uses unknown register {reg!r}"
+                    )
+            if stmt.src == stmt.dst:
+                raise InvalidProgramError(
+                    f"{proc.name}: move with identical source and target {stmt.src!r}"
+                )
+        elif isinstance(stmt, Swap):
+            for reg in (stmt.a, stmt.b):
+                if reg not in known:
+                    raise InvalidProgramError(
+                        f"{proc.name}: swap uses unknown register {reg!r}"
+                    )
+        elif isinstance(stmt, (If, While)):
+            for atom in condition_atoms(stmt.condition):
+                if isinstance(atom, Detect) and atom.register not in known:
+                    raise InvalidProgramError(
+                        f"{proc.name}: detect uses unknown register "
+                        f"{atom.register!r}"
+                    )
+
+
+def _check_returns(program: PopulationProgram, proc: Procedure) -> None:
+    for stmt in iter_statements(proc.body):
+        if isinstance(stmt, Return) and stmt.value is not None:
+            if not proc.returns_value:
+                raise InvalidProgramError(
+                    f"{proc.name}: returns a value but is not declared "
+                    "value-returning"
+                )
+        if isinstance(stmt, (If, While)):
+            for atom in condition_atoms(stmt.condition):
+                if isinstance(atom, CallExpr):
+                    callee = program.procedure(atom.procedure)
+                    if not callee.returns_value:
+                        raise InvalidProgramError(
+                            f"{proc.name}: condition calls {callee.name!r} "
+                            "which returns no value"
+                        )
+        if isinstance(stmt, CallStmt):
+            program.procedure(stmt.procedure)  # existence check
+
+
+def validate_program(program: PopulationProgram) -> None:
+    """Run all static checks; raises :class:`InvalidProgramError` on the
+    first violation."""
+    topological_order(program)  # also checks acyclicity + existence
+    main = program.procedure(program.main)
+    if main.returns_value:
+        raise InvalidProgramError("Main must not return a value")
+    for proc in program.procedures.values():
+        _check_registers(program, proc)
+        _check_returns(program, proc)

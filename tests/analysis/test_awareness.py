@@ -1,0 +1,168 @@
+"""Tests for the 1-awareness probes (X1)."""
+
+import pytest
+
+from repro.analysis import (
+    certificate_states_exact,
+    certificate_states_sampled,
+    reachable_states,
+    sampled_occupied_states,
+)
+from repro.baselines import binary_threshold_protocol, unary_threshold_protocol
+from repro.core import Multiset
+
+
+class TestReachableStates:
+    def test_unary_below_threshold_misses_witness(self):
+        k = 4
+        pp = unary_threshold_protocol(k)
+        states = reachable_states(pp, Multiset({1: k - 1}))
+        assert k not in states
+
+    def test_unary_above_threshold_hits_witness(self):
+        k = 4
+        pp = unary_threshold_protocol(k)
+        states = reachable_states(pp, Multiset({1: k}))
+        assert k in states
+
+
+class TestExactProbe:
+    def test_unary_certificate_is_witness_state(self):
+        k = 4
+        probe = certificate_states_exact(
+            unary_threshold_protocol(k),
+            lambda x: Multiset({1: x}),
+            below=range(1, k),
+            above=[k, k + 1],
+        )
+        assert probe.certificate_states == frozenset({k})
+        assert probe.is_one_aware_evidence
+
+    def test_binary_certificates_nonempty(self):
+        k = 5
+        probe = certificate_states_exact(
+            binary_threshold_protocol(k),
+            lambda x: Multiset({"p0": x}),
+            below=range(1, k),
+            above=[k, k + 2],
+        )
+        assert probe.is_one_aware_evidence
+        # The full collector and TOP are exactly the certificates.
+        names = {str(s) for s in probe.certificate_states}
+        assert "TOP" in names
+
+    def test_below_states_subset_of_above(self):
+        k = 3
+        probe = certificate_states_exact(
+            unary_threshold_protocol(k),
+            lambda x: Multiset({1: x}),
+            below=[1, 2],
+            above=[3, 4],
+        )
+        assert probe.below_states <= probe.above_states
+
+
+class TestSampledProbe:
+    def test_sampled_occupied_states_growth(self, thr2_pipeline):
+        initial = next(iter(thr2_pipeline.protocol.input_states))
+        few = sampled_occupied_states(
+            thr2_pipeline.protocol,
+            Multiset({initial: thr2_pipeline.shift + 2}),
+            seed=0,
+            steps=200,
+        )
+        many = sampled_occupied_states(
+            thr2_pipeline.protocol,
+            Multiset({initial: thr2_pipeline.shift + 2}),
+            seed=0,
+            steps=20_000,
+        )
+        assert few <= many
+
+    def test_sampled_probe_on_unary_finds_witness(self):
+        k = 4
+        probe = certificate_states_sampled(
+            unary_threshold_protocol(k),
+            lambda x: Multiset({1: x}),
+            below=[k - 1],
+            above=[k + 2],
+            seed=0,
+            steps=5_000,
+            runs_per_input=2,
+        )
+        assert k in probe.certificate_states
+
+    def test_sampled_probe_monotone_below_above(self):
+        k = 3
+        probe = certificate_states_sampled(
+            unary_threshold_protocol(k),
+            lambda x: Multiset({1: x}),
+            below=[2],
+            above=[4],
+            seed=0,
+            steps=3_000,
+            runs_per_input=2,
+        )
+        assert probe.below_states and probe.above_states
+
+
+class TestPoisoning:
+    def test_unary_witness_poisons(self):
+        """One agent in the witness state flips the verdict: 1-aware."""
+        from repro.analysis import poisoning_probe_exact
+
+        k = 5
+        probe = poisoning_probe_exact(
+            unary_threshold_protocol(k), Multiset({1: 2}), states=[k]
+        )
+        assert not probe.resistant
+        assert probe.poisoning_states == frozenset({k})
+
+    def test_unary_benign_state_does_not_poison(self):
+        from repro.analysis import poisoning_probe_exact
+
+        k = 5
+        probe = poisoning_probe_exact(
+            unary_threshold_protocol(k), Multiset({1: 2}), states=[1, 0]
+        )
+        assert probe.resistant
+
+    def test_binary_collector_poisons(self):
+        from repro.analysis import poisoning_probe_exact
+        from repro.baselines.binary import TOP
+
+        k = 5
+        probe = poisoning_probe_exact(
+            binary_threshold_protocol(k), Multiset({"p0": 2}), states=[TOP]
+        )
+        assert not probe.resistant
+
+    def test_construction_resists_poisoning(self, lipton1_pipeline):
+        """Non-1-awareness, operationally: even an agent planted in an
+        accepting opinion-true / OF-true state is corrected — the run on a
+        below-threshold population stabilises to false (Section 2's
+        'accepts provisionally and continues to check')."""
+        from repro.analysis import poisoning_probe_sampled
+        from repro.conversion import OpinionState, PointerState
+
+        protocol = lipton1_pipeline.protocol
+        initial = next(iter(protocol.input_states))
+        below = Multiset({initial: lipton1_pipeline.shift})  # m = 0 < 2
+        of_true = next(
+            s
+            for s in protocol.states
+            if isinstance(s, OpinionState)
+            and isinstance(s.base, PointerState)
+            and s.base.pointer == "OF"
+            and s.base.value is True
+            and s.opinion
+        )
+        probe = poisoning_probe_sampled(
+            protocol,
+            below,
+            states=[of_true],
+            seed=3,
+            max_interactions=2_000_000,
+            convergence_window=60_000,
+        )
+        assert probe.resistant, probe.state_verdicts

@@ -1,0 +1,95 @@
+"""Tests for the robustness experiments (Theorem 2 / Lemma 15 / X2)."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    ablation_error_checks,
+    election_recovery_trial,
+    program_selfstab_trial,
+    protocol_selfstab_trial,
+    random_noise_configuration,
+)
+from repro.lipton import threshold
+
+
+class TestProgramSelfStab:
+    @pytest.mark.parametrize("total", [1, 9, 10, 14])
+    def test_n2_adversarial_initialisation(self, total):
+        outcome = program_selfstab_trial(2, total, seed=17 * total + 1)
+        assert outcome.correct, (total, outcome.got)
+
+    def test_n1_sweep(self):
+        for total in range(1, 6):
+            outcome = program_selfstab_trial(1, total, seed=total)
+            assert outcome.correct
+
+    def test_expected_field(self):
+        outcome = program_selfstab_trial(1, 5, seed=0)
+        assert outcome.expected is (5 >= threshold(1))
+
+
+class TestAblation:
+    def test_bare_counter_fails_sometimes(self):
+        summary = ablation_error_checks(
+            1, totals=[1, 2, 4], trials_per_total=3, seed=5
+        )
+        assert summary.with_checks_correct == summary.with_checks_total
+        assert summary.without_checks_correct < summary.without_checks_total
+
+
+class TestNoiseConfigurations:
+    def test_noise_plus_initial_counts(self, thr2_pipeline):
+        conv = thr2_pipeline.conversion
+        rng = random.Random(0)
+        config = random_noise_configuration(conv, 5, conv.shift + 2, rng)
+        assert config.size == 5 + conv.shift + 2
+        assert config[conv.initial_state] >= conv.shift + 2
+
+
+class TestElectionRecovery:
+    def test_recovers_without_noise(self, thr2_pipeline):
+        steps = election_recovery_trial(
+            thr2_pipeline.conversion, noise_agents=0, seed=0
+        )
+        assert steps is not None
+
+    @pytest.mark.parametrize("noise", [3, 10])
+    def test_recovers_with_noise(self, thr2_pipeline, noise):
+        steps = election_recovery_trial(
+            thr2_pipeline.conversion,
+            noise_agents=noise,
+            initial_agents=thr2_pipeline.shift + 1,
+            seed=noise,
+        )
+        assert steps is not None
+
+    def test_requires_enough_initial_agents(self, thr2_pipeline):
+        with pytest.raises(ValueError):
+            election_recovery_trial(
+                thr2_pipeline.conversion,
+                noise_agents=2,
+                initial_agents=1,
+                seed=0,
+            )
+
+
+class TestProtocolSelfStab:
+    def test_definition7_end_to_end(self, thr2_pipeline):
+        """Noise agents + enough initial agents: stabilises to phi'(|C|)."""
+        shift = thr2_pipeline.shift
+
+        def phi(total):
+            return total >= shift and (total - shift) >= 2
+
+        outcome = protocol_selfstab_trial(
+            thr2_pipeline,
+            phi,
+            noise_agents=4,
+            initial_agents=shift + 3,
+            seed=2,
+            max_interactions=3_000_000,
+            convergence_window=80_000,
+        )
+        assert outcome.correct, (outcome.total, outcome.got, outcome.expected)

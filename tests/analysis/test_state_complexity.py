@@ -1,0 +1,57 @@
+"""Tests for the Table 1 / Theorem 1 state-complexity accounting."""
+
+import pytest
+
+from repro.analysis import table1_row, table1_rows, theorem1_data
+from repro.lipton import threshold
+
+
+class TestTable1:
+    def test_row_fields(self):
+        row = table1_row(2)
+        assert row.k == threshold(2) == 10
+        assert row.unary_states == 11
+        assert row.binary_states >= 4
+        assert row.this_paper_states > row.binary_states  # constants differ
+        assert row.leader_states < row.this_paper_states
+
+    def test_unary_capped(self):
+        row = table1_row(5, unary_cap=1000)
+        assert row.unary_states is None  # k = 918070 > cap
+
+    def test_rows_sorted_by_n(self):
+        rows = table1_rows(4)
+        assert [r.n for r in rows] == [1, 2, 3, 4]
+
+    def test_asymptotic_crossover(self):
+        """By n = 4 the classic construction is far bigger than ours while
+        ours barely grew: the Table 1 ordering."""
+        rows = table1_rows(5)
+        last = rows[-1]
+        assert last.unary_states > 100 * last.binary_states
+        growth_ours = rows[-1].this_paper_states / rows[0].this_paper_states
+        growth_unary = rows[-1].unary_states / rows[0].unary_states
+        assert growth_unary > 10 * growth_ours
+
+    def test_formula_size_is_bits(self):
+        row = table1_row(3)
+        assert row.formula_size == threshold(3).bit_length()
+
+
+class TestTheorem1Data:
+    def test_bound_met_everywhere(self):
+        for datum in theorem1_data(6):
+            assert datum.bound_met
+            assert datum.k >= datum.double_exponential_bound
+
+    def test_states_linear(self):
+        data = theorem1_data(6)
+        counts = [d.states for d in data]
+        increments = [b - a for a, b in zip(counts, counts[1:])]
+        assert len(set(increments[2:])) == 1  # exactly affine in n
+
+    def test_states_match_pipeline(self):
+        from repro.conversion import compile_threshold_protocol
+
+        datum = theorem1_data(1)[0]
+        assert datum.states == compile_threshold_protocol(1).state_count

@@ -1,0 +1,121 @@
+"""Tests for the succinct binary threshold protocol (Theta(log k) states)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import (
+    binary_state_count,
+    binary_threshold_protocol,
+    set_bits_descending,
+)
+from repro.core import Multiset, decide, stabilisation_verdict
+
+
+class TestBits:
+    def test_set_bits(self):
+        assert set_bits_descending(13) == [3, 2, 0]  # 1101
+        assert set_bits_descending(8) == [3]
+        assert set_bits_descending(1) == [0]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k", [2, 3, 6, 13, 100])
+    def test_state_count_formula(self, k):
+        pp = binary_threshold_protocol(k)
+        assert pp.state_count == binary_state_count(k)
+
+    def test_logarithmic_growth(self):
+        """Doubling k adds O(1) states."""
+        counts = [binary_state_count(2**i) for i in range(1, 12)]
+        diffs = [b - a for a, b in zip(counts, counts[1:])]
+        assert max(diffs) <= 2
+
+    def test_k1_trivial(self):
+        pp = binary_threshold_protocol(1)
+        assert pp.state_count == 1
+        assert stabilisation_verdict(pp, Multiset({"p0": 1})) is True
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            binary_threshold_protocol(0)
+
+    def test_reversible_pairs_present(self):
+        """Every combine has its split and every collect its disassembly
+        (the paper's-style reversibility that prevents deadlocks)."""
+        pp = binary_threshold_protocol(13)
+        tset = {(t.q, t.r, t.q2, t.r2) for t in pp.transitions}
+        for (q, r, q2, r2) in list(tset):
+            if q.startswith("p") and q == r and r2 == "z":  # combine
+                assert (q2, "z", q, r) in tset  # split exists
+
+
+class TestExact:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5, 6, 7])
+    def test_boundary(self, k):
+        pp = binary_threshold_protocol(k)
+        for x in range(1, k + 3):
+            verdict = stabilisation_verdict(
+                pp, Multiset({"p0": x}), max_configurations=500_000
+            )
+            assert verdict is (x >= k), (k, x, verdict)
+
+    def test_k8_spot_checks(self):
+        pp = binary_threshold_protocol(8)
+        assert stabilisation_verdict(pp, Multiset({"p0": 7}), 500_000) is False
+        assert stabilisation_verdict(pp, Multiset({"p0": 8}), 500_000) is True
+
+
+class TestSampled:
+    # Note: sampled accepting cases need slack above k — with x close to k
+    # the (reversible) churn makes the exact-assembly hitting time blow up.
+    # Tight boundaries are covered exactly in TestExact instead.
+    @pytest.mark.parametrize("k,x", [(13, 20), (8, 24), (13, 26)])
+    def test_accepting(self, k, x):
+        pp = binary_threshold_protocol(k)
+        assert (
+            decide(pp, Multiset({"p0": x}), seed=1, convergence_window=50_000,
+                   max_interactions=2_000_000)
+            is True
+        )
+
+    @pytest.mark.parametrize("k,x", [(13, 12), (21, 5)])
+    def test_rejecting(self, k, x):
+        pp = binary_threshold_protocol(k)
+        assert (
+            decide(pp, Multiset({"p0": x}), seed=1, convergence_window=50_000,
+                   max_interactions=2_000_000)
+            is False
+        )
+
+
+class TestSoundness:
+    def test_collector_value_conservation(self):
+        """No transition creates value out of thin air before acceptance:
+        sum of represented values is invariant among pre-acceptance states."""
+        k = 13
+        pp = binary_threshold_protocol(k)
+        bits = set_bits_descending(k)
+
+        def value(state):
+            if state == "z":
+                return 0
+            if state.startswith("p"):
+                return 2 ** int(state[1:])
+            if state.startswith("c"):
+                j = int(state[1:])
+                return sum(2**b for b in bits[:j])
+            return None  # TOP: value destroyed, after acceptance only
+
+        for t in pp.transitions:
+            values = [value(s) for s in (t.q, t.r, t.q2, t.r2)]
+            if None in values:
+                continue
+            assert values[0] + values[1] == values[2] + values[3], t
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 8))
+def test_exact_matches_threshold(k, x):
+    pp = binary_threshold_protocol(k)
+    verdict = stabilisation_verdict(pp, Multiset({"p0": x}), 500_000)
+    assert verdict is (x >= k)

@@ -1,0 +1,56 @@
+"""Exact and sampled tests for the majority protocol (x >= y)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import majority_protocol
+from repro.core import Multiset, decide, stabilisation_verdict, verify_decides
+
+
+@pytest.fixture(scope="module")
+def pp():
+    return majority_protocol()
+
+
+class TestStructure:
+    def test_four_states(self, pp):
+        assert pp.state_count == 4
+
+    def test_inputs(self, pp):
+        assert pp.input_states == frozenset({"X", "Y"})
+
+    def test_accepting_states_are_x_opinions(self, pp):
+        assert pp.accepting_states == frozenset({"X", "x"})
+
+
+class TestExact:
+    @pytest.mark.parametrize(
+        "x,y",
+        [(1, 0), (0, 1), (1, 1), (2, 1), (1, 2), (3, 3), (4, 2), (2, 4), (5, 1)],
+    )
+    def test_exact_verdict(self, pp, x, y):
+        verdict = stabilisation_verdict(pp, Multiset({"X": x, "Y": y}))
+        assert verdict is (x >= y)
+
+    def test_exhaustive_up_to_seven(self, pp):
+        verify_decides(pp, lambda c: c["X"] >= c["Y"], populations=range(1, 8))
+
+
+class TestSampled:
+    def test_large_majority(self, pp):
+        assert decide(pp, Multiset({"X": 40, "Y": 20}), seed=0) is True
+
+    def test_large_minority(self, pp):
+        assert decide(pp, Multiset({"Y": 40, "X": 20}), seed=0) is False
+
+    def test_large_tie_accepts(self, pp):
+        assert decide(pp, Multiset({"X": 25, "Y": 25}), seed=0) is True
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 4), st.integers(0, 4))
+def test_exact_matches_predicate(x, y):
+    if x + y == 0:
+        return
+    pp = majority_protocol()
+    assert stabilisation_verdict(pp, Multiset({"X": x, "Y": y})) is (x >= y)

@@ -1,0 +1,69 @@
+"""Tests for the remainder protocol (x = r mod m)."""
+
+import pytest
+
+from repro.baselines import remainder_protocol
+from repro.core import Multiset, decide, stabilisation_verdict
+
+
+class TestStructure:
+    def test_state_count(self):
+        pp = remainder_protocol(5)
+        assert pp.state_count == 5 + 2  # actives mod 5 + two passives
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            remainder_protocol(0)
+
+    def test_input_state(self):
+        pp = remainder_protocol(4, 1)
+        assert pp.input_states == frozenset({"a1"})
+
+    def test_modulus_one_input_state(self):
+        pp = remainder_protocol(1)
+        assert pp.input_states == frozenset({"a0"})
+
+
+class TestExact:
+    @pytest.mark.parametrize("m,r", [(2, 0), (2, 1), (3, 0), (3, 2), (4, 1)])
+    def test_boundary(self, m, r):
+        pp = remainder_protocol(m, r)
+        for x in range(1, 9):
+            verdict = stabilisation_verdict(pp, Multiset({"a1": x}))
+            assert verdict is (x % m == r), (m, r, x)
+
+    def test_single_agent(self):
+        pp = remainder_protocol(3, 1)
+        assert stabilisation_verdict(pp, Multiset({"a1": 1})) is True
+
+    def test_modulus_one_always_true(self):
+        pp = remainder_protocol(1, 0)
+        for x in (1, 2, 5):
+            assert stabilisation_verdict(pp, Multiset({"a0": x})) is True
+
+
+class TestSampled:
+    def test_even_population(self):
+        pp = remainder_protocol(2, 0)
+        assert decide(pp, Multiset({"a1": 30}), seed=2) is True
+
+    def test_odd_population(self):
+        pp = remainder_protocol(2, 0)
+        assert decide(pp, Multiset({"a1": 31}), seed=2) is False
+
+    def test_mod_five(self):
+        pp = remainder_protocol(5, 3)
+        assert decide(pp, Multiset({"a1": 23}), seed=2) is True
+        assert decide(pp, Multiset({"a1": 24}), seed=2) is False
+
+
+class TestConservation:
+    def test_active_value_sums_mod_m(self):
+        """Active-active interactions conserve the value sum mod m."""
+        m = 4
+        pp = remainder_protocol(m)
+        for t in pp.transitions:
+            if t.q.startswith("a") and t.r.startswith("a"):
+                pre = int(t.q[1:]) + int(t.r[1:])
+                post = int(t.q2[1:])  # survivor carries the sum
+                assert post == pre % m

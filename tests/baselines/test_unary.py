@@ -1,0 +1,64 @@
+"""Tests for the classic unary threshold protocol (Theta(k) states)."""
+
+import pytest
+
+from repro.baselines import unary_state_count, unary_threshold_protocol
+from repro.core import Multiset, decide, stabilisation_verdict
+
+
+class TestStructure:
+    @pytest.mark.parametrize("k", [1, 2, 5, 9])
+    def test_state_count_is_k_plus_one(self, k):
+        pp = unary_threshold_protocol(k)
+        assert pp.state_count == k + 1 == unary_state_count(k)
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            unary_threshold_protocol(0)
+
+    def test_witness_state_is_accepting(self):
+        pp = unary_threshold_protocol(4)
+        assert pp.accepting_states == frozenset({4})
+
+    def test_value_conservation_below_k(self):
+        """Merging transitions conserve the summed value until k fires."""
+        pp = unary_threshold_protocol(5)
+        for t in pp.transitions:
+            if t.q2 != 5:  # pre-witness transitions
+                assert t.q + t.r == t.q2 + t.r2
+
+
+class TestExact:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_all_populations_up_to_k_plus_2(self, k):
+        pp = unary_threshold_protocol(k)
+        for x in range(1, k + 3):
+            assert stabilisation_verdict(pp, Multiset({1: x})) is (x >= k)
+
+    def test_single_agent_k1(self):
+        pp = unary_threshold_protocol(1)
+        assert stabilisation_verdict(pp, Multiset({1: 1})) is True
+
+    def test_single_agent_k2(self):
+        pp = unary_threshold_protocol(2)
+        assert stabilisation_verdict(pp, Multiset({1: 1})) is False
+
+
+class TestSampled:
+    def test_well_above(self):
+        pp = unary_threshold_protocol(7)
+        assert decide(pp, Multiset({1: 30}), seed=1) is True
+
+    def test_just_below(self):
+        pp = unary_threshold_protocol(7)
+        assert decide(pp, Multiset({1: 6}), seed=1) is False
+
+
+class TestOneAwareness:
+    def test_poisoning_breaks_protocol(self):
+        """One noise agent in the witness state flips the verdict — the
+        1-awareness fragility the paper's construction avoids."""
+        k = 5
+        pp = unary_threshold_protocol(k)
+        poisoned = Multiset({1: 2, k: 1})  # 3 agents total, 3 < 5
+        assert stabilisation_verdict(pp, poisoned) is True

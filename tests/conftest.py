@@ -1,0 +1,77 @@
+"""Shared fixtures: small protocols and compiled pipelines, cached per
+session (compilation of the larger pipelines takes seconds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    binary_threshold_protocol,
+    majority_protocol,
+    remainder_protocol,
+    unary_threshold_protocol,
+)
+from repro.lipton import build_threshold_program
+from repro.programs import figure1_program, simple_threshold_program
+from repro.machines import lower_program
+from repro.conversion import compile_program
+
+
+@pytest.fixture(scope="session")
+def majority():
+    return majority_protocol()
+
+
+@pytest.fixture(scope="session")
+def unary5():
+    return unary_threshold_protocol(5)
+
+
+@pytest.fixture(scope="session")
+def binary6():
+    return binary_threshold_protocol(6)
+
+
+@pytest.fixture(scope="session")
+def remainder3():
+    return remainder_protocol(3, 0)
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return figure1_program()
+
+
+@pytest.fixture(scope="session")
+def thr2_program():
+    return simple_threshold_program(2)
+
+
+@pytest.fixture(scope="session")
+def thr2_machine(thr2_program):
+    return lower_program(thr2_program, "thr2")
+
+
+@pytest.fixture(scope="session")
+def thr2_pipeline(thr2_program):
+    return compile_program(thr2_program, "thr2")
+
+
+@pytest.fixture(scope="session")
+def lipton1_program():
+    return build_threshold_program(1)
+
+
+@pytest.fixture(scope="session")
+def lipton2_program():
+    return build_threshold_program(2)
+
+
+@pytest.fixture(scope="session")
+def lipton3_program():
+    return build_threshold_program(3)
+
+
+@pytest.fixture(scope="session")
+def lipton1_pipeline(lipton1_program):
+    return compile_program(lipton1_program, "lipton1")

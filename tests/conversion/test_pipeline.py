@@ -1,0 +1,75 @@
+"""Tests for the end-to-end compilation pipeline (Theorems 1 & 5)."""
+
+import pytest
+
+from repro.core import Multiset, ShiftedThreshold, Threshold, simulate
+from repro.lipton import threshold
+from repro.programs import simple_threshold_program
+from repro.conversion import compile_program, compile_threshold_protocol
+
+
+@pytest.fixture(scope="module")
+def thr2():
+    return compile_program(simple_threshold_program(2), "thr2")
+
+
+class TestArtefacts:
+    def test_all_stages_present(self, thr2):
+        assert thr2.program is not None
+        assert thr2.machine.length > 0
+        assert thr2.inner_protocol.state_count > 0
+        assert thr2.protocol.state_count == 2 * thr2.inner_protocol.state_count
+
+    def test_state_bound(self, thr2):
+        assert thr2.inner_state_count <= thr2.state_bound
+
+    def test_shifted_predicate(self, thr2):
+        predicate = thr2.shifted_predicate(Threshold(2))
+        assert isinstance(predicate, ShiftedThreshold)
+        assert predicate.shift == thr2.shift
+        assert not predicate(thr2.shift + 1)
+        assert predicate(thr2.shift + 2)
+
+
+class TestTheorem1Pipeline:
+    def test_compile_n1(self):
+        result = compile_threshold_protocol(1)
+        # Theorem 1 for n=1: the protocol decides x >= k_1 + |F|.
+        assert result.shift == len(result.machine.pointer_domains)
+        assert result.state_count < 1000  # O(n) states, small constant base
+
+    def test_states_grow_linearly_while_k_doubles_exponentially(self):
+        from repro.machines import lower_program
+        from repro.lipton import build_threshold_program
+        from repro.conversion import final_state_count
+
+        counts = []
+        for n in (1, 2, 3, 4, 5):
+            machine = lower_program(build_threshold_program(n))
+            counts.append(final_state_count(machine))
+        increments = [b - a for a, b in zip(counts, counts[1:])]
+        # Per-level state increment becomes exactly constant (O(n) states)...
+        assert len(set(increments[2:])) == 1
+        assert max(increments) < 3000
+        # ...while k grows double-exponentially.
+        assert threshold(5) > 2 ** (2**4)
+
+    def test_error_checking_flag_propagates(self):
+        bare = compile_threshold_protocol(1, error_checking=False)
+        full = compile_threshold_protocol(1)
+        assert bare.state_count < full.state_count
+
+
+class TestEndToEndDecision:
+    @pytest.mark.parametrize("offset,expected", [(1, False), (2, True), (4, True)])
+    def test_thr2_protocol(self, thr2, offset, expected):
+        initial = next(iter(thr2.protocol.input_states))
+        population = thr2.shift + offset
+        result = simulate(
+            thr2.protocol,
+            Multiset({initial: population}),
+            seed=100 + offset,
+            max_interactions=3_000_000,
+            convergence_window=60_000,
+        )
+        assert result.verdict is expected

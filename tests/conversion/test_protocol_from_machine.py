@@ -1,0 +1,218 @@
+"""Tests for the machine → protocol conversion gadgets (App. B.3)."""
+
+import random
+
+import pytest
+
+from repro.core import Multiset
+from repro.core.scheduler import EnabledTransitionScheduler
+from repro.core.semantics import apply_transition_inplace
+from repro.machines import IP, OF, register_map_pointer
+from repro.conversion import (
+    MapState,
+    PointerState,
+    convert_machine,
+    converted_state_count,
+    default_initial_values,
+    final_state_count,
+    initial_protocol_configuration,
+    pi,
+    pointer_enumeration,
+    proposition16_state_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def thr2_conv(thr2_pipeline):
+    return thr2_pipeline.conversion
+
+
+# conftest fixtures are function-scoped by default; re-expose at module scope
+@pytest.fixture(scope="module")
+def thr2_pipeline():
+    from repro.conversion import compile_program
+    from repro.programs import simple_threshold_program
+
+    return compile_program(simple_threshold_program(2), "thr2")
+
+
+class TestEnumeration:
+    def test_ip_is_last(self, thr2_conv):
+        assert thr2_conv.pointer_order[-1] == IP
+
+    def test_all_pointers_enumerated(self, thr2_conv):
+        assert set(thr2_conv.pointer_order) == set(
+            thr2_conv.machine.pointer_domains
+        )
+
+    def test_initial_values_satisfy_definition13(self, thr2_conv):
+        values = thr2_conv.initial_values
+        assert values[IP] == 1
+        for reg in thr2_conv.machine.registers:
+            assert values[register_map_pointer(reg)] == reg
+
+    def test_shift_is_pointer_count(self, thr2_conv):
+        assert thr2_conv.shift == len(thr2_conv.machine.pointer_domains)
+
+
+class TestStateSpace:
+    def test_closed_form_matches_constructed(self, thr2_conv):
+        assert (
+            converted_state_count(thr2_conv.machine)
+            == thr2_conv.protocol.state_count
+        )
+
+    def test_proposition16_bound_holds(self, thr2_conv):
+        assert thr2_conv.protocol.state_count <= proposition16_state_bound(
+            thr2_conv.machine
+        )
+
+    def test_final_count_doubles(self, thr2_conv):
+        assert final_state_count(thr2_conv.machine) == 2 * converted_state_count(
+            thr2_conv.machine
+        )
+
+    def test_registers_are_states(self, thr2_conv):
+        for reg in thr2_conv.machine.registers:
+            assert reg in thr2_conv.protocol.states
+
+    def test_map_states_only_for_general_assignments(self, thr2_conv):
+        map_states = [s for s in thr2_conv.protocol.states if isinstance(s, MapState)]
+        for state in map_states:
+            instr = thr2_conv.machine.instruction_at(state.instruction)
+            assert instr.target == state.pointer
+            assert instr.target != IP and instr.target != instr.source
+
+
+class TestElection:
+    def test_elect_transition_count(self, thr2_conv):
+        """One ordered-pair family per pointer: Σ |Q_X|²."""
+        from repro.conversion import pointer_states
+
+        expected = sum(
+            len(pointer_states(thr2_conv.machine, p)) ** 2
+            for p in thr2_conv.pointer_order
+        )
+        assert len(thr2_conv.elect_transitions) == expected
+
+    def test_ip_collision_demotes_to_hub(self, thr2_conv):
+        hub = thr2_conv.hub_register
+        ip_collisions = [
+            t
+            for t in thr2_conv.elect_transitions
+            if isinstance(t.q, PointerState) and t.q.pointer == IP
+            and isinstance(t.r, PointerState) and t.r.pointer == IP
+        ]
+        assert ip_collisions
+        assert all(t.r2 == hub for t in ip_collisions)
+        first = thr2_conv.pointer_order[0]
+        assert all(
+            t.q2 == PointerState(first, thr2_conv.initial_values[first], "none")
+            for t in ip_collisions
+        )
+
+    def test_chain_initialises_next_pointer(self, thr2_conv):
+        order = thr2_conv.pointer_order
+        for i, pointer in enumerate(order[:-1]):
+            collisions = [
+                t
+                for t in thr2_conv.elect_transitions
+                if isinstance(t.q, PointerState) and t.q.pointer == pointer
+            ]
+            successor = order[i + 1]
+            assert all(
+                isinstance(t.r2, PointerState) and t.r2.pointer == successor
+                for t in collisions
+            )
+
+    def test_election_from_all_initial(self, thr2_conv):
+        """From m agents in the initial state, the elect transitions reach
+        a configuration with one agent per pointer and the rest as
+        register units."""
+        rng = random.Random(0)
+        scheduler = EnabledTransitionScheduler()
+        population = thr2_conv.shift + 3
+        config = initial_protocol_configuration(thr2_conv, population)
+        protocol = thr2_conv.protocol
+        from repro.conversion import inverse_pi
+
+        for _ in range(200_000):
+            if inverse_pi(thr2_conv, config) is not None:
+                break
+            step = scheduler.select(protocol, config, rng)
+            assert step.transition is not None
+            apply_transition_inplace(config, step.transition)
+        recovered = inverse_pi(thr2_conv, config)
+        assert recovered is not None
+        assert recovered.registers[thr2_conv.hub_register] == 3
+
+
+class TestGadgetStructure:
+    def test_every_instruction_has_a_gadget(self, thr2_conv):
+        machine = thr2_conv.machine
+        for index in range(1, machine.length + 1):
+            assert index in thr2_conv.instruction_transitions
+
+    def test_accepting_states_are_of_true(self, thr2_conv):
+        for state in thr2_conv.protocol.accepting_states:
+            assert isinstance(state, PointerState)
+            assert state.pointer == OF and state.value is True
+
+    def test_detect_false_family_covers_other_states(self, thr2_conv):
+        """⟨test⟩: the test stage declares false on meeting any state other
+        than the watched register's."""
+        from repro.machines import DetectInstr
+
+        machine = thr2_conv.machine
+        for index, instr in enumerate(machine.instructions, start=1):
+            if not isinstance(instr, DetectInstr):
+                continue
+            gadget = thr2_conv.instruction_transitions[index]
+            vx = register_map_pointer(instr.x)
+            for v in machine.pointer_domains[vx]:
+                false_partners = {
+                    t.r
+                    for t in gadget
+                    if isinstance(t.q, PointerState)
+                    and t.q == PointerState(vx, v, "test")
+                    and isinstance(t.q2, PointerState)
+                    and t.q2.stage == "false"
+                }
+                assert v not in false_partners
+                assert len(false_partners) == thr2_conv.protocol.state_count - 1
+            return  # one detect suffices
+        pytest.fail("machine has no detect instruction")
+
+
+class TestPiMapping:
+    def test_pi_round_trip(self, thr2_conv):
+        from repro.conversion import inverse_pi
+
+        machine_config = thr2_conv.machine.initial_configuration({"x": 4, "y": 1})
+        image = pi(thr2_conv, machine_config)
+        assert image.size == 5 + thr2_conv.shift
+        recovered = inverse_pi(thr2_conv, image)
+        assert recovered is not None
+        assert recovered.registers == machine_config.registers
+        for pointer in thr2_conv.pointer_order:
+            assert recovered.pointers[pointer] == machine_config.pointers[pointer]
+
+    def test_non_pi_image_rejected(self, thr2_conv):
+        from repro.conversion import inverse_pi
+
+        machine_config = thr2_conv.machine.initial_configuration({"x": 1})
+        image = pi(thr2_conv, machine_config)
+        # Duplicate a pointer agent: no longer a pi-image.
+        state = PointerState(IP, 1, "none")
+        broken = image + Multiset({state: 1})
+        assert inverse_pi(thr2_conv, broken) is None
+
+    def test_mid_gadget_not_pi_image(self, thr2_conv):
+        from repro.conversion import inverse_pi
+
+        machine_config = thr2_conv.machine.initial_configuration({"x": 1})
+        image = pi(thr2_conv, machine_config)
+        wait = image - Multiset({PointerState(IP, 1, "none"): 1}) + Multiset(
+            {PointerState(IP, 1, "wait"): 1}
+        )
+        assert inverse_pi(thr2_conv, wait) is None

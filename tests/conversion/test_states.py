@@ -1,0 +1,50 @@
+"""Tests for the conversion state space (App. B.3 stage sets)."""
+
+from repro.machines import IP, register_map_pointer
+from repro.conversion import (
+    IP_STAGES,
+    MapState,
+    PLAIN_STAGES,
+    PointerState,
+    REGISTER_MAP_STAGES,
+    pointer_states,
+    stages_of,
+)
+
+
+class TestStageSets:
+    def test_ip_stages(self):
+        assert stages_of(IP) == IP_STAGES == ("none", "wait", "half")
+
+    def test_register_map_stages(self):
+        assert stages_of(register_map_pointer("x")) == REGISTER_MAP_STAGES
+        assert len(REGISTER_MAP_STAGES) == 7  # the '7' in Prop 16's bound
+
+    def test_plain_stages(self):
+        assert stages_of("OF") == PLAIN_STAGES == ("none", "done")
+        assert stages_of("CF") == PLAIN_STAGES
+        assert stages_of("P[Main]") == PLAIN_STAGES
+
+    def test_box_pointer_is_register_map(self):
+        assert stages_of(register_map_pointer("#")) == REGISTER_MAP_STAGES
+
+
+class TestStates:
+    def test_pointer_state_repr(self):
+        s = PointerState("OF", True, "none")
+        assert "OF" in repr(s) and "none" in repr(s)
+
+    def test_map_state_repr(self):
+        assert "map" in repr(MapState("OF", 3))
+
+    def test_pointer_states_cardinality(self, thr2_machine):
+        of_states = pointer_states(thr2_machine, "OF")
+        assert len(of_states) == 2 * len(PLAIN_STAGES)
+        ip_states = pointer_states(thr2_machine, IP)
+        assert len(ip_states) == thr2_machine.length * len(IP_STAGES)
+
+    def test_states_are_hashable_and_distinct(self, thr2_machine):
+        all_states = []
+        for pointer in thr2_machine.pointer_domains:
+            all_states.extend(pointer_states(thr2_machine, pointer))
+        assert len(set(all_states)) == len(all_states)

@@ -1,0 +1,121 @@
+"""Tests for protocol composition (negation, products, intervals)."""
+
+import pytest
+
+from repro.baselines import (
+    binary_threshold_protocol,
+    remainder_protocol,
+    unary_threshold_protocol,
+)
+from repro.core import InvalidProtocolError, Multiset, stabilisation_verdict
+from repro.core.composition import (
+    conjunction,
+    disjunction,
+    interval_protocol,
+    negate,
+    product,
+)
+
+
+class TestNegation:
+    def test_negated_threshold(self):
+        pp = negate(unary_threshold_protocol(3))
+        for x in range(1, 6):
+            assert stabilisation_verdict(pp, Multiset({1: x})) is (x < 3)
+
+    def test_double_negation_identity(self):
+        pp = unary_threshold_protocol(2)
+        back = negate(negate(pp))
+        assert back.accepting_states == pp.accepting_states
+
+    def test_name(self):
+        assert negate(unary_threshold_protocol(2)).name.startswith("not(")
+
+
+class TestProductStructure:
+    def test_state_count_multiplies(self):
+        a = unary_threshold_protocol(2)
+        b = unary_threshold_protocol(3)
+        prod = conjunction(a, b)
+        assert prod.state_count == a.state_count * b.state_count
+
+    def test_single_input_state_paired(self):
+        prod = conjunction(unary_threshold_protocol(2), unary_threshold_protocol(3))
+        assert prod.input_states == frozenset({(1, 1)})
+
+    def test_multi_input_requires_explicit_pairs(self):
+        from repro.baselines import majority_protocol
+
+        with pytest.raises(InvalidProtocolError):
+            product(
+                majority_protocol(),
+                unary_threshold_protocol(2),
+                lambda a, b: a and b,
+            )
+
+    def test_bad_explicit_pairs_rejected(self):
+        with pytest.raises(InvalidProtocolError):
+            product(
+                unary_threshold_protocol(2),
+                unary_threshold_protocol(2),
+                lambda a, b: a,
+                input_pairs={"input": (99, 1)},
+            )
+
+
+class TestConjunction:
+    def test_two_thresholds(self):
+        """x >= 2 and x >= 3 <=> x >= 3."""
+        prod = conjunction(
+            unary_threshold_protocol(2), unary_threshold_protocol(3)
+        )
+        for x in range(1, 6):
+            verdict = stabilisation_verdict(
+                prod, Multiset({(1, 1): x}), max_configurations=400_000
+            )
+            assert verdict is (x >= 3), x
+
+    def test_threshold_and_parity(self):
+        """x >= 2 and x even."""
+        prod = conjunction(
+            unary_threshold_protocol(2),
+            remainder_protocol(2, 0),
+            input_pairs={"input": (1, "a1")},
+        )
+        for x in range(1, 6):
+            verdict = stabilisation_verdict(
+                prod, Multiset({(1, "a1"): x}), max_configurations=400_000
+            )
+            assert verdict is (x >= 2 and x % 2 == 0), x
+
+
+class TestDisjunction:
+    def test_threshold_or_parity(self):
+        """x >= 4 or x odd."""
+        prod = disjunction(
+            unary_threshold_protocol(4),
+            remainder_protocol(2, 1),
+            input_pairs={"input": (1, "a1")},
+        )
+        for x in range(1, 6):
+            verdict = stabilisation_verdict(
+                prod, Multiset({(1, "a1"): x}), max_configurations=400_000
+            )
+            assert verdict is (x >= 4 or x % 2 == 1), x
+
+
+class TestInterval:
+    def test_figure1_predicate_as_protocol(self):
+        """4 <= x < 7 as a protocol product — the protocol-level
+        counterpart of Figure 1's program (exact check on the boundary)."""
+        pp = interval_protocol(2, 4)
+        initial = next(iter(pp.input_states))
+        for x in range(1, 6):
+            verdict = stabilisation_verdict(
+                pp, Multiset({initial: x}), max_configurations=600_000
+            )
+            assert verdict is (2 <= x < 4), x
+
+    def test_invalid_bounds(self):
+        with pytest.raises(InvalidProtocolError):
+            interval_protocol(4, 4)

@@ -1,0 +1,118 @@
+"""Tests for predicate encodings and formula sizes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    Equality,
+    Interval,
+    Majority,
+    Multiset,
+    Remainder,
+    ShiftedThreshold,
+    Threshold,
+    binary_length,
+)
+
+
+class TestFormulaSize:
+    def test_binary_length(self):
+        assert binary_length(0) == 1
+        assert binary_length(1) == 1
+        assert binary_length(2) == 2
+        assert binary_length(255) == 8
+        assert binary_length(256) == 9
+
+    def test_threshold_size_is_log_k(self):
+        # The paper: phi_n(x) <=> x >= 2^n has |phi_n| in Theta(n).
+        assert Threshold(2**10).formula_size() == 11
+        assert Threshold(2**20).formula_size() == 21
+
+    def test_interval_size(self):
+        assert Interval(4, 7).formula_size() == binary_length(4) + binary_length(7)
+
+    def test_remainder_size(self):
+        assert Remainder(8, 1).formula_size() == binary_length(8) + binary_length(1)
+
+
+class TestEvaluation:
+    def test_threshold(self):
+        t = Threshold(5)
+        assert not t(4) and t(5) and t(6)
+
+    def test_threshold_bignum(self):
+        k = 2 ** (2**8)
+        t = Threshold(k)
+        assert not t(k - 1) and t(k)
+
+    def test_equality(self):
+        e = Equality(3)
+        assert e(3) and not e(2) and not e(4)
+
+    def test_interval(self):
+        i = Interval(4, 7)
+        assert [i(x) for x in range(3, 8)] == [False, True, True, True, False]
+
+    def test_remainder(self):
+        r = Remainder(3, 1)
+        assert r(1) and r(4) and not r(3)
+
+    def test_remainder_normalises(self):
+        assert Remainder(3, 4)(1)
+
+    def test_remainder_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            Remainder(0)
+
+    def test_majority(self):
+        m = Majority()
+        assert m(3, 3) and m(4, 3) and not m(2, 3)
+
+    def test_keyword_call(self):
+        assert Majority()(y=2, x=5)
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(TypeError):
+            Majority()(3)
+
+    def test_shifted_threshold(self):
+        p = ShiftedThreshold(Threshold(2), 9)
+        assert not p(10) and p(11) and p(15)
+        assert not p(5)  # below the shift itself
+
+    def test_shifted_size_includes_shift(self):
+        p = ShiftedThreshold(Threshold(4), 9)
+        assert p.formula_size() == Threshold(4).formula_size() + binary_length(9)
+
+
+class TestInputConfiguration:
+    def test_majority_of_configuration(self):
+        m = Majority()
+        config = Multiset({"X": 3, "Y": 2})
+        assert m.of_input_configuration(config, {"X": "x", "Y": "y"})
+
+    def test_states_summed_per_variable(self):
+        t = Threshold(4)
+        config = Multiset({"a": 2, "b": 3})
+        assert t.of_input_configuration(config, {"a": "x", "b": "x"})
+
+
+@given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=0, max_value=10**6))
+def test_threshold_matches_comparison(k, x):
+    assert Threshold(k)(x) == (x >= k)
+
+
+@given(
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=2000),
+)
+def test_shifted_threshold_definition(k, shift, x):
+    """Theorem 5's phi': phi'(x) <=> phi(x - i) and x >= i."""
+    p = ShiftedThreshold(Threshold(k), shift)
+    assert p(x) == (x >= shift and (x - shift) >= k)
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_formula_size_monotone_in_bits(bits):
+    assert Threshold(2**bits).formula_size() == bits + 1

@@ -1,0 +1,130 @@
+"""Unit tests for the protocol model (Section 3 definitions)."""
+
+import pytest
+
+from repro.core import (
+    InvalidConfigurationError,
+    InvalidProtocolError,
+    Multiset,
+    PopulationProtocol,
+    Transition,
+)
+from repro.core.protocol import iter_nontrivial
+
+
+def tiny():
+    return PopulationProtocol(
+        states=["a", "b"],
+        transitions=[Transition("a", "a", "a", "b")],
+        input_states=["a"],
+        accepting_states=["b"],
+        name="tiny",
+    )
+
+
+class TestValidation:
+    def test_valid_protocol(self):
+        pp = tiny()
+        assert pp.state_count == 2
+        assert len(pp.transitions) == 1
+
+    def test_unknown_state_in_transition(self):
+        with pytest.raises(InvalidProtocolError):
+            PopulationProtocol(["a"], [("a", "a", "a", "z")], ["a"], [])
+
+    def test_empty_states(self):
+        with pytest.raises(InvalidProtocolError):
+            PopulationProtocol([], [], [], [])
+
+    def test_empty_inputs(self):
+        with pytest.raises(InvalidProtocolError):
+            PopulationProtocol(["a"], [], [], [])
+
+    def test_inputs_must_be_states(self):
+        with pytest.raises(InvalidProtocolError):
+            PopulationProtocol(["a"], [], ["z"], [])
+
+    def test_accepting_must_be_states(self):
+        with pytest.raises(InvalidProtocolError):
+            PopulationProtocol(["a"], [], ["a"], ["z"])
+
+    def test_tuple_transitions_normalised(self):
+        pp = PopulationProtocol(["a", "b"], [("a", "b", "b", "a")], ["a"], [])
+        assert isinstance(pp.transitions[0], Transition)
+
+    def test_duplicate_transitions_removed(self):
+        t = ("a", "b", "b", "a")
+        pp = PopulationProtocol(["a", "b"], [t, t], ["a"], [])
+        assert len(pp.transitions) == 1
+
+
+class TestTransition:
+    def test_noop_detection(self):
+        assert Transition("a", "b", "a", "b").is_noop()
+        assert not Transition("a", "b", "b", "a").is_noop()
+
+    def test_pre_post(self):
+        t = Transition("a", "b", "c", "d")
+        assert t.pre() == Multiset(["a", "b"])
+        assert t.post() == Multiset(["c", "d"])
+
+    def test_transitions_from_index(self):
+        pp = tiny()
+        assert len(pp.transitions_from("a", "a")) == 1
+        assert pp.transitions_from("b", "b") == []
+
+    def test_has_interaction_excludes_noops(self):
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [("a", "b", "a", "b"), ("b", "a", "a", "a")],
+            ["a"],
+            [],
+        )
+        assert not pp.has_interaction("a", "b")
+        assert pp.has_interaction("b", "a")
+
+    def test_iter_nontrivial(self):
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [("a", "b", "a", "b"), ("b", "a", "a", "a")],
+            ["a"],
+            [],
+        )
+        assert [t.q for t in iter_nontrivial(pp)] == ["b"]
+
+
+class TestOutput:
+    def test_output_true(self):
+        pp = tiny()
+        assert pp.output(Multiset({"b": 3})) is True
+
+    def test_output_false(self):
+        pp = tiny()
+        assert pp.output(Multiset({"a": 3})) is False
+
+    def test_output_mixed_is_none(self):
+        pp = tiny()
+        assert pp.output(Multiset({"a": 1, "b": 1})) is None
+
+    def test_is_initial(self):
+        pp = tiny()
+        assert pp.is_initial(Multiset({"a": 2}))
+        assert not pp.is_initial(Multiset({"a": 1, "b": 1}))
+        assert not pp.is_initial(Multiset())
+
+    def test_initial_configuration_builder(self):
+        pp = tiny()
+        config = pp.initial_configuration({"a": 4})
+        assert config.size == 4
+        with pytest.raises(InvalidConfigurationError):
+            pp.initial_configuration({"b": 1})
+
+    def test_check_configuration(self):
+        pp = tiny()
+        with pytest.raises(InvalidConfigurationError):
+            pp.check_configuration(Multiset())
+        with pytest.raises(InvalidConfigurationError):
+            pp.check_configuration(Multiset({"z": 1}))
+
+    def test_describe_mentions_name(self):
+        assert "tiny" in tiny().describe()

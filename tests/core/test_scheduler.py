@@ -1,0 +1,132 @@
+"""Tests for the random schedulers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import (
+    EnabledTransitionScheduler,
+    Multiset,
+    PopulationProtocol,
+    Transition,
+    UniformPairScheduler,
+)
+from repro.core.scheduler import ordered_pair_weight
+
+
+@pytest.fixture
+def flip():
+    return PopulationProtocol(
+        states=["h", "t"],
+        transitions=[Transition("h", "h", "h", "t")],
+        input_states=["h"],
+        accepting_states=["t"],
+    )
+
+
+class TestPairWeights:
+    def test_distinct_states(self):
+        c = Multiset({"a": 3, "b": 4})
+        assert ordered_pair_weight(c, "a", "b") == 12
+
+    def test_same_state(self):
+        c = Multiset({"a": 3})
+        assert ordered_pair_weight(c, "a", "a") == 6
+
+    def test_absent_state(self):
+        assert ordered_pair_weight(Multiset({"a": 1}), "a", "b") == 0
+
+
+class TestUniformScheduler:
+    def test_single_agent_is_null(self, flip):
+        step = UniformPairScheduler().select(flip, Multiset({"h": 1}), random.Random(0))
+        assert step.transition is None
+
+    def test_matching_pair_fires(self, flip):
+        step = UniformPairScheduler().select(flip, Multiset({"h": 2}), random.Random(0))
+        assert step.transition == flip.transitions[0]
+
+    def test_null_step_on_unmatched_pair(self, flip):
+        # Only t-agents: no transition matches (t, t).
+        step = UniformPairScheduler().select(flip, Multiset({"t": 5}), random.Random(0))
+        assert step.transition is None
+        assert step.pair is not None
+
+    def test_pair_distribution_is_roughly_uniform(self, flip):
+        """With 2 h and 2 t agents the ordered pair (h, h) occurs with
+        probability 2/12; check the empirical rate."""
+        rng = random.Random(42)
+        scheduler = UniformPairScheduler()
+        config = Multiset({"h": 2, "t": 2})
+        hits = 0
+        trials = 4000
+        for _ in range(trials):
+            step = scheduler.select(flip, config, rng)
+            if step.transition is not None:
+                hits += 1
+        assert abs(hits / trials - 2 / 12) < 0.03
+
+    def test_tie_break_uniform_over_candidates(self):
+        pp = PopulationProtocol(
+            ["a", "b", "c"],
+            [Transition("a", "a", "b", "b"), Transition("a", "a", "c", "c")],
+            ["a"],
+            [],
+        )
+        rng = random.Random(7)
+        seen = Counter()
+        for _ in range(400):
+            step = UniformPairScheduler().select(pp, Multiset({"a": 2}), rng)
+            seen[step.transition.q2] += 1
+        assert seen["b"] > 100 and seen["c"] > 100
+
+    def test_tie_break_first(self):
+        pp = PopulationProtocol(
+            ["a", "b", "c"],
+            [Transition("a", "a", "b", "b"), Transition("a", "a", "c", "c")],
+            ["a"],
+            [],
+        )
+        rng = random.Random(7)
+        scheduler = UniformPairScheduler(tie_break="first")
+        for _ in range(50):
+            step = scheduler.select(pp, Multiset({"a": 2}), rng)
+            assert step.transition.q2 == "b"
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(ValueError):
+            UniformPairScheduler(tie_break="nope")
+
+
+class TestEnabledScheduler:
+    def test_skips_null_steps(self, flip):
+        rng = random.Random(0)
+        scheduler = EnabledTransitionScheduler()
+        config = Multiset({"h": 2, "t": 100})
+        # The uniform scheduler would mostly sample (t, t); the enabled
+        # scheduler must return the only productive transition directly.
+        step = scheduler.select(flip, config, rng)
+        assert step.transition == flip.transitions[0]
+
+    def test_returns_null_when_silent(self, flip):
+        step = EnabledTransitionScheduler().select(
+            flip, Multiset({"t": 3}), random.Random(0)
+        )
+        assert step.transition is None
+
+    def test_respects_pair_weights(self):
+        pp = PopulationProtocol(
+            ["a", "b", "x", "y"],
+            [Transition("a", "a", "x", "x"), Transition("b", "b", "y", "y")],
+            ["a", "b"],
+            [],
+        )
+        rng = random.Random(11)
+        config = Multiset({"a": 10, "b": 2})
+        counts = Counter()
+        for _ in range(600):
+            step = EnabledTransitionScheduler().select(pp, config, rng)
+            counts[step.transition.q] += 1
+        # weight(a,a) = 90, weight(b,b) = 2: a should dominate heavily.
+        assert counts["a"] > counts["b"] * 10

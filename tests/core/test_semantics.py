@@ -1,0 +1,137 @@
+"""Tests for the step relation and reachability (Section 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import (
+    InvalidConfigurationError,
+    Multiset,
+    PopulationProtocol,
+    Transition,
+    apply_transition,
+    configuration_graph,
+    enabled_transitions,
+    is_silent,
+    reachable_configurations,
+    successors,
+    transition_enabled,
+)
+from repro.core.semantics import apply_transition_inplace
+
+
+@pytest.fixture
+def cancel():
+    """X and Y annihilate into a dead state."""
+    return PopulationProtocol(
+        states=["X", "Y", "0"],
+        transitions=[Transition("X", "Y", "0", "0")],
+        input_states=["X", "Y"],
+        accepting_states=["0"],
+    )
+
+
+class TestEnabledness:
+    def test_needs_both_agents(self, cancel):
+        t = cancel.transitions[0]
+        assert transition_enabled(Multiset({"X": 1, "Y": 1}), t)
+        assert not transition_enabled(Multiset({"X": 2}), t)
+
+    def test_same_state_pair_needs_two(self):
+        t = Transition("a", "a", "b", "b")
+        assert not transition_enabled(Multiset({"a": 1}), t)
+        assert transition_enabled(Multiset({"a": 2}), t)
+
+    def test_enabled_transitions_scans_support(self, cancel):
+        assert enabled_transitions(cancel, Multiset({"X": 1, "Y": 2})) == [
+            cancel.transitions[0]
+        ]
+        assert enabled_transitions(cancel, Multiset({"X": 3})) == []
+
+
+class TestApplication:
+    def test_apply(self, cancel):
+        t = cancel.transitions[0]
+        nxt = apply_transition(Multiset({"X": 2, "Y": 1}), t)
+        assert nxt == Multiset({"X": 1, "0": 2})
+
+    def test_apply_preserves_size(self, cancel):
+        t = cancel.transitions[0]
+        config = Multiset({"X": 2, "Y": 2})
+        assert apply_transition(config, t).size == config.size
+
+    def test_apply_disabled_raises(self, cancel):
+        t = cancel.transitions[0]
+        with pytest.raises(InvalidConfigurationError):
+            apply_transition(Multiset({"X": 1}), t)
+
+    def test_apply_inplace(self, cancel):
+        t = cancel.transitions[0]
+        config = Multiset({"X": 1, "Y": 1})
+        apply_transition_inplace(config, t)
+        assert config == Multiset({"0": 2})
+
+    def test_successors_deduplicate(self):
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [Transition("a", "a", "b", "b"), Transition("a", "a", "b", "b")],
+            ["a"],
+            [],
+        )
+        succ = list(successors(pp, Multiset({"a": 2})))
+        assert len(succ) == 1
+
+    def test_successors_skip_noops(self):
+        pp = PopulationProtocol(["a"], [Transition("a", "a", "a", "a")], ["a"], [])
+        assert list(successors(pp, Multiset({"a": 2}))) == []
+
+
+class TestReachability:
+    def test_cancel_reaches_dead_end(self, cancel):
+        nodes = reachable_configurations(cancel, Multiset({"X": 2, "Y": 2}))
+        # X2Y2 -> X1Y1+00 -> 0000; 3 configurations
+        assert len(nodes) == 3
+
+    def test_graph_edges(self, cancel):
+        nodes, edges = configuration_graph(cancel, Multiset({"X": 1, "Y": 1}))
+        start = Multiset({"X": 1, "Y": 1}).freeze()
+        end = Multiset({"0": 2}).freeze()
+        assert edges[start] == frozenset({end})
+        assert edges[end] == frozenset()
+
+    def test_max_configurations_guard(self, cancel):
+        with pytest.raises(InvalidConfigurationError):
+            reachable_configurations(
+                cancel, Multiset({"X": 10, "Y": 10}), max_configurations=2
+            )
+
+    def test_silence(self, cancel):
+        assert is_silent(cancel, Multiset({"0": 4}))
+        assert not is_silent(cancel, Multiset({"X": 1, "Y": 1}))
+
+    def test_population_is_invariant(self, cancel):
+        nodes = reachable_configurations(cancel, Multiset({"X": 3, "Y": 2}))
+        assert all(c.size == 5 for c in nodes.values())
+
+
+@given(
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+)
+def test_cancellation_terminal_counts(x, y):
+    """From X^x Y^y the cancellation protocol's terminal configuration has
+    |x - y| survivors (a conservation-law property)."""
+    if x + y == 0:
+        return
+    pp = PopulationProtocol(
+        states=["X", "Y", "0"],
+        transitions=[Transition("X", "Y", "0", "0")],
+        input_states=["X", "Y"],
+        accepting_states=["0"],
+    )
+    nodes = reachable_configurations(pp, Multiset({"X": x, "Y": y}))
+    terminals = [c for c in nodes.values() if is_silent(pp, c)]
+    assert len(terminals) == 1
+    terminal = terminals[0]
+    assert terminal["X"] == max(0, x - y)
+    assert terminal["Y"] == max(0, y - x)
+    assert terminal["0"] == 2 * min(x, y)

@@ -1,0 +1,108 @@
+"""Tests for the simulation driver."""
+
+import pytest
+
+from repro.core import (
+    Multiset,
+    NonConvergenceError,
+    PopulationProtocol,
+    Transition,
+    UniformPairScheduler,
+    decide,
+    simulate,
+)
+
+
+@pytest.fixture
+def epidemic():
+    """One 'i' agent infects everyone; stabilises to all-infected."""
+    return PopulationProtocol(
+        states=["s", "i"],
+        transitions=[Transition("i", "s", "i", "i")],
+        input_states=["s", "i"],
+        accepting_states=["i"],
+    )
+
+
+class TestSimulate:
+    def test_epidemic_stabilises_true(self, epidemic):
+        result = simulate(
+            epidemic, Multiset({"i": 1, "s": 20}), seed=0, convergence_window=100
+        )
+        assert result.verdict is True
+        assert result.final == Multiset({"i": 21})
+        assert result.silent  # terminal configuration reached
+
+    def test_no_infection_is_silent_false(self, epidemic):
+        result = simulate(epidemic, Multiset({"s": 5}), seed=0)
+        assert result.silent
+        assert result.verdict is False
+        assert result.interactions == 1  # detected immediately
+
+    def test_population_recorded(self, epidemic):
+        result = simulate(epidemic, Multiset({"i": 2, "s": 3}), seed=1)
+        assert result.population == 5
+        assert result.final.size == 5
+
+    def test_parallel_time(self, epidemic):
+        result = simulate(epidemic, Multiset({"i": 1, "s": 9}), seed=2)
+        assert result.parallel_time == result.interactions / 10
+
+    def test_output_trace_records_flips(self, epidemic):
+        result = simulate(epidemic, Multiset({"i": 1, "s": 5}), seed=3)
+        # Starts mixed (None), ends True.
+        assert result.output_trace[0][1] is None
+        assert result.output_trace[-1][1] is True
+
+    def test_uniform_scheduler_also_converges(self, epidemic):
+        result = simulate(
+            epidemic,
+            Multiset({"i": 1, "s": 10}),
+            seed=4,
+            scheduler=UniformPairScheduler(),
+            convergence_window=500,
+        )
+        assert result.verdict is True
+
+    def test_budget_exhaustion_gives_none(self):
+        # A protocol whose output oscillates forever (a-pairs become
+        # b-pairs and back), so no convergence window ever completes.
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [Transition("a", "a", "b", "b"), Transition("b", "b", "a", "a")],
+            ["a", "b"],
+            ["a"],
+        )
+        result = simulate(
+            pp, Multiset({"a": 2}), seed=0, max_interactions=500
+        )
+        assert result.verdict is None
+        assert not result.silent
+
+    def test_rejects_invalid_configuration(self, epidemic):
+        with pytest.raises(Exception):
+            simulate(epidemic, Multiset({"zzz": 1}), seed=0)
+
+
+class TestDecide:
+    def test_decide_true(self, epidemic):
+        assert decide(epidemic, Multiset({"i": 1, "s": 5}), seed=0) is True
+
+    def test_decide_false(self, epidemic):
+        assert decide(epidemic, Multiset({"s": 5}), seed=0) is False
+
+    def test_decide_raises_on_nonconvergence(self):
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [Transition("a", "a", "b", "b"), Transition("b", "b", "a", "a")],
+            ["a", "b"],
+            ["a"],
+        )
+        with pytest.raises(NonConvergenceError):
+            decide(
+                pp,
+                Multiset({"a": 2}),
+                seed=0,
+                attempts=2,
+                max_interactions=300,
+            )

@@ -1,0 +1,109 @@
+"""Tests for the exact stable-computation checker (terminal SCCs)."""
+
+import pytest
+
+from repro.core import (
+    Multiset,
+    NonConvergenceError,
+    PopulationProtocol,
+    Transition,
+    initial_configurations,
+    stabilisation_verdict,
+    strongly_connected_components,
+    terminal_sccs,
+    verify_decides,
+)
+
+
+class TestSCC:
+    def test_chain(self):
+        edges = {1: frozenset({2}), 2: frozenset({3}), 3: frozenset()}
+        comps = strongly_connected_components([1, 2, 3], edges)
+        assert sorted(len(c) for c in comps) == [1, 1, 1]
+
+    def test_cycle(self):
+        edges = {1: frozenset({2}), 2: frozenset({1})}
+        comps = strongly_connected_components([1, 2], edges)
+        assert len(comps) == 1 and comps[0] == {1, 2}
+
+    def test_terminal_detection(self):
+        edges = {1: frozenset({2}), 2: frozenset({3}), 3: frozenset({2})}
+        terms = terminal_sccs([1, 2, 3], edges)
+        assert terms == [{2, 3}]
+
+    def test_two_terminals(self):
+        edges = {
+            0: frozenset({1, 2}),
+            1: frozenset(),
+            2: frozenset(),
+        }
+        terms = terminal_sccs([0, 1, 2], edges)
+        assert sorted(map(sorted, terms)) == [[1], [2]]
+
+    def test_deep_graph_no_recursion_limit(self):
+        n = 5000
+        edges = {i: frozenset({i + 1}) for i in range(n)}
+        edges[n] = frozenset()
+        comps = strongly_connected_components(range(n + 1), edges)
+        assert len(comps) == n + 1
+
+
+class TestVerdicts:
+    def test_epidemic_true(self):
+        pp = PopulationProtocol(
+            ["s", "i"],
+            [Transition("i", "s", "i", "i")],
+            ["s", "i"],
+            ["i"],
+        )
+        assert stabilisation_verdict(pp, Multiset({"i": 1, "s": 4})) is True
+        assert stabilisation_verdict(pp, Multiset({"s": 4})) is False
+
+    def test_oscillator_is_undecided(self):
+        pp = PopulationProtocol(
+            ["a", "b"],
+            [Transition("a", "b", "b", "a")],
+            ["a", "b"],
+            ["a"],
+        )
+        assert stabilisation_verdict(pp, Multiset({"a": 1, "b": 1})) is None
+
+    def test_disagreeing_terminals_undecided(self):
+        """A nondeterministic race: first pair to meet decides the output —
+        fair runs disagree, so nothing is decided."""
+        pp = PopulationProtocol(
+            ["a", "T", "F"],
+            [
+                Transition("a", "a", "T", "T"),
+                Transition("a", "a", "F", "F"),
+                Transition("T", "a", "T", "T"),
+                Transition("F", "a", "F", "F"),
+            ],
+            ["a"],
+            ["T"],
+        )
+        assert stabilisation_verdict(pp, Multiset({"a": 4})) is None
+
+
+class TestInitialEnumeration:
+    def test_single_input_state(self):
+        pp = PopulationProtocol(["a"], [], ["a"], [])
+        configs = list(initial_configurations(pp, 3))
+        assert configs == [Multiset({"a": 3})]
+
+    def test_two_input_states_counts(self, majority):
+        configs = list(initial_configurations(majority, 4))
+        assert len(configs) == 5  # (0,4), (1,3), ..., (4,0)
+        assert all(c.size == 4 for c in configs)
+
+    def test_zero_population_empty(self, majority):
+        assert list(initial_configurations(majority, 0)) == []
+
+
+class TestVerifyDecides:
+    def test_majority_passes(self, majority):
+        verify_decides(majority, lambda c: c["X"] >= c["Y"], populations=[1, 2, 3, 4])
+
+    def test_wrong_predicate_fails(self, majority):
+        with pytest.raises(NonConvergenceError):
+            verify_decides(majority, lambda c: c["X"] > c["Y"], populations=[2])

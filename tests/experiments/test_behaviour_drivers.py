@@ -1,0 +1,35 @@
+"""Fast-configuration tests for the behavioural experiment drivers."""
+
+from repro.experiments import (
+    run_figure1,
+    run_program_selfstab,
+    run_theorem3_decisions,
+)
+
+
+class TestFigure1Driver:
+    def test_all_correct(self):
+        report = run_figure1(seed=1)
+        assert report.correct == len(report.trials) == 14
+        assert "4 <= m < 7" in report.render()
+
+
+class TestTheorem2Driver:
+    def test_program_selfstab_n1(self):
+        report = run_program_selfstab(1, trials_per_total=2, seed=5)
+        assert report.correct == report.total
+        assert "stabilised to" in report.render()
+
+
+class TestTheorem3Driver:
+    def test_decisions_n1(self):
+        trials = run_theorem3_decisions(1, seed=0)
+        assert all(t.correct for t in trials)
+        # Boundary coverage: both rejecting and accepting totals appear.
+        assert any(t.expected for t in trials)
+        assert any(not t.expected for t in trials)
+
+    def test_custom_totals(self):
+        trials = run_theorem3_decisions(1, totals=[1, 4], seed=1)
+        assert [t.total for t in trials] == [1, 4]
+        assert [t.got for t in trials] == [False, True]

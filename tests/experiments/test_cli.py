@@ -1,0 +1,35 @@
+"""Tests for the python -m repro command-line interface."""
+
+import pytest
+
+from repro.__main__ import FULL, QUICK, main
+
+
+class TestRegistry:
+    def test_quick_subset_of_full(self):
+        assert set(QUICK) <= set(FULL)
+
+    def test_expected_ids_present(self):
+        for name in ("table1", "theorem1", "theorem3", "figure2", "ablation"):
+            assert name in FULL
+
+
+class TestInvocation:
+    def test_single_experiment(self, capsys):
+        assert main(("figure2",)) == 0
+        out = capsys.readouterr().out
+        assert "figure2" in out and "all match: True" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(("figures-lowering", "figure4")) == 0
+        out = capsys.readouterr().out
+        assert "figure3" in out and "transitions per instruction" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(("nope",))
+        assert excinfo.value.code == 2
+
+    def test_theorem5_runs(self, capsys):
+        assert main(("theorem5",)) == 0
+        assert "P16 bound" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Tests for the convergence-cost experiment (X3)."""
+
+from repro.experiments import measure_convergence, run_convergence
+
+
+class TestMeasure:
+    def test_accepting_sample(self):
+        sample = measure_convergence(1, 3, seed=0)
+        assert sample.accepting
+        assert sample.steps_to_stabilise is not None
+        assert sample.steps_to_stabilise > 0
+
+    def test_rejecting_sample(self):
+        sample = measure_convergence(1, 1, seed=0)
+        assert not sample.accepting
+        # Started at the canonical good configuration: no restart needed.
+        assert sample.steps_to_stabilise == 0
+        assert sample.restarts == 0
+
+    def test_boundary_definition(self):
+        assert measure_convergence(1, 2, seed=1).accepting
+        assert not measure_convergence(2, 9, seed=1).accepting
+
+
+class TestReport:
+    def test_report_and_medians(self):
+        report = run_convergence(2, trials=2, seed=0)
+        assert len(report.samples) == 2 * 3 * 2  # n in {1,2} x 3 inputs x 2
+        m1 = report.median_steps(1, True)
+        m2 = report.median_steps(2, True)
+        assert m1 is not None and m2 is not None
+        assert m2 > m1  # level-2 verification costs more
+
+    def test_render(self):
+        report = run_convergence(1, trials=1, seed=0)
+        text = report.render()
+        assert "restarts" in text
+
+    def test_median_none_when_absent(self):
+        report = run_convergence(1, trials=1, seed=0)
+        assert report.median_steps(9, True) is None

@@ -1,0 +1,72 @@
+"""Integration: Lemma 4 — Main's trichotomy, checked exhaustively for
+small totals and by sampling for larger ones."""
+
+import pytest
+
+from repro.experiments import (
+    check_lemma4_case,
+    enumerate_register_configurations,
+    observe_main_behaviour,
+    run_lemma4,
+)
+from repro.lipton import MainBehaviour, classify
+
+
+class TestEnumeration:
+    def test_counts_are_stars_and_bars(self):
+        # n=1: 5 registers; total 2 -> C(6, 4) = 15 configurations.
+        configs = list(enumerate_register_configurations(1, 2))
+        assert len(configs) == 15
+
+    def test_totals_preserved(self):
+        for config in enumerate_register_configurations(1, 3):
+            assert sum(config.values()) == 3
+
+
+class TestExhaustiveSmallTotals:
+    @pytest.mark.parametrize("total", [1, 2, 3])
+    def test_all_configurations_consistent(self, total):
+        report = run_lemma4(1, total, seed=total)
+        inconsistent = [t for t in report.trials if not t.consistent]
+        assert not inconsistent, inconsistent[:3]
+
+
+class TestSampledLargerTotals:
+    def test_n1_total_five_sampled(self):
+        report = run_lemma4(1, 5, sample=40, seed=9)
+        assert report.consistent == len(report.trials)
+
+    def test_n2_sampled(self):
+        report = run_lemma4(2, 4, sample=25, seed=3, quiet_window=50_000,
+                            max_steps=5_000_000)
+        assert report.consistent == len(report.trials)
+
+
+class TestSpecificCases:
+    def test_n_proper_stabilises_true(self, lipton1_program):
+        config = {"xb1": 1, "yb1": 1, "R": 2}  # 1-proper, surplus in R
+        assert classify(config, 1).behaviour == MainBehaviour.STABILISE_TRUE
+        # The surplus in R makes restarts possible too (AssertEmpty may
+        # legitimately fire); check_lemma4_case retries through them.
+        observed = check_lemma4_case(
+            lipton1_program, config, MainBehaviour.STABILISE_TRUE, base_seed=1
+        )
+        assert observed == MainBehaviour.STABILISE_TRUE
+
+    def test_low_and_empty_stabilises_false(self, lipton1_program):
+        config = {"xb1": 1}
+        assert classify(config, 1).behaviour == MainBehaviour.STABILISE_FALSE
+        observed = observe_main_behaviour(lipton1_program, config, seed=1)
+        assert observed == MainBehaviour.STABILISE_FALSE
+
+    def test_high_restarts(self, lipton1_program):
+        config = {"x1": 1, "xb1": 1, "y1": 1, "yb1": 1}  # 1-high
+        assert classify(config, 1).behaviour == MainBehaviour.RESTART
+        observed = observe_main_behaviour(lipton1_program, config, seed=1)
+        assert observed == MainBehaviour.RESTART
+
+    def test_low_but_reserve_nonempty_restarts(self, lipton1_program):
+        config = {"xb1": 1, "R": 1}  # 1-low but not 2-empty, m = 2
+        assert classify(config, 1).behaviour == MainBehaviour.RESTART
+        observed = observe_main_behaviour(lipton1_program, config, seed=2)
+        assert observed == MainBehaviour.RESTART

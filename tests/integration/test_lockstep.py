@@ -1,0 +1,56 @@
+"""Integration: Proposition 16 via lockstep co-simulation.
+
+Drive the converted protocol with a random scheduler and verify that the
+sequence of π-image configurations it passes through is a legal run of the
+population machine — for several programs and inputs."""
+
+import pytest
+
+from repro.experiments import LockstepViolation, lockstep_check
+from repro.conversion import compile_program
+from repro.programs import figure1_program, simple_threshold_program
+
+
+class TestLockstep:
+    def test_thr2_long_run(self, thr2_pipeline):
+        verified = lockstep_check(
+            thr2_pipeline, {"x": 3}, seed=0, interactions=60_000
+        )
+        assert verified > 1_000
+
+    def test_thr2_empty_registers(self, thr2_pipeline):
+        verified = lockstep_check(
+            thr2_pipeline, {}, seed=1, interactions=20_000
+        )
+        assert verified > 100
+
+    def test_figure1_with_restarts(self):
+        """Covers the restart helper and swap gadgets (register map!)."""
+        pipeline = compile_program(figure1_program(), "figure1")
+        verified = lockstep_check(
+            pipeline, {"x": 2, "z": 1}, seed=2, interactions=40_000
+        )
+        assert verified > 500
+
+    def test_different_seeds_agree(self, thr2_pipeline):
+        for seed in range(3):
+            assert lockstep_check(
+                thr2_pipeline, {"x": 2}, seed=seed, interactions=10_000
+            ) > 100
+
+    def test_corrupted_machine_is_caught(self, thr2_pipeline):
+        """Sanity check of the checker itself: verifying against a machine
+        with a different program must raise."""
+        other = compile_program(simple_threshold_program(5), "thr5")
+        hybrid = type(thr2_pipeline)(
+            program=thr2_pipeline.program,
+            program_size=thr2_pipeline.program_size,
+            machine=other.machine,  # wrong machine for this conversion
+            machine_size=other.machine_size,
+            conversion=thr2_pipeline.conversion,
+            inner_protocol=thr2_pipeline.inner_protocol,
+            protocol=thr2_pipeline.protocol,
+            shift=thr2_pipeline.shift,
+        )
+        with pytest.raises(Exception):
+            lockstep_check(hybrid, {"x": 3}, seed=0, interactions=40_000)

@@ -1,0 +1,128 @@
+"""Integration: Theorem 3 — the n-level program decides m >= k_n.
+
+These are the headline behavioural tests at the population-program level:
+decisions across the threshold boundary for n = 1, 2, 3, under both
+canonical and non-canonical restart sampling."""
+
+import pytest
+
+from repro.core import Threshold
+from repro.lipton import (
+    build_threshold_program,
+    canonical_restart_policy,
+    suggested_quiet_window,
+    threshold,
+    threshold_predicate,
+)
+from repro.programs import MixtureRestart, UniformRestart, decide_program
+
+
+class TestBoundaryDecisions:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_n1(self, lipton1_program, m):
+        got = decide_program(
+            lipton1_program,
+            {"x1": m},
+            seed=m,
+            restart_policy=canonical_restart_policy(1),
+            quiet_window=suggested_quiet_window(1),
+        )
+        assert got == (m >= 2)
+
+    @pytest.mark.parametrize("m", [1, 8, 9, 10, 11, 16])
+    def test_n2(self, lipton2_program, m):
+        got = decide_program(
+            lipton2_program,
+            {"x1": m},
+            seed=m,
+            restart_policy=canonical_restart_policy(2),
+            quiet_window=suggested_quiet_window(2),
+            max_steps=20_000_000,
+        )
+        assert got == (m >= 10)
+
+    @pytest.mark.parametrize("m", [30, 59, 60, 61])
+    def test_n3(self, lipton3_program, m):
+        got = decide_program(
+            lipton3_program,
+            {"x1": m},
+            seed=m,
+            restart_policy=canonical_restart_policy(3),
+            quiet_window=suggested_quiet_window(3),
+            max_steps=60_000_000,
+        )
+        assert got == (m >= 60)
+
+
+class TestInputsAcrossRegisters:
+    """The predicate is on the *total*; where units start is irrelevant."""
+
+    @pytest.mark.parametrize(
+        "initial",
+        [
+            {"R": 10},
+            {"yb2": 10},
+            {"x1": 3, "y1": 3, "x2": 4},
+            {"xb1": 5, "yb1": 5},
+        ],
+    )
+    def test_n2_total_ten_accepts(self, lipton2_program, initial):
+        got = decide_program(
+            lipton2_program,
+            initial,
+            seed=sum(initial.values()),
+            restart_policy=canonical_restart_policy(2),
+            quiet_window=suggested_quiet_window(2),
+            max_steps=20_000_000,
+        )
+        assert got is True
+
+    def test_n2_total_nine_rejects(self, lipton2_program):
+        got = decide_program(
+            lipton2_program,
+            {"R": 4, "x2": 5},
+            seed=9,
+            restart_policy=canonical_restart_policy(2),
+            quiet_window=suggested_quiet_window(2),
+            max_steps=20_000_000,
+        )
+        assert got is False
+
+
+class TestFairRestartSampling:
+    def test_n1_with_pure_uniform_restarts(self, lipton1_program):
+        """Uniform restarts sample genuinely fair runs; n = 1 converges."""
+        for m in (1, 2, 4):
+            got = decide_program(
+                lipton1_program,
+                {"x1": m},
+                seed=m * 7,
+                restart_policy=UniformRestart(),
+                quiet_window=20_000,
+                max_steps=10_000_000,
+            )
+            assert got == (m >= 2)
+
+    def test_n2_with_mixture_restarts(self, lipton2_program):
+        """Mostly-uniform restarts with occasional canonical jumps — fair
+        and convergent."""
+        policy = MixtureRestart(
+            UniformRestart(), canonical_restart_policy(2), 0.9
+        )
+        for m in (5, 10):
+            got = decide_program(
+                lipton2_program,
+                {"x1": m},
+                seed=m,
+                restart_policy=policy,
+                quiet_window=suggested_quiet_window(2),
+                max_steps=30_000_000,
+            )
+            assert got == (m >= 10)
+
+
+class TestPredicate:
+    def test_predicate_object(self):
+        predicate = threshold_predicate(2)
+        assert predicate == Threshold(10)
+        assert predicate(10) and not predicate(9)

@@ -1,0 +1,108 @@
+"""Tests for canonical good configurations C_m (Theorem 3's proof)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lipton import (
+    MainBehaviour,
+    RESERVE,
+    canonical_restart_policy,
+    classify,
+    expected_behaviour,
+    good_configuration,
+    is_i_empty,
+    is_i_low,
+    is_i_proper,
+    level_constant,
+    threshold,
+    xbar,
+    ybar,
+)
+
+
+class TestAboveThreshold:
+    def test_exactly_k_is_n_proper(self):
+        for n in (1, 2, 3):
+            config = good_configuration(n, threshold(n))
+            assert is_i_proper(config, n)
+            assert config.get(RESERVE, 0) == 0
+
+    def test_surplus_goes_to_reserve(self):
+        n = 2
+        config = good_configuration(n, threshold(n) + 7)
+        assert is_i_proper(config, n)
+        assert config[RESERVE] == 7
+
+    def test_structure(self):
+        config = good_configuration(2, threshold(2))
+        assert config == {
+            xbar(1): 1, ybar(1): 1, xbar(2): 4, ybar(2): 4,
+        }
+
+
+class TestBelowThreshold:
+    def test_low_and_empty(self):
+        """For every m < k the canonical C_m is j-low and (j+1)-empty."""
+        n = 3
+        for m in range(0, threshold(n)):
+            config = good_configuration(n, m)
+            result = classify(config, n)
+            assert result.behaviour == MainBehaviour.STABILISE_FALSE, m
+            j = result.low_level
+            assert is_i_low(config, j)
+            assert is_i_empty(config, j + 1, n)
+
+    def test_even_split_across_xbar_ybar(self):
+        config = good_configuration(2, 7)  # uses levels 1 (2 units) + 5 rest
+        assert config[xbar(1)] == 1 and config[ybar(1)] == 1
+        assert config[xbar(2)] + config[ybar(2)] == 5
+        assert abs(config[xbar(2)] - config[ybar(2)]) <= 1
+
+    def test_zero_total(self):
+        assert good_configuration(2, 0) == {}
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            good_configuration(1, -1)
+
+
+class TestExpectedBehaviour:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_never_restarts(self, n):
+        for m in range(0, threshold(n) + 3):
+            assert expected_behaviour(n, m) != MainBehaviour.RESTART
+
+    def test_boundary(self):
+        n = 2
+        k = threshold(n)
+        assert expected_behaviour(n, k - 1) == MainBehaviour.STABILISE_FALSE
+        assert expected_behaviour(n, k) == MainBehaviour.STABILISE_TRUE
+
+
+class TestPolicy:
+    def test_policy_preserves_total(self):
+        import random
+
+        from repro.lipton import all_registers
+
+        policy = canonical_restart_policy(2)
+        sample = policy.sample(17, tuple(all_registers(2)), random.Random(0))
+        assert sum(sample.values()) == 17
+
+    def test_policy_matches_good_configuration(self):
+        import random
+
+        from repro.lipton import all_registers
+
+        policy = canonical_restart_policy(2)
+        sample = policy.sample(5, tuple(all_registers(2)), random.Random(0))
+        expected = good_configuration(2, 5)
+        assert {k: v for k, v in sample.items() if v} == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 4), st.integers(0, 2000))
+def test_total_always_preserved(n, m):
+    config = good_configuration(n, m)
+    assert sum(config.values()) == m
+    assert all(v > 0 for v in config.values())

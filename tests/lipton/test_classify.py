@@ -1,0 +1,186 @@
+"""Tests for configuration classification (Figure 2 / Appendix A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lipton import (
+    MainBehaviour,
+    classify,
+    is_i_empty,
+    is_i_high,
+    is_i_low,
+    is_i_proper,
+    is_weakly_i_proper,
+    level_constant,
+    max_proper_prefix,
+    threshold,
+    x,
+    xbar,
+    y,
+    ybar,
+)
+
+
+def proper_config(n):
+    config = {}
+    for i in range(1, n + 1):
+        config[xbar(i)] = level_constant(i)
+        config[ybar(i)] = level_constant(i)
+    return config
+
+
+class TestProper:
+    def test_zero_proper_vacuous(self):
+        assert is_i_proper({}, 0)
+
+    def test_n_proper(self):
+        assert is_i_proper(proper_config(3), 3)
+
+    def test_proper_prefix(self):
+        config = proper_config(2)
+        assert is_i_proper(config, 1)
+        assert is_i_proper(config, 2)
+        assert not is_i_proper(config, 3)
+
+    def test_nonzero_x_breaks_properness(self):
+        config = proper_config(2)
+        config[x(1)] = 1
+        assert not is_i_proper(config, 1)
+
+    def test_wrong_xbar_breaks_properness(self):
+        config = proper_config(2)
+        config[xbar(2)] = level_constant(2) + 1
+        assert is_i_proper(config, 1)
+        assert not is_i_proper(config, 2)
+
+
+class TestWeakly:
+    def test_proper_is_weakly_proper(self):
+        assert is_weakly_i_proper(proper_config(2), 2)
+
+    def test_split_invariant(self):
+        config = proper_config(1)
+        n2 = level_constant(2)
+        config.update({x(2): 1, xbar(2): n2 - 1, y(2): n2, ybar(2): 0})
+        assert is_weakly_i_proper(config, 2)
+        assert not is_i_proper(config, 2)
+
+    def test_broken_sum_not_weakly(self):
+        config = proper_config(1)
+        config.update({x(2): 1, xbar(2): 1})
+        assert not is_weakly_i_proper(config, 2)
+
+
+class TestLowHigh:
+    def test_low(self):
+        config = proper_config(1)
+        config[xbar(2)] = 2  # < N_2 = 4, x2 = 0
+        config[ybar(2)] = 4
+        assert is_i_low(config, 2)
+        assert not is_i_high(config, 2)
+
+    def test_high(self):
+        config = proper_config(1)
+        n2 = level_constant(2)
+        config.update({x(2): 2, xbar(2): n2, y(2): 1, ybar(2): n2})
+        assert is_i_high(config, 2)
+        assert not is_i_low(config, 2)
+
+    def test_proper_is_neither(self):
+        config = proper_config(2)
+        assert not is_i_low(config, 2)
+        assert not is_i_high(config, 2)
+
+    def test_neither_low_nor_high_possible(self):
+        """E.g. x positive but undersupplied ybar: neither case applies."""
+        config = proper_config(1)
+        config.update({x(2): 1, xbar(2): 0, ybar(2): 0})
+        assert not is_i_low(config, 2)
+        assert not is_i_high(config, 2)
+
+    def test_low_high_mutually_exclusive_by_search(self):
+        """Exhaustive small search: no level-1 configuration is both."""
+        for xv in range(3):
+            for xbv in range(3):
+                for yv in range(3):
+                    for ybv in range(3):
+                        config = {x(1): xv, xbar(1): xbv, y(1): yv, ybar(1): ybv}
+                        assert not (is_i_low(config, 1) and is_i_high(config, 1))
+
+
+class TestEmpty:
+    def test_empty_levels(self):
+        config = {x(1): 3, xbar(1): 1}  # junk below level 2 only
+        assert is_i_empty(config, 2, 3)
+        assert not is_i_empty(config, 1, 3)
+
+    def test_reserve_counts(self):
+        assert not is_i_empty({"R": 1}, 1, 2)
+        assert is_i_empty({}, 1, 2)
+
+    def test_n_plus_one_checks_only_reserve(self):
+        config = {x(2): 5}
+        assert is_i_empty(config, 3, 2)
+        assert not is_i_empty({**config, "R": 1}, 3, 2)
+
+
+class TestClassify:
+    def test_n_proper_stabilises_true(self):
+        result = classify(proper_config(2), 2)
+        assert result.behaviour == MainBehaviour.STABILISE_TRUE
+        assert result.n_proper
+
+    def test_low_and_empty_stabilises_false(self):
+        config = {xbar(1): 1}  # 1-low, 2-empty (m = 1 < k = 2)
+        result = classify(config, 1)
+        assert result.behaviour == MainBehaviour.STABILISE_FALSE
+        assert result.low_level == 1
+
+    def test_otherwise_restarts(self):
+        config = {x(1): 2}  # x nonzero: not low, not proper
+        assert classify(config, 1).behaviour == MainBehaviour.RESTART
+
+    def test_low_but_not_empty_restarts(self):
+        config = {xbar(1): 1, "R": 1}
+        assert classify(config, 1).behaviour == MainBehaviour.RESTART
+
+    def test_max_proper_prefix(self):
+        config = proper_config(2)
+        config[xbar(3)] = 1
+        assert max_proper_prefix(config, 3) == 2
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(0, 3), st.integers(0, 5), st.integers(0, 3), st.integers(0, 5),
+    st.integers(0, 3),
+)
+def test_trichotomy_consistency_level1(xv, xbv, yv, ybv, r):
+    """classify() returns STABILISE_FALSE only on j-low & (j+1)-empty, and
+    STABILISE_TRUE only on n-proper (the Lemma 4 side conditions)."""
+    config = {x(1): xv, xbar(1): xbv, y(1): yv, ybar(1): ybv, "R": r}
+    result = classify(config, 1)
+    if result.behaviour == MainBehaviour.STABILISE_TRUE:
+        assert is_i_proper(config, 1)
+    elif result.behaviour == MainBehaviour.STABILISE_FALSE:
+        assert is_i_low(config, 1) and is_i_empty(config, 2, 1)
+    else:
+        assert not is_i_proper(config, 1)
+        assert not (is_i_low(config, 1) and is_i_empty(config, 2, 1))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 3), st.data())
+def test_good_configurations_never_restart(n, data):
+    """Every canonical C_m is classified as a stabilising configuration."""
+    from repro.lipton import good_configuration
+
+    m = data.draw(st.integers(min_value=0, max_value=threshold(n) + 20))
+    config = good_configuration(n, m)
+    result = classify(config, n)
+    assert result.behaviour != MainBehaviour.RESTART
+    assert result.behaviour == (
+        MainBehaviour.STABILISE_TRUE
+        if m >= threshold(n)
+        else MainBehaviour.STABILISE_FALSE
+    )

@@ -1,0 +1,328 @@
+"""Tests for the Section 6 construction: structure, size, and the
+per-procedure lemmas (8–12) checked directly via call_procedure."""
+
+import pytest
+
+from repro.lipton import (
+    assert_empty_name,
+    assert_proper_name,
+    build_threshold_program,
+    good_configuration,
+    incr_pair_name,
+    large_name,
+    level_constant,
+    threshold,
+    threshold_predicate,
+    zero_name,
+)
+from repro.programs import call_procedure, program_size, validate_program
+
+
+def proper_prefix(i):
+    """An (i-1)-proper register configuration (levels 1..i-1 at rest)."""
+    config = {}
+    for j in range(1, i):
+        config[f"xb{j}"] = level_constant(j)
+        config[f"yb{j}"] = level_constant(j)
+    return config
+
+
+class TestStructure:
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            build_threshold_program(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_registers_are_4n_plus_1(self, n):
+        prog = build_threshold_program(n)
+        assert len(prog.registers) == 4 * n + 1
+
+    def test_procedure_inventory_n2(self, lipton2_program):
+        names = set(lipton2_program.procedures)
+        assert "Main" in names
+        assert assert_proper_name(1) in names and assert_proper_name(2) in names
+        assert assert_empty_name(2) in names and assert_empty_name(3) in names
+        # Zero and IncrPair only exist below the top level.
+        assert zero_name("x1") in names and zero_name("yb1") in names
+        assert zero_name("x2") not in names
+        assert incr_pair_name("x1", "y1") in names
+        assert incr_pair_name("xb1", "yb1") in names
+        # Large exists for the complement registers at the top level.
+        assert large_name("xb2") in names and large_name("yb2") in names
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6])
+    def test_validates(self, n):
+        validate_program(build_threshold_program(n))
+
+    def test_size_linear_in_n(self):
+        """Theorem 3: size O(n) — the per-level increment is constant."""
+        totals = [program_size(build_threshold_program(n)).total for n in range(1, 8)]
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        # The first levels amortise fixed parts; from level 3 on the
+        # per-level increment is exactly constant.
+        assert len(set(increments[2:])) == 1
+
+    def test_swap_size_is_4n(self):
+        for n in (1, 2, 4):
+            assert program_size(build_threshold_program(n)).swap_size == 4 * n
+
+    def test_predicate(self):
+        assert threshold_predicate(3).k == threshold(3) == 60
+
+    def test_error_checking_flag_shrinks_program(self):
+        full = program_size(build_threshold_program(3)).total
+        bare = program_size(build_threshold_program(3, error_checking=False)).total
+        assert bare < full
+
+
+class TestLemma8AssertEmpty:
+    """Lemma 8: AssertEmpty(i) has no effect if i-empty, may restart else."""
+
+    def test_empty_config_returns_unchanged(self, lipton2_program):
+        config = {"x1": 3, "xb1": 1}  # junk below level 2 only
+        outcome = call_procedure(
+            lipton2_program, assert_empty_name(2), config, seed=0
+        )
+        assert outcome.returned
+        assert outcome.registers["x1"] == 3 and outcome.registers["xb1"] == 1
+
+    def test_nonempty_eventually_restarts(self, lipton2_program):
+        config = {"x2": 1}
+        for seed in range(10):
+            outcome = call_procedure(
+                lipton2_program, assert_empty_name(2), config, seed=seed
+            )
+            if outcome.restarted:
+                return
+        pytest.fail("AssertEmpty never restarted on a nonempty configuration")
+
+    def test_reserve_only_checked_at_top(self, lipton2_program):
+        outcome = call_procedure(
+            lipton2_program, assert_empty_name(3), {"x2": 5}, seed=0
+        )
+        assert outcome.returned  # level-2 junk invisible to AssertEmpty(3)
+
+    def test_never_modifies_registers(self, lipton2_program):
+        config = {"x2": 2, "R": 1}
+        outcome = call_procedure(
+            lipton2_program, assert_empty_name(2), config, seed=3
+        )
+        total = sum(outcome.registers.values())
+        assert total == 3
+        assert outcome.registers.get("x2") == 2  # values untouched either way
+
+
+class TestLemma9AssertProper:
+    """Lemma 9: no effect on i-proper/i-low; restarts on violations."""
+
+    def test_proper_config_unchanged(self, lipton2_program):
+        config = good_configuration(2, threshold(2))
+        outcome = call_procedure(
+            lipton2_program, assert_proper_name(2), config, seed=1
+        )
+        assert outcome.returned
+        assert {k: v for k, v in outcome.registers.items() if v} == config
+
+    def test_low_config_unchanged(self, lipton2_program):
+        config = {"xb1": 1, "yb1": 1, "xb2": 2, "ybn": 0, "yb2": 3}
+        config.pop("ybn")
+        outcome = call_procedure(
+            lipton2_program, assert_proper_name(2), config, seed=1
+        )
+        assert outcome.returned
+
+    def test_nonzero_x_restarts(self, lipton2_program):
+        config = {"x1": 1, "xb1": 1, "yb1": 1}
+        for seed in range(10):
+            outcome = call_procedure(
+                lipton2_program, assert_proper_name(1), config, seed=seed
+            )
+            if outcome.restarted:
+                return
+        pytest.fail("AssertProper never restarted with x1 > 0")
+
+    def test_overfull_xbar_restarts(self, lipton2_program):
+        """Lemma 9c: C(xbar) > N_i is detectable via Large + detect."""
+        config = {"xb1": 3, "yb1": 1}  # N_1 = 1 < 3
+        restarted = 0
+        for seed in range(20):
+            outcome = call_procedure(
+                lipton2_program, assert_proper_name(1), config, seed=seed
+            )
+            restarted += outcome.restarted
+        assert restarted > 0
+
+
+class TestLemma10Zero:
+    """Lemma 10: Zero is a deterministic zero-check on weakly proper
+    configurations, and preserves registers."""
+
+    def test_true_on_zero_register(self, lipton2_program):
+        config = good_configuration(2, threshold(2))
+        outcome = call_procedure(lipton2_program, zero_name("x1"), config, seed=0)
+        assert outcome.returned and outcome.value is True
+        assert {k: v for k, v in outcome.registers.items() if v} == config
+
+    def test_false_on_nonzero_register(self, lipton2_program):
+        config = good_configuration(2, threshold(2))
+        outcome = call_procedure(lipton2_program, zero_name("xb1"), config, seed=0)
+        assert outcome.returned and outcome.value is False
+
+    def test_weakly_proper_split(self, lipton3_program):
+        """Level-2 Zero with the invariant split as x2=1, xb2=3."""
+        config = proper_prefix(2)
+        config.update({"x2": 1, "xb2": 3, "yb2": 4})
+        outcome = call_procedure(lipton3_program, zero_name("x2"), config, seed=0)
+        assert outcome.value is False
+        outcome = call_procedure(lipton3_program, zero_name("y2"), config, seed=0)
+        assert outcome.value is True
+
+    def test_preserves_level_sums(self, lipton3_program):
+        config = proper_prefix(2)
+        config.update({"x2": 2, "xb2": 2, "y2": 1, "yb2": 3})
+        outcome = call_procedure(lipton3_program, zero_name("y2"), config, seed=5)
+        regs = outcome.registers
+        assert regs["x2"] + regs["xb2"] == 4
+        assert regs["y2"] + regs["yb2"] == 4
+
+
+class TestLemma11IncrPair:
+    """Lemma 11: IncrPair increments the two-digit base-(N_i+1) counter."""
+
+    @staticmethod
+    def ctr(regs, xreg, yreg, ni):
+        return regs[xreg] * (ni + 1) + regs[yreg]
+
+    def test_single_increment(self, lipton2_program):
+        config = {"xb1": 1, "yb1": 1, "xb2": 4, "yb2": 4}
+        outcome = call_procedure(
+            lipton2_program, incr_pair_name("x1", "y1"), config, seed=0
+        )
+        assert outcome.returned
+        assert self.ctr(outcome.registers, "x1", "y1", 1) == 1
+
+    def test_full_cycle_wraps(self, lipton2_program):
+        """N_2 = (N_1+1)^2 = 4 increments wrap the level-1 counter to 0."""
+        config = {"xb1": 1, "yb1": 1}
+        regs = dict(config)
+        values = []
+        for step in range(4):
+            outcome = call_procedure(
+                lipton2_program, incr_pair_name("x1", "y1"), regs, seed=step
+            )
+            assert outcome.returned
+            regs = outcome.registers
+            values.append(self.ctr(regs, "x1", "y1", 1))
+        assert values == [1, 2, 3, 0]
+
+    def test_preserves_other_levels(self, lipton2_program):
+        config = {"xb1": 1, "yb1": 1, "xb2": 4, "yb2": 4, "R": 2}
+        outcome = call_procedure(
+            lipton2_program, incr_pair_name("x1", "y1"), config, seed=0
+        )
+        for reg in ("xb2", "yb2", "R"):
+            assert outcome.registers[reg] == config[reg]
+
+    def test_reversibility_on_high_configs(self, lipton2_program):
+        """Lemma 11b: C --IncrPair(x,y)--> C' implies C' may return to C
+        via IncrPair(xbar, ybar) (sampled search over runs)."""
+        config = {"x1": 1, "xb1": 1, "y1": 1, "yb1": 1}  # 1-high
+        outcome = call_procedure(
+            lipton2_program, incr_pair_name("x1", "y1"), config, seed=0
+        )
+        assert outcome.returned
+        intermediate = outcome.registers
+        for seed in range(50):
+            back = call_procedure(
+                lipton2_program,
+                incr_pair_name("xb1", "yb1"),
+                intermediate,
+                seed=seed,
+            )
+            if back.returned and {
+                k: v for k, v in back.registers.items() if v
+            } == config:
+                return
+        pytest.fail("IncrPair reverse never undid the forward step")
+
+
+class TestLemma12Large:
+    """Lemma 12: Large(x) nondeterministically certifies x >= N_i."""
+
+    def test_level1_true_branch(self, lipton2_program):
+        config = {"xb1": 1, "yb1": 1}
+        for seed in range(10):
+            outcome = call_procedure(
+                lipton2_program, large_name("xb1"), config, seed=seed
+            )
+            if outcome.value:
+                break
+        assert outcome.value is True
+        # C(xbar) = N_1: the swap has no net effect (C' = C).
+        assert {k: v for k, v in outcome.registers.items() if v} == config
+
+    def test_level1_false_when_empty(self, lipton2_program):
+        outcome = call_procedure(
+            lipton2_program, large_name("x1"), {"xb1": 1, "yb1": 1}, seed=0
+        )
+        assert outcome.value is False
+
+    def test_level2_true_on_proper(self, lipton2_program):
+        config = good_configuration(2, threshold(2))
+        for seed in range(20):
+            outcome = call_procedure(
+                lipton2_program, large_name("xb2"), config, seed=seed
+            )
+            assert outcome.returned
+            if outcome.value:
+                assert {k: v for k, v in outcome.registers.items() if v} == config
+                return
+        pytest.fail("Large(xb2) never returned true on a proper configuration")
+
+    def test_level2_false_leaves_config(self, lipton2_program):
+        config = good_configuration(2, threshold(2))
+        outcome = call_procedure(
+            lipton2_program, large_name("xb2"), config, seed=0,
+            detect_true_probability=0.05,  # bias towards the false branch
+        )
+        if outcome.value is False:
+            assert {k: v for k, v in outcome.registers.items() if v} == config
+
+    def test_level2_false_when_undersupplied(self, lipton3_program):
+        """x2 < N_2 with the invariant held: Large must return false.
+
+        Large(x2) (a non-complement register) is only instantiated when
+        level 2 is an inner level, i.e. for n >= 3."""
+        config = {"xb1": 1, "yb1": 1, "x2": 1, "xb2": 3, "y2": 0, "yb2": 4}
+        for seed in range(10):
+            outcome = call_procedure(
+                lipton3_program, large_name("x2"), config, seed=seed
+            )
+            assert outcome.returned
+            assert outcome.value is False
+
+    def test_effect_on_surplus(self, lipton3_program):
+        """Lemma 12b: on success C'(x) = C(xbar) + N_i, C'(xbar) = C(x) - N_i."""
+        config = proper_prefix(2)
+        config.update({"x2": 5, "xb2": 1})  # x2 >= N_2 = 4
+        for seed in range(30):
+            outcome = call_procedure(
+                lipton3_program, large_name("x2"), config, seed=seed
+            )
+            assert outcome.returned
+            if outcome.value:
+                assert outcome.registers["x2"] == 1 + 4
+                assert outcome.registers["xb2"] == 5 - 4
+                return
+        pytest.fail("Large(x2) never succeeded despite x2 >= N_2")
+
+    def test_entry_check_restarts_on_dirty_counter(self, lipton2_program):
+        """Large(x_i) with x_{i-1} nonzero restarts (entry check)."""
+        config = {"x1": 1, "xb1": 1, "yb1": 1, "xb2": 4}
+        restarted = 0
+        for seed in range(20):
+            outcome = call_procedure(
+                lipton2_program, large_name("xb2"), config, seed=seed
+            )
+            restarted += outcome.restarted
+        assert restarted > 0

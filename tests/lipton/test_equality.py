@@ -1,0 +1,78 @@
+"""Tests for the Section 9 extension: deciding m = k with O(n) size."""
+
+import pytest
+
+from repro.core import Equality
+from repro.lipton import (
+    build_equality_program,
+    build_threshold_program,
+    canonical_restart_policy,
+    equality_predicate,
+    suggested_quiet_window,
+    threshold,
+)
+from repro.programs import decide_program, program_size, validate_program
+
+
+class TestStructure:
+    @pytest.mark.parametrize("n", [1, 2, 3])
+    def test_validates(self, n):
+        validate_program(build_equality_program(n))
+
+    def test_size_close_to_threshold_variant(self):
+        """Equality costs only a constant number of extra instructions."""
+        for n in (1, 2, 3):
+            eq = program_size(build_equality_program(n)).total
+            thr = program_size(build_threshold_program(n)).total
+            assert thr < eq <= thr + 10
+
+    def test_size_linear(self):
+        totals = [program_size(build_equality_program(n)).total for n in range(1, 6)]
+        increments = [b - a for a, b in zip(totals, totals[1:])]
+        assert len(set(increments[2:])) == 1
+
+    def test_predicate(self):
+        assert equality_predicate(2) == Equality(10)
+
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ValueError):
+            build_equality_program(0)
+
+
+class TestDecisions:
+    @pytest.mark.parametrize("m", [1, 2, 3, 5])
+    def test_n1_boundary(self, m):
+        prog = build_equality_program(1)
+        got = decide_program(
+            prog,
+            {"x1": m},
+            seed=31 * m,
+            restart_policy=canonical_restart_policy(1),
+            quiet_window=suggested_quiet_window(1),
+        )
+        assert got == (m == 2)
+
+    @pytest.mark.parametrize("m", [8, 9, 10, 11, 14])
+    def test_n2_boundary(self, m):
+        prog = build_equality_program(2)
+        got = decide_program(
+            prog,
+            {"x1": m},
+            seed=13 * m,
+            restart_policy=canonical_restart_policy(2),
+            quiet_window=suggested_quiet_window(2),
+            max_steps=30_000_000,
+        )
+        assert got == (m == 10)
+
+    def test_inputs_spread_across_registers(self):
+        prog = build_equality_program(2)
+        got = decide_program(
+            prog,
+            {"R": 5, "yb2": 5},
+            seed=7,
+            restart_policy=canonical_restart_policy(2),
+            quiet_window=suggested_quiet_window(2),
+            max_steps=30_000_000,
+        )
+        assert got is True  # total 10 = k_2

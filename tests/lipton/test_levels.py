@@ -1,0 +1,102 @@
+"""Tests for level constants and register naming (Section 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lipton import (
+    RESERVE,
+    all_registers,
+    bar,
+    double_exponential_lower_bound,
+    level_constant,
+    level_of,
+    level_registers,
+    threshold,
+    x,
+    xbar,
+    y,
+    ybar,
+)
+
+
+class TestConstants:
+    def test_first_constants(self):
+        assert [level_constant(i) for i in range(1, 5)] == [1, 4, 25, 676]
+
+    def test_recurrence(self):
+        for i in range(1, 10):
+            assert level_constant(i + 1) == (level_constant(i) + 1) ** 2
+
+    def test_double_exponential_growth(self):
+        """N_i + 1 >= 2^(2^(i-1)) (induction: (N_i+1)^2 >= (2^(2^(i-1)))^2)."""
+        for i in range(1, 12):
+            assert level_constant(i) + 1 >= 2 ** (2 ** (i - 1))
+
+    def test_level_zero_rejected(self):
+        with pytest.raises(ValueError):
+            level_constant(0)
+
+    def test_thresholds(self):
+        assert threshold(1) == 2
+        assert threshold(2) == 10
+        assert threshold(3) == 60
+        assert threshold(4) == 1412
+
+    def test_threshold_rejects_zero(self):
+        with pytest.raises(ValueError):
+            threshold(0)
+
+    @pytest.mark.parametrize("n", range(1, 10))
+    def test_theorem3_bound(self, n):
+        """k_n >= 2^(2^(n-1)) — the Theorem 3 guarantee."""
+        assert threshold(n) >= double_exponential_lower_bound(n)
+
+    def test_bignum_levels(self):
+        # n = 12: N_n has ~600 digits; must not overflow or crawl.
+        value = level_constant(12)
+        assert value.bit_length() > 2**10
+
+
+class TestRegisters:
+    def test_naming(self):
+        assert (x(3), xbar(3), y(3), ybar(3)) == ("x3", "xb3", "y3", "yb3")
+
+    def test_bar_involution(self):
+        for reg in ("x2", "xb2", "y7", "yb7"):
+            assert bar(bar(reg)) == reg
+
+    def test_bar_pairs(self):
+        assert bar("x1") == "xb1"
+        assert bar("yb4") == "y4"
+
+    def test_bar_of_reserve_rejected(self):
+        with pytest.raises(ValueError):
+            bar(RESERVE)
+
+    def test_level_of(self):
+        assert level_of("x3") == 3
+        assert level_of("yb12") == 12
+        with pytest.raises(ValueError):
+            level_of(RESERVE)
+
+    def test_level_registers(self):
+        assert level_registers(2) == ("x2", "xb2", "y2", "yb2")
+
+    def test_all_registers_count(self):
+        """4n + 1 registers (Theorem 3's proof)."""
+        for n in (1, 3, 6):
+            regs = all_registers(n)
+            assert len(regs) == 4 * n + 1
+            assert regs[-1] == RESERVE
+            assert len(set(regs)) == len(regs)
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_threshold_strictly_increasing(n):
+    assert threshold(n + 1) > threshold(n)
+
+
+@given(st.integers(min_value=1, max_value=8))
+def test_threshold_dominated_by_top_level(n):
+    """k_n = 2 * sum N_i < 4 * N_n (the top level dominates)."""
+    assert threshold(n) < 4 * level_constant(n)

@@ -1,0 +1,74 @@
+"""Tests for the bare Lipton counter (leader baseline, §5.1)."""
+
+import pytest
+
+from repro.lipton import (
+    build_parallel_program,
+    build_threshold_program,
+    decide_with_trusted_initialisation,
+    parallel_program_size,
+    threshold,
+)
+from repro.programs import Restart, program_size, validate_program
+from repro.programs.ast import iter_statements
+
+
+class TestStructure:
+    def test_validates(self):
+        validate_program(build_parallel_program(2))
+
+    def test_no_assert_procedures(self):
+        prog = build_parallel_program(3)
+        assert not any(name.startswith("Assert") for name in prog.procedures)
+
+    def test_still_linear_size(self):
+        sizes = [parallel_program_size(n).total for n in range(1, 6)]
+        increments = [b - a for a, b in zip(sizes, sizes[1:])]
+        assert len(set(increments[1:])) == 1
+
+    def test_smaller_than_checked_variant(self):
+        for n in (1, 2, 3):
+            bare = parallel_program_size(n).total
+            full = program_size(build_threshold_program(n)).total
+            assert bare < full
+
+    def test_large_keeps_entry_restart_check_only_with_checks(self):
+        bare = build_parallel_program(2)
+        restarts = sum(
+            isinstance(stmt, Restart)
+            for proc in bare.procedures.values()
+            for stmt in iter_statements(proc.body)
+        )
+        assert restarts == 0
+
+
+class TestTrustedDecisions:
+    @pytest.mark.parametrize("n", [1, 2])
+    def test_boundary(self, n):
+        k = threshold(n)
+        for m in (max(0, k - 1), k, k + 2):
+            got = decide_with_trusted_initialisation(n, m, seed=m)
+            assert got == (m >= k), (n, m)
+
+    def test_n3_spot_check(self):
+        k = threshold(3)
+        assert decide_with_trusted_initialisation(3, k, seed=1) is True
+        assert decide_with_trusted_initialisation(3, k - 1, seed=1) is False
+
+
+class TestAdversarialFragility:
+    def test_bare_counter_fails_without_trusted_init(self):
+        """X2's point: the bare counter is wrong on some adversarial
+        configurations — e.g. plenty of agents parked in R never get
+        counted, so an above-threshold input is rejected."""
+        from repro.programs import decide_program
+
+        n = 1
+        k = threshold(n)
+        prog = build_parallel_program(n)
+        # All units in R: the counter sees empty levels and stabilises
+        # false although m >= k.
+        got = decide_program(
+            prog, {"R": k + 3}, seed=0, quiet_window=20_000, strict=False
+        )
+        assert got is False  # wrong answer: demonstrates the fragility

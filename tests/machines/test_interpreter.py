@@ -1,0 +1,166 @@
+"""Tests for the machine interpreter (Definition 13 semantics)."""
+
+import random
+
+import pytest
+
+from repro.machines import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    CF,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    decide_machine,
+    machine_step,
+    machine_successors,
+    register_map_pointer,
+    run_machine,
+)
+
+
+def build(instructions, registers=("x", "y"), extra_domains=None):
+    length = len(instructions)
+    domains = {
+        OF: BOOL_DOMAIN,
+        CF: BOOL_DOMAIN,
+        IP: tuple(range(1, length + 1)),
+    }
+    for reg in registers:
+        domains[register_map_pointer(reg)] = tuple(registers)
+    domains[register_map_pointer("#")] = tuple(registers)
+    if extra_domains:
+        domains.update(extra_domains)
+    return PopulationMachine(registers, domains, tuple(instructions))
+
+
+JUMP1 = AssignInstr(IP, CF, {False: 1, True: 1})
+
+
+class TestMoveSemantics:
+    def test_move_transfers_unit(self):
+        m = build([MoveInstr("x", "y"), JUMP1])
+        config = m.initial_configuration({"x": 2})
+        assert machine_step(m, config, random.Random(0))
+        assert config.registers == {"x": 1, "y": 1}
+        assert config.ip == 2
+
+    def test_move_from_empty_hangs(self):
+        m = build([MoveInstr("x", "y"), JUMP1])
+        config = m.initial_configuration({"x": 0})
+        assert not machine_step(m, config, random.Random(0))
+        assert machine_successors(m, config) == []
+
+    def test_move_respects_register_map(self):
+        """After V_x and V_y are swapped, 'x -> y' moves y's units to x."""
+        m = build([MoveInstr("x", "y"), JUMP1])
+        config = m.initial_configuration({"y": 1})
+        config.pointers[register_map_pointer("x")] = "y"
+        config.pointers[register_map_pointer("y")] = "x"
+        assert machine_step(m, config, random.Random(0))
+        assert config.registers == {"x": 1, "y": 0}
+
+    def test_move_at_last_instruction_hangs(self):
+        m = build([MoveInstr("x", "y")])
+        config = m.initial_configuration({"x": 5})
+        assert not machine_step(m, config, random.Random(0))
+
+    def test_aliased_map_detected(self):
+        from repro.core import InvalidMachineError
+
+        m = build([MoveInstr("x", "y"), JUMP1])
+        config = m.initial_configuration({"x": 1})
+        config.pointers[register_map_pointer("y")] = "x"  # corrupt
+        with pytest.raises(InvalidMachineError):
+            machine_step(m, config, random.Random(0))
+
+
+class TestDetectSemantics:
+    def test_detect_empty_always_false(self):
+        m = build([DetectInstr("x"), JUMP1])
+        config = m.initial_configuration({"x": 0})
+        machine_step(m, config, random.Random(0))
+        assert config.pointers[CF] is False
+
+    def test_detect_nonempty_has_both_successors(self):
+        m = build([DetectInstr("x"), JUMP1])
+        config = m.initial_configuration({"x": 1})
+        outcomes = {s.pointers[CF] for s in machine_successors(m, config)}
+        assert outcomes == {True, False}
+
+    def test_detect_empty_single_successor(self):
+        m = build([DetectInstr("x"), JUMP1])
+        config = m.initial_configuration({"x": 0})
+        outcomes = [s.pointers[CF] for s in machine_successors(m, config)]
+        assert outcomes == [False]
+
+    def test_detect_probability_respected(self):
+        m = build([DetectInstr("x"), AssignInstr(IP, CF, {False: 1, True: 1})])
+        rng = random.Random(0)
+        hits = 0
+        for _ in range(2000):
+            config = m.initial_configuration({"x": 1})
+            machine_step(m, config, rng, detect_true_probability=0.3)
+            hits += config.pointers[CF]
+        assert abs(hits / 2000 - 0.3) < 0.05
+
+
+class TestAssignSemantics:
+    def test_jump(self):
+        m = build([AssignInstr(IP, CF, {False: 2, True: 2}), JUMP1])
+        config = m.initial_configuration({})
+        machine_step(m, config, random.Random(0))
+        assert config.ip == 2
+
+    def test_pointer_update_advances_ip(self):
+        m = build([AssignInstr(OF, CF, {False: True, True: True}), JUMP1])
+        config = m.initial_configuration({})
+        machine_step(m, config, random.Random(0))
+        assert config.pointers[OF] is True
+        assert config.ip == 2
+
+    def test_non_ip_assign_at_last_instruction_hangs(self):
+        m = build([AssignInstr(OF, CF, {False: True, True: True})])
+        config = m.initial_configuration({})
+        assert not machine_step(m, config, random.Random(0))
+
+    def test_indirect_jump_through_pointer(self):
+        m = build(
+            [AssignInstr(IP, "P", {2: 2}), JUMP1],
+            extra_domains={"P": (2,)},
+        )
+        config = m.initial_configuration({})
+        config.pointers["P"] = 2
+        machine_step(m, config, random.Random(0))
+        assert config.ip == 2
+
+
+class TestRunDrivers:
+    def test_run_counts_restarts(self, figure1):
+        from repro.machines import lower_program
+
+        machine = lower_program(figure1)
+        result = run_machine(
+            machine, {"z": 4}, seed=0, max_steps=200_000, quiet_window=None
+        )
+        assert result.restarts >= 1  # z > 0 forces restarts
+
+    def test_quiet_window_stops(self, thr2_machine):
+        result = run_machine(
+            thr2_machine, {"x": 5}, seed=1, quiet_window=5_000, max_steps=10**7
+        )
+        assert result.quiet_steps >= 5_000
+
+    def test_decide_thr2(self, thr2_machine):
+        assert decide_machine(thr2_machine, {"x": 1}, seed=0,
+                              quiet_window=20_000) is False
+        assert decide_machine(thr2_machine, {"x": 4}, seed=0,
+                              quiet_window=20_000) is True
+
+    def test_of_trace_recorded(self, thr2_machine):
+        result = run_machine(
+            thr2_machine, {"x": 4}, seed=1, quiet_window=20_000, max_steps=10**6
+        )
+        assert result.of_trace and result.of_trace[-1][1] is True

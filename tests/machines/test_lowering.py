@@ -1,0 +1,214 @@
+"""Tests for the program → machine compiler (§7.2, Figures 3/5/6/7)."""
+
+import pytest
+
+from repro.machines import (
+    AssignInstr,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    OF,
+    decide_machine,
+    lower_program,
+    procedure_pointer,
+    register_map_pointer,
+)
+from repro.programs import (
+    CallExpr,
+    CallStmt,
+    Detect,
+    If,
+    Move,
+    Not,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    procedure,
+    program,
+    program_size,
+    seq,
+    while_true,
+)
+
+
+def lower(*procs, registers=("x", "y")):
+    return lower_program(program(registers, procs))
+
+
+class TestPreamble:
+    def test_starts_with_main_call(self):
+        m = lower(procedure("Main", while_true(SetOutput(False))))
+        first = m.instructions[0]
+        assert isinstance(first, AssignInstr)
+        assert first.target == procedure_pointer("Main")
+        # Instruction 3 is the spin loop for a returning Main.
+        spin = m.instructions[2]
+        assert isinstance(spin, AssignInstr) and spin.target == IP
+        assert set(spin.mapping.values()) == {3}
+
+    def test_main_return_reaches_spin(self):
+        """A Main that returns immediately leaves the machine spinning at 3."""
+        import random
+
+        from repro.machines import machine_step
+
+        m = lower(procedure("Main", SetOutput(True)))
+        config = m.initial_configuration({"x": 1})
+        for _ in range(20):
+            machine_step(m, config, random.Random(0))
+        assert config.ip == 3
+        assert config.output is True
+
+
+class TestStatements:
+    def test_move_lowered_one_to_one(self):
+        m = lower(procedure("Main", Move("x", "y"), while_true()))
+        moves = [i for i in m.instructions if isinstance(i, MoveInstr)]
+        assert moves == [MoveInstr("x", "y")]
+
+    def test_swap_is_three_map_assignments(self):
+        """Figure 3: swap x, y ~> V# := Vx; Vx := Vy; Vy := V#."""
+        m = lower(procedure("Main", Swap("x", "y"), while_true()))
+        assigns = [
+            i
+            for i in m.instructions
+            if isinstance(i, AssignInstr) and i.target.startswith("V[")
+        ]
+        assert [a.target for a in assigns] == [
+            register_map_pointer("#"),
+            register_map_pointer("x"),
+            register_map_pointer("y"),
+        ]
+        assert assigns[0].source == register_map_pointer("x")
+        assert assigns[1].source == register_map_pointer("y")
+        assert assigns[2].source == register_map_pointer("#")
+
+    def test_set_output(self):
+        m = lower(procedure("Main", SetOutput(True), while_true()))
+        ofs = [i for i in m.instructions
+               if isinstance(i, AssignInstr) and i.target == OF]
+        assert len(ofs) == 1
+        assert set(ofs[0].mapping.values()) == {True}
+
+    def test_detect_followed_by_cf_branch(self):
+        """Figure 5: every detect is followed by IP := f(CF)."""
+        m = lower(
+            procedure("Main", While(Detect("x"), seq(Move("x", "y"))), while_true())
+        )
+        for index, instr in enumerate(m.instructions[:-1]):
+            if isinstance(instr, DetectInstr):
+                nxt = m.instructions[index + 1]
+                assert isinstance(nxt, AssignInstr)
+                assert nxt.target == IP and nxt.source == "CF"
+
+    def test_while_loops_back(self):
+        m = lower(
+            procedure("Main", While(Detect("x"), seq(Move("x", "y"))), while_true())
+        )
+        # Find the jump following the move: it must target the detect.
+        for index, instr in enumerate(m.instructions):
+            if isinstance(instr, MoveInstr):
+                back = m.instructions[index + 1]
+                assert isinstance(back, AssignInstr) and back.target == IP
+                target = next(iter(back.mapping.values()))
+                assert isinstance(m.instruction_at(target), DetectInstr)
+                return
+        pytest.fail("no move found")
+
+
+class TestProcedures:
+    def test_return_pointer_domain_matches_call_sites(self):
+        """Figure 6: P's pointer domain has one value per call site."""
+        helper = procedure("P", Return(True), returns_value=True)
+        main = procedure(
+            "Main",
+            If(CallExpr("P"), then_body=seq()),
+            CallStmt("P"),
+            while_true(),
+        )
+        m = lower(main, helper)
+        assert len(m.pointer_domains[procedure_pointer("P")]) == 2
+
+    def test_return_value_travels_in_cf(self):
+        helper = procedure("P", Return(True), returns_value=True)
+        main = procedure(
+            "Main",
+            If(CallExpr("P"), then_body=seq(SetOutput(True))),
+            while_true(),
+        )
+        m = lower(main, helper)
+        assert decide_machine(m, {"x": 1}, seed=0, quiet_window=2_000) is True
+
+    def test_indirect_return_jump(self):
+        helper = procedure("P", Return(None))
+        main = procedure("Main", CallStmt("P"), while_true())
+        m = lower(main, helper)
+        pointer = procedure_pointer("P")
+        indirect = [
+            i
+            for i in m.instructions
+            if isinstance(i, AssignInstr) and i.target == IP and i.source == pointer
+        ]
+        assert indirect  # the return
+
+
+class TestRestartHelper:
+    def test_helper_emitted_once(self, figure1):
+        m = lower_program(figure1)
+        assert m.restart_entry is not None
+        # The helper: for each non-hub register one in-loop and one
+        # out-loop, each loop = detect + branch + move + jump.
+        helper = m.instructions[m.restart_entry - 1:]
+        detects = sum(isinstance(i, DetectInstr) for i in helper)
+        assert detects == 2 * (len(m.registers) - 1)
+        # Its residual restart lowers to IP := 1.
+        last = m.instructions[-1]
+        assert isinstance(last, AssignInstr) and last.target == IP
+        assert set(last.mapping.values()) == {1}
+
+    def test_no_helper_without_restarts(self, thr2_machine):
+        assert thr2_machine.restart_entry is None
+
+
+class TestSizes:
+    def test_proposition14_linear_overhead(self):
+        """Machine size O(program size) with a stable ratio across the
+        construction family."""
+        from repro.lipton import build_threshold_program
+
+        ratios = []
+        for n in (1, 2, 3, 4):
+            prog = build_threshold_program(n)
+            machine = lower_program(prog)
+            ratios.append(machine.size() / program_size(prog).total)
+        assert max(ratios) < 8
+        assert max(ratios) / min(ratios) < 1.5
+
+    def test_register_map_domains_match_swap_components(self, figure1):
+        m = lower_program(figure1)
+        assert set(m.pointer_domains[register_map_pointer("x")]) == {"x", "y"}
+        assert set(m.pointer_domains[register_map_pointer("y")]) == {"x", "y"}
+        assert m.pointer_domains[register_map_pointer("z")] == ("z",)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("x,expected", [(1, False), (2, True), (5, True)])
+    def test_thr2_decisions(self, thr2_machine, x, expected):
+        assert decide_machine(thr2_machine, {"x": x}, seed=x,
+                              quiet_window=20_000) is expected
+
+    def test_figure1_boundary(self, figure1):
+        m = lower_program(figure1)
+        for x, expected in [(3, False), (5, True), (8, False)]:
+            got = decide_machine(m, {"x": x}, seed=x, quiet_window=50_000,
+                                 max_steps=10_000_000)
+            assert got is expected, x
+
+    def test_lipton1_machine_decides(self, lipton1_program):
+        m = lower_program(lipton1_program)
+        for x, expected in [(1, False), (2, True), (4, True)]:
+            got = decide_machine(m, {"x1": x}, seed=3 * x, quiet_window=100_000,
+                                 max_steps=30_000_000)
+            assert got is expected, x

@@ -1,0 +1,205 @@
+"""Property-based tests: lowering invariants over random programs.
+
+Random (well-formed) population programs are generated and compiled; the
+resulting machines must validate, preserve structural invariants of the
+translation scheme, and execute without errors while conserving agents.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.machines import (
+    AssignInstr,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    lower_program,
+    procedure_pointer,
+    register_map_pointer,
+    run_machine,
+)
+from repro.programs import (
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    procedure,
+    program,
+    program_size,
+    seq,
+    while_true,
+)
+from repro.programs.ast import CallStmt as CallStmtNode, iter_statements
+
+REGISTERS = ("a", "b", "c")
+
+
+@st.composite
+def conditions(draw, helpers, depth=0):
+    options = ["detect", "const"]
+    if helpers:
+        options.append("call")
+    if depth < 2:
+        options.extend(["not", "or"])
+    kind = draw(st.sampled_from(options))
+    if kind == "detect":
+        return Detect(draw(st.sampled_from(REGISTERS)))
+    if kind == "const":
+        return Const(draw(st.booleans()))
+    if kind == "call":
+        return CallExpr(draw(st.sampled_from(helpers)))
+    if kind == "not":
+        return Not(draw(conditions(helpers, depth + 1)))
+    left = draw(conditions(helpers, depth + 1))
+    right = draw(conditions(helpers, depth + 1))
+    return Or(left, right)
+
+
+@st.composite
+def statements(draw, helpers, depth=0):
+    options = ["move", "swap", "output", "restart"]
+    if helpers:
+        options.append("call")
+    if depth < 2:
+        options.extend(["if", "while"])
+    kind = draw(st.sampled_from(options))
+    if kind == "move":
+        src = draw(st.sampled_from(REGISTERS))
+        dst = draw(st.sampled_from([r for r in REGISTERS if r != src]))
+        return Move(src, dst)
+    if kind == "swap":
+        a = draw(st.sampled_from(REGISTERS))
+        b = draw(st.sampled_from([r for r in REGISTERS if r != a]))
+        return Swap(a, b)
+    if kind == "output":
+        return SetOutput(draw(st.booleans()))
+    if kind == "restart":
+        return Restart()
+    if kind == "call":
+        return CallStmt(draw(st.sampled_from(helpers)))
+    body = draw(
+        st.lists(statements(helpers, depth + 1), min_size=1, max_size=3)
+    )
+    condition = draw(conditions(helpers, depth + 1))
+    if kind == "if":
+        else_body = draw(
+            st.lists(statements(helpers, depth + 1), min_size=0, max_size=2)
+        )
+        return If(condition, seq(*body), seq(*else_body))
+    # Guard while-loops against trivial infinite spins: require a detect
+    # condition (eventually false on drained registers) or keep Const(False).
+    if isinstance(condition, Const) and condition.value:
+        condition = Detect(draw(st.sampled_from(REGISTERS)))
+    return While(condition, seq(*body))
+
+
+@st.composite
+def programs(draw):
+    n_helpers = draw(st.integers(min_value=0, max_value=2))
+    helper_names = [f"H{i}" for i in range(n_helpers)]
+    procs = []
+    for index, name in enumerate(helper_names):
+        callable_helpers = helper_names[:index]  # acyclic by construction
+        body = draw(
+            st.lists(statements(callable_helpers), min_size=1, max_size=3)
+        )
+        procs.append(
+            procedure(name, *body, Return(draw(st.booleans())), returns_value=True)
+        )
+    main_body = draw(st.lists(statements(helper_names), min_size=1, max_size=4))
+    procs.append(procedure("Main", *main_body, while_true()))
+    return program(REGISTERS, procs)
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_lowering_validates(prog):
+    """Every generated program lowers to a machine that passes Definition 6
+    validation (done in the machine constructor)."""
+    machine = lower_program(prog)
+    assert machine.length >= 3
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_every_detect_followed_by_branch(prog):
+    machine = lower_program(prog)
+    for index, instr in enumerate(machine.instructions):
+        if isinstance(instr, DetectInstr):
+            assert index + 1 < machine.length
+            nxt = machine.instructions[index + 1]
+            assert isinstance(nxt, AssignInstr)
+            assert nxt.target == IP and nxt.source == "CF"
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_procedure_pointer_domains_match_call_sites(prog):
+    machine = lower_program(prog)
+    for name in prog.procedures:
+        call_sites = sum(
+            1
+            for proc in prog.procedures.values()
+            for stmt in iter_statements(proc.body)
+            if isinstance(stmt, CallStmtNode) and stmt.procedure == name
+        )
+        # Conditions also call procedures:
+        from repro.programs.ast import condition_atoms, If as IfNode, While as WhileNode
+
+        for proc in prog.procedures.values():
+            for stmt in iter_statements(proc.body):
+                if isinstance(stmt, (IfNode, WhileNode)):
+                    for atom in condition_atoms(stmt.condition):
+                        if isinstance(atom, CallExpr) and atom.procedure == name:
+                            call_sites += 1
+        if name == prog.main:
+            call_sites += 1  # the synthetic preamble call
+        domain = machine.pointer_domains[procedure_pointer(name)]
+        if call_sites:
+            assert len(domain) <= call_sites
+            assert len(domain) >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_size_overhead_linear(prog):
+    machine = lower_program(prog)
+    assert machine.size() <= 25 * program_size(prog).total + 60
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs(), st.integers(min_value=0, max_value=2**16))
+def test_execution_conserves_agents(prog, seed):
+    """Running any lowered machine never raises and conserves the total
+    number of register units (moves only shuffle them)."""
+    machine = lower_program(prog)
+    result = run_machine(
+        machine, {"a": 3, "b": 1}, seed=seed, max_steps=3_000, quiet_window=None
+    )
+    assert sum(result.config.registers.values()) == 4
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_restart_helper_iff_restart_statement(prog):
+    has_restart = any(
+        isinstance(stmt, Restart)
+        for proc in prog.procedures.values()
+        for stmt in iter_statements(proc.body)
+    )
+    machine = lower_program(prog)
+    assert (machine.restart_entry is not None) == has_restart
+    if has_restart:
+        last = machine.instructions[-1]
+        assert isinstance(last, AssignInstr) and last.target == IP
+        assert set(last.mapping.values()) == {1}

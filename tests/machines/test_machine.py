@@ -1,0 +1,183 @@
+"""Tests for the population-machine model (Definitions 6 & 13)."""
+
+import pytest
+
+from repro.core import InvalidMachineError
+from repro.machines import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    CF,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    pretty_print,
+    register_map_pointer,
+)
+
+
+def minimal_domains(length, registers=("x", "y")):
+    domains = {
+        OF: BOOL_DOMAIN,
+        CF: BOOL_DOMAIN,
+        IP: tuple(range(1, length + 1)),
+    }
+    for reg in registers:
+        domains[register_map_pointer(reg)] = (reg,)
+    domains[register_map_pointer("#")] = (registers[0],)
+    return domains
+
+
+def spin(length=1):
+    """L instructions, all jumping to 1."""
+    instr = AssignInstr(IP, CF, {False: 1, True: 1})
+    return PopulationMachine(
+        registers=("x", "y"),
+        pointer_domains=minimal_domains(length),
+        instructions=(instr,) * length,
+        name="spin",
+    )
+
+
+class TestValidation:
+    def test_minimal_machine(self):
+        m = spin()
+        assert m.length == 1
+        assert m.size() == 2 + 6 + (2 + 2 + 1 + 1 + 1 + 1) + 1
+
+    def test_empty_instructions_rejected(self):
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x",), minimal_domains(0, ("x",)), ())
+
+    def test_ip_domain_must_match_length(self):
+        domains = minimal_domains(2)
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(
+                ("x", "y"),
+                domains,
+                (AssignInstr(IP, CF, {False: 1, True: 1}),),
+            )
+
+    def test_of_domain_fixed(self):
+        domains = minimal_domains(1)
+        domains[OF] = ("no", "yes")
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x", "y"), domains,
+                              (AssignInstr(IP, CF, {False: 1, True: 1}),))
+
+    def test_register_map_pointer_required(self):
+        domains = minimal_domains(1)
+        del domains[register_map_pointer("y")]
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x", "y"), domains,
+                              (AssignInstr(IP, CF, {False: 1, True: 1}),))
+
+    def test_register_must_be_in_own_map_domain(self):
+        domains = minimal_domains(1)
+        domains[register_map_pointer("y")] = ("x",)
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x", "y"), domains,
+                              (AssignInstr(IP, CF, {False: 1, True: 1}),))
+
+    def test_map_domain_must_be_registers(self):
+        domains = minimal_domains(1)
+        domains[register_map_pointer("x")] = ("x", "ghost")
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x", "y"), domains,
+                              (AssignInstr(IP, CF, {False: 1, True: 1}),))
+
+    def test_move_requires_distinct_registers(self):
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(
+                ("x", "y"),
+                minimal_domains(1),
+                (MoveInstr("x", "x"),),
+            )
+
+    def test_move_unknown_register(self):
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(
+                ("x", "y"),
+                minimal_domains(1),
+                (MoveInstr("x", "ghost"),),
+            )
+
+    def test_assign_mapping_must_cover_source_domain(self):
+        domains = minimal_domains(1)
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(
+                ("x", "y"),
+                domains,
+                (AssignInstr(IP, CF, {False: 1}),),  # missing True
+            )
+
+    def test_assign_values_within_target_domain(self):
+        domains = minimal_domains(1)
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(
+                ("x", "y"),
+                domains,
+                (AssignInstr(IP, CF, {False: 1, True: 99}),),
+            )
+
+    def test_empty_pointer_domain_rejected(self):
+        domains = minimal_domains(1)
+        domains["P[foo]"] = ()
+        with pytest.raises(InvalidMachineError):
+            PopulationMachine(("x", "y"), domains,
+                              (AssignInstr(IP, CF, {False: 1, True: 1}),))
+
+
+class TestConfiguration:
+    def test_initial_configuration(self):
+        m = spin()
+        config = m.initial_configuration({"x": 3})
+        assert config.ip == 1
+        assert config.output is False
+        assert config.resolve("x") == "x"
+        assert config.registers == {"x": 3, "y": 0}
+        assert config.total == 3
+
+    def test_initial_rejects_unknown_register(self):
+        with pytest.raises(InvalidMachineError):
+            spin().initial_configuration({"ghost": 1})
+
+    def test_initial_rejects_negative(self):
+        with pytest.raises(InvalidMachineError):
+            spin().initial_configuration({"x": -1})
+
+    def test_copy_independent(self):
+        config = spin().initial_configuration({"x": 1})
+        clone = config.copy()
+        clone.registers["x"] = 5
+        assert config.registers["x"] == 1
+
+    def test_freeze_equality(self):
+        m = spin()
+        a = m.initial_configuration({"x": 2})
+        b = m.initial_configuration({"x": 2})
+        assert a.freeze() == b.freeze()
+
+
+class TestSizeAndDisplay:
+    def test_size_formula(self, thr2_machine):
+        m = thr2_machine
+        expected = (
+            len(m.registers)
+            + len(m.pointer_domains)
+            + sum(len(d) for d in m.pointer_domains.values())
+            + m.length
+        )
+        assert m.size() == expected
+
+    def test_pretty_print_lists_all_instructions(self, thr2_machine):
+        text = pretty_print(thr2_machine)
+        assert text.count("\n") == thr2_machine.length
+        assert "restart helper" not in text  # thr2 has no restarts
+
+    def test_pretty_print_marks_restart_helper(self, figure1):
+        from repro.machines import lower_program
+
+        machine = lower_program(figure1)
+        assert "restart helper" in pretty_print(machine)

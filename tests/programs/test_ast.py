@@ -1,0 +1,109 @@
+"""Tests for the population-program AST and traversal helpers."""
+
+import pytest
+
+from repro.core import InvalidProgramError
+from repro.programs import (
+    And,
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Or,
+    PopulationProgram,
+    Procedure,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    procedure,
+    program,
+    seq,
+)
+from repro.programs.ast import (
+    called_procedures,
+    condition_atoms,
+    iter_conditions,
+    iter_statements,
+)
+
+
+def sample_procedure():
+    return procedure(
+        "P",
+        Move("x", "y"),
+        If(
+            Detect("x"),
+            then_body=seq(Swap("x", "y"), CallStmt("Q")),
+            else_body=seq(Restart()),
+        ),
+        While(And(Detect("y"), Not(CallExpr("R"))), seq(SetOutput(True))),
+        Return(None),
+    )
+
+
+class TestTraversal:
+    def test_iter_statements_includes_nested(self):
+        stmts = list(iter_statements(sample_procedure().body))
+        kinds = [type(s).__name__ for s in stmts]
+        assert "Swap" in kinds and "Restart" in kinds and "SetOutput" in kinds
+        assert kinds.count("If") == 1 and kinds.count("While") == 1
+
+    def test_iter_conditions(self):
+        conds = list(iter_conditions(sample_procedure().body))
+        assert len(conds) == 2
+
+    def test_condition_atoms_flatten(self):
+        cond = Or(And(Detect("a"), Const(True)), Not(CallExpr("F")))
+        atoms = list(condition_atoms(cond))
+        assert [type(a).__name__ for a in atoms] == ["Detect", "Const", "CallExpr"]
+
+    def test_called_procedures(self):
+        calls = list(called_procedures(sample_procedure()))
+        assert sorted(calls) == ["Q", "R"]
+
+
+class TestProgramStructure:
+    def test_duplicate_registers_rejected(self):
+        with pytest.raises(InvalidProgramError):
+            PopulationProgram(
+                registers=("x", "x"),
+                procedures={"Main": Procedure("Main", ())},
+            )
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(InvalidProgramError):
+            PopulationProgram(registers=("x",), procedures={})
+
+    def test_procedure_lookup(self):
+        prog = program(["x"], [procedure("Main", SetOutput(False))])
+        assert prog.procedure("Main").name == "Main"
+        with pytest.raises(InvalidProgramError):
+            prog.procedure("Nope")
+
+
+class TestDisplay:
+    @pytest.mark.parametrize(
+        "node,text",
+        [
+            (Move("x", "y"), "x -> y"),
+            (Swap("a", "b"), "swap a, b"),
+            (SetOutput(True), "OF := true"),
+            (Restart(), "restart"),
+            (Return(False), "return false"),
+            (Return(None), "return"),
+            (CallStmt("P"), "P()"),
+            (Detect("x"), "detect x > 0"),
+            (Const(True), "true"),
+        ],
+    )
+    def test_str(self, node, text):
+        assert str(node) == text
+
+    def test_compound_condition_str(self):
+        cond = Or(Not(Detect("x")), CallExpr("P"))
+        assert "detect x > 0" in str(cond) and "P()" in str(cond)

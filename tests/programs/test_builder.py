@@ -1,0 +1,83 @@
+"""Tests for the program-building sugar (incl. for-loop macro expansion)."""
+
+import pytest
+
+from repro.programs import (
+    Const,
+    Move,
+    SetOutput,
+    While,
+    for_loop,
+    procedure,
+    program,
+    seq,
+    while_true,
+)
+
+
+class TestSeq:
+    def test_flattens_nested(self):
+        body = seq(Move("x", "y"), [Move("y", "x"), [SetOutput(True)]])
+        assert len(body) == 3
+        assert isinstance(body, tuple)
+
+    def test_empty(self):
+        assert seq() == ()
+
+
+class TestForLoop:
+    def test_expands_into_copies(self):
+        """Section 4: for-loops are macros expanding into their body's
+        copies (like Figure 1's Test(i))."""
+        body = for_loop(3, lambda j: Move("x", "y"))
+        assert len(body) == 3
+        assert all(isinstance(s, Move) for s in body)
+
+    def test_index_is_one_based(self):
+        indices = []
+        for_loop(4, lambda j: indices.append(j) or Move("x", "y"))
+        assert indices == [1, 2, 3, 4]
+
+    def test_zero_iterations(self):
+        assert for_loop(0, lambda j: Move("x", "y")) == ()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            for_loop(-1, lambda j: Move("x", "y"))
+
+    def test_body_may_be_sequence(self):
+        body = for_loop(2, lambda j: [Move("x", "y"), Move("y", "x")])
+        assert len(body) == 4
+
+
+class TestWhileTrue:
+    def test_condition_is_const_true(self):
+        loop = while_true(Move("x", "y"))
+        assert isinstance(loop, While)
+        assert loop.condition == Const(True)
+        assert len(loop.body) == 1
+
+    def test_empty_body_allowed(self):
+        assert while_true().body == ()
+
+
+class TestProgram:
+    def test_duplicate_procedures_rejected(self):
+        p = procedure("Main", SetOutput(False))
+        with pytest.raises(ValueError):
+            program(["x"], [p, p])
+
+    def test_validation_runs_by_default(self):
+        from repro.core import InvalidProgramError
+        from repro.programs import CallStmt
+
+        bad = procedure("Main", CallStmt("Ghost"))
+        with pytest.raises(InvalidProgramError):
+            program(["x"], [bad])
+
+    def test_validation_can_be_skipped(self):
+        from repro.programs import CallStmt
+
+        bad = procedure("Main", CallStmt("Ghost"))
+        prog = program(["x"], [bad], validate=False)
+        assert "Main" in prog.procedures

@@ -1,0 +1,109 @@
+"""Tests for the example programs (Figure 1 and variants)."""
+
+import pytest
+
+from repro.core import Interval, Threshold
+from repro.programs import (
+    decide_program,
+    figure1_predicate,
+    figure1_program,
+    interval_program,
+    program_size,
+    simple_threshold_program,
+    simple_threshold_predicate,
+    validate_program,
+)
+
+
+class TestFigure1Structure:
+    def test_registers(self, figure1):
+        assert set(figure1.registers) == {"x", "y", "z"}
+
+    def test_procedures_match_paper(self, figure1):
+        """Main, Clean, Test(4), Test(7) — exactly the four parameterised
+        procedures of Figure 1."""
+        assert set(figure1.procedures) == {"Main", "Clean", "Test(4)", "Test(7)"}
+
+    def test_swap_size_is_two(self, figure1):
+        """The paper computes the figure's swap-size as exactly 2."""
+        assert program_size(figure1).swap_size == 2
+
+    def test_validates(self, figure1):
+        validate_program(figure1)
+
+    def test_predicate(self):
+        assert figure1_predicate() == Interval(4, 7)
+
+
+class TestFigure1Decisions:
+    @pytest.mark.parametrize("m", range(1, 11))
+    def test_pure_x_inputs(self, figure1, m):
+        got = decide_program(
+            figure1, {"x": m}, seed=40 + m, quiet_window=20_000, max_steps=3_000_000
+        )
+        assert got == (4 <= m < 7)
+
+    @pytest.mark.parametrize(
+        "initial",
+        [
+            {"x": 2, "y": 3, "z": 1},
+            {"x": 1, "y": 1, "z": 3},
+            {"x": 0, "y": 5, "z": 0},
+            {"x": 0, "y": 0, "z": 6},
+        ],
+    )
+    def test_noise_register_inputs(self, figure1, initial):
+        """The decision depends on the total across all registers; junk in
+        y and z is cleaned via restarts."""
+        m = sum(initial.values())
+        got = decide_program(
+            figure1, initial, seed=7, quiet_window=20_000, max_steps=5_000_000
+        )
+        assert got == (4 <= m < 7)
+
+
+class TestIntervalVariants:
+    def test_custom_interval(self):
+        prog = interval_program(2, 5)
+        for m in range(1, 8):
+            got = decide_program(prog, {"x": m}, seed=m, quiet_window=20_000)
+            assert got == (2 <= m < 5), m
+
+    def test_without_swap(self):
+        prog = interval_program(2, 4, include_swap=False)
+        assert program_size(prog).swap_size == 0
+        got = decide_program(prog, {"x": 3}, seed=0, quiet_window=20_000)
+        assert got is True
+
+    def test_without_noise_register(self):
+        prog = interval_program(2, 4, include_noise_register=False)
+        assert set(prog.registers) == {"x", "y"}
+        got = decide_program(prog, {"x": 5}, seed=0, quiet_window=20_000)
+        assert got is False
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            interval_program(5, 5)
+        with pytest.raises(ValueError):
+            interval_program(0, 3)
+
+
+class TestSimpleThreshold:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_boundary(self, k):
+        prog = simple_threshold_program(k)
+        for m in range(1, k + 3):
+            got = decide_program(prog, {"x": m}, seed=m, quiet_window=20_000)
+            assert got == (m >= k), (k, m)
+
+    def test_predicate(self):
+        assert simple_threshold_predicate(3) == Threshold(3)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            simple_threshold_program(0)
+
+    def test_noise_variant_has_restart(self):
+        prog = simple_threshold_program(2, include_noise_register=True)
+        got = decide_program(prog, {"z": 3}, seed=1, quiet_window=20_000)
+        assert got is True  # total 3 >= 2, counted after restarts

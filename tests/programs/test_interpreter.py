@@ -1,0 +1,260 @@
+"""Tests for the randomized program interpreter."""
+
+import pytest
+
+from repro.core import InvalidProgramError, NonConvergenceError
+from repro.programs import (
+    AdversarialRestart,
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    ProgramInterpreter,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    call_procedure,
+    decide_program,
+    procedure,
+    program,
+    run_program,
+    seq,
+    while_true,
+)
+
+
+def looped(*body):
+    """A Main that executes body once and then idles forever."""
+    return procedure("Main", *body, while_true())
+
+
+class TestPrimitives:
+    def test_move(self):
+        prog = program(["x", "y"], [looped(Move("x", "y"))])
+        result = run_program(prog, {"x": 2}, seed=0, max_steps=100)
+        assert result.registers == {"x": 1, "y": 1}
+
+    def test_move_from_empty_hangs(self):
+        prog = program(["x", "y"], [looped(Move("x", "y"))])
+        result = run_program(prog, {"x": 0}, seed=0, max_steps=100)
+        assert result.hung
+
+    def test_swap(self):
+        prog = program(["x", "y"], [looped(Swap("x", "y"))])
+        result = run_program(prog, {"x": 3, "y": 1}, seed=0, max_steps=100)
+        assert result.registers == {"x": 1, "y": 3}
+
+    def test_set_output_traced(self):
+        prog = program(["x"], [looped(SetOutput(True), SetOutput(False))])
+        result = run_program(prog, {"x": 1}, seed=0, max_steps=100)
+        assert [v for _, v in result.of_trace] == [True, False]
+        assert result.output is False
+
+    def test_detect_false_on_empty(self):
+        prog = program(
+            ["x", "y"],
+            [looped(If(Detect("x"), then_body=seq(SetOutput(True))))],
+        )
+        result = run_program(prog, {"x": 0}, seed=0, max_steps=100)
+        assert result.output is False
+
+    def test_detect_eventually_true_on_nonempty(self):
+        prog = program(
+            ["x", "y"],
+            [
+                procedure(
+                    "Main",
+                    While(Not(Detect("x")), seq()),
+                    SetOutput(True),
+                    while_true(),
+                )
+            ],
+        )
+        result = run_program(prog, {"x": 1}, seed=0, max_steps=10_000)
+        assert result.output is True
+
+    def test_detect_may_spuriously_fail(self):
+        """detect can answer false on nonempty registers: with p = 0.5 the
+        first answer is false for some seed."""
+        prog = program(
+            ["x"],
+            [looped(If(Detect("x"), then_body=seq(SetOutput(True))))],
+        )
+        interp = ProgramInterpreter(prog, detect_true_probability=0.5)
+        outcomes = {
+            interp.run({"x": 1}, seed=s, max_steps=50).output for s in range(30)
+        }
+        assert outcomes == {True, False}
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        prog = program(
+            ["x"],
+            [
+                looped(
+                    If(
+                        Const(False),
+                        then_body=seq(SetOutput(True)),
+                        else_body=seq(SetOutput(False)),
+                    )
+                )
+            ],
+        )
+        assert run_program(prog, {"x": 1}, seed=0, max_steps=50).output is False
+
+    def test_while_loop_drains_register(self):
+        prog = program(
+            ["x", "y"],
+            [
+                procedure(
+                    "Main",
+                    While(Detect("x"), seq(Move("x", "y"))),
+                    while_true(),
+                )
+            ],
+        )
+        # The loop may exit early (spurious detect-false) but with high
+        # detect probability and many steps it should drain several units.
+        result = run_program(prog, {"x": 5}, seed=1, max_steps=10_000)
+        assert result.registers["y"] >= 1
+
+    def test_procedure_call_and_return_value(self):
+        helper = procedure("IsEmpty",
+                           If(Detect("x"), then_body=seq(Return(False))),
+                           Return(True),
+                           returns_value=True)
+        main = procedure(
+            "Main",
+            If(CallExpr("IsEmpty"), then_body=seq(SetOutput(True))),
+            while_true(),
+        )
+        prog = program(["x"], [main, helper])
+        assert run_program(prog, {"x": 0}, seed=0, max_steps=100).output is True
+
+    def test_nested_calls(self):
+        c = procedure("C", Return(True), returns_value=True)
+        b = procedure("B", If(CallExpr("C"), then_body=seq(Return(True))),
+                      Return(False), returns_value=True)
+        main = procedure(
+            "Main",
+            If(CallExpr("B"), then_body=seq(SetOutput(True))),
+            while_true(),
+        )
+        prog = program(["x"], [main, b, c])
+        assert run_program(prog, {"x": 1}, seed=0, max_steps=200).output is True
+
+    def test_main_returning_ends_run(self):
+        prog = program(["x"], [procedure("Main", SetOutput(True))])
+        result = run_program(prog, {"x": 1}, seed=0, max_steps=100)
+        assert result.main_returned
+
+
+class TestRestart:
+    def test_restart_resamples_registers(self):
+        prog = program(
+            ["x", "y"],
+            [procedure("Main", Restart())],
+        )
+        policy = AdversarialRestart([{"y": 3}])
+
+        # After one restart Main runs again and restarts again... budget out.
+        result = run_program(
+            prog, {"x": 3}, seed=0, restart_policy=policy, max_steps=50
+        )
+        assert result.restarts >= 1
+        assert result.registers["y"] == 3 or result.restarts > 1
+
+    def test_restart_preserves_total(self):
+        prog = program(["x", "y"], [procedure("Main", Restart())])
+        result = run_program(prog, {"x": 7}, seed=0, max_steps=200)
+        assert sum(result.registers.values()) == 7
+
+    def test_restart_steps_recorded(self):
+        prog = program(["x"], [procedure("Main", Restart())])
+        result = run_program(prog, {"x": 1}, seed=0, max_steps=50)
+        assert len(result.restart_steps) == result.restarts >= 1
+
+
+class TestValidationInRun:
+    def test_unknown_register_rejected(self):
+        prog = program(["x"], [looped(SetOutput(True))])
+        with pytest.raises(InvalidProgramError):
+            run_program(prog, {"zz": 1}, seed=0)
+
+    def test_negative_register_rejected(self):
+        prog = program(["x"], [looped(SetOutput(True))])
+        with pytest.raises(InvalidProgramError):
+            run_program(prog, {"x": -1}, seed=0)
+
+    def test_bad_detect_probability(self):
+        prog = program(["x"], [looped(SetOutput(True))])
+        with pytest.raises(ValueError):
+            ProgramInterpreter(prog, detect_true_probability=0.0)
+
+
+class TestDecideProgram:
+    def test_quiet_window_returns_output(self):
+        prog = program(["x"], [looped(SetOutput(True))])
+        assert decide_program(prog, {"x": 1}, seed=0, quiet_window=100) is True
+
+    def test_hang_counts_as_stabilised(self):
+        prog = program(
+            ["x", "y"],
+            [procedure("Main", SetOutput(True), Move("x", "y"))],
+        )
+        assert decide_program(prog, {"x": 0}, seed=0, quiet_window=10**6,
+                              max_steps=1000) is True
+
+    def test_strict_nonconvergence_raises(self):
+        # Restart storm: never quiet.
+        prog = program(["x"], [procedure("Main", Restart())])
+        with pytest.raises(NonConvergenceError):
+            decide_program(prog, {"x": 1}, seed=0, quiet_window=10**6,
+                           max_steps=2_000)
+
+    def test_nonstrict_returns_best_guess(self):
+        prog = program(["x"], [procedure("Main", SetOutput(True), Restart())])
+        value = decide_program(
+            prog, {"x": 1}, seed=0, quiet_window=10**6, max_steps=2_000,
+            strict=False,
+        )
+        assert value in (True, False)
+
+
+class TestCallProcedure:
+    def test_returns_value_and_registers(self):
+        helper = procedure(
+            "Drain",
+            While(Detect("x"), seq(Move("x", "y"))),
+            Return(True),
+            returns_value=True,
+        )
+        prog = program(["x", "y"], [looped(SetOutput(False)), helper])
+        outcome = call_procedure(prog, "Drain", {"x": 3}, seed=0)
+        assert outcome.returned
+        assert outcome.value is True
+        assert outcome.registers["x"] + outcome.registers["y"] == 3
+
+    def test_observes_restart(self):
+        helper = procedure("Boom", Restart())
+        prog = program(["x"], [looped(SetOutput(False)), helper])
+        outcome = call_procedure(prog, "Boom", {"x": 1}, seed=0)
+        assert outcome.restarted and not outcome.returned
+
+    def test_observes_hang(self):
+        helper = procedure("Stuck", Move("x", "y"))
+        prog = program(["x", "y"], [looped(SetOutput(False)), helper])
+        outcome = call_procedure(prog, "Stuck", {"x": 0}, seed=0)
+        assert outcome.hung
+
+    def test_observes_exhaustion(self):
+        helper = procedure("Forever", while_true())
+        prog = program(["x"], [looped(SetOutput(False)), helper])
+        outcome = call_procedure(prog, "Forever", {"x": 1}, seed=0, max_steps=100)
+        assert outcome.exhausted

@@ -1,0 +1,64 @@
+"""Tests for the paper-style pseudocode renderer."""
+
+from repro.lipton import build_threshold_program
+from repro.programs import figure1_program, simple_threshold_program
+from repro.programs.pretty import render_condition, render_procedure, render_program
+from repro.programs.ast import And, CallExpr, Const, Detect, Not, Or
+
+
+class TestConditions:
+    def test_atoms(self):
+        assert render_condition(Detect("x")) == "detect x > 0"
+        assert render_condition(Const(True)) == "true"
+        assert render_condition(CallExpr("P")) == "P()"
+
+    def test_compound(self):
+        cond = Or(Not(Detect("x")), And(CallExpr("P"), Const(False)))
+        text = render_condition(cond)
+        assert text == "(not detect x > 0 or (P() and false))"
+
+
+class TestProgramRendering:
+    def test_figure1_golden_shape(self, figure1):
+        text = render_program(figure1)
+        # The listing contains exactly the paper's procedures...
+        for header in (
+            "procedure Main:",
+            "procedure Clean:",
+            "procedure Test(4):",
+            "procedure Test(7):",
+        ):
+            assert header in text
+        # ... and the figure's characteristic lines.
+        assert "OF := true" in text
+        assert "swap x, y" in text
+        assert "restart" in text
+        assert text.startswith("registers: x, y, z")
+
+    def test_main_rendered_first(self, figure1):
+        text = render_program(figure1)
+        assert text.index("procedure Main:") < text.index("procedure Clean:")
+
+    def test_simple_threshold_roundtrippable_shape(self):
+        text = render_program(simple_threshold_program(2))
+        assert text.count("x -> y") == 2  # Test(2) expands the for-loop
+
+    def test_lipton_construction_renders(self):
+        text = render_program(build_threshold_program(2))
+        assert "procedure Large(xb2):" in text
+        assert "procedure IncrPair(x1,y1):" in text
+        assert "procedure AssertProper(2):" in text
+        # Zero's loop structure from the paper.
+        assert "while true:" in text
+
+    def test_value_returning_marked(self):
+        text = render_procedure(
+            build_threshold_program(1).procedures["Large(xb1)"]
+        )
+        assert "# returns bool" in text
+
+    def test_empty_body_renders_pass(self):
+        from repro.programs import procedure, while_true
+
+        text = render_procedure(procedure("Main", while_true()))
+        assert "pass" in text

@@ -1,0 +1,116 @@
+"""Tests for restart policies."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.programs import (
+    AdversarialRestart,
+    CanonicalRestart,
+    MixtureRestart,
+    UniformRestart,
+    uniform_composition,
+)
+
+REGS = ("a", "b", "c")
+
+
+class TestUniformComposition:
+    def test_preserves_total(self):
+        rng = random.Random(0)
+        for total in (0, 1, 7, 100):
+            config = uniform_composition(total, REGS, rng)
+            assert sum(config.values()) == total
+            assert set(config) == set(REGS)
+
+    def test_single_register(self):
+        assert uniform_composition(5, ("x",), random.Random(0)) == {"x": 5}
+
+    def test_zero_registers_zero_total(self):
+        assert uniform_composition(0, (), random.Random(0)) == {}
+
+    def test_zero_registers_nonzero_total_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_composition(3, (), random.Random(0))
+
+    def test_bignum_total(self):
+        total = 2 ** (2**6)
+        config = uniform_composition(total, REGS, random.Random(1))
+        assert sum(config.values()) == total
+
+    def test_roughly_uniform_over_compositions(self):
+        """total=2 over 2 registers: compositions (0,2),(1,1),(2,0) each
+        with probability 1/3."""
+        rng = random.Random(42)
+        counts = {}
+        trials = 3000
+        for _ in range(trials):
+            c = uniform_composition(2, ("a", "b"), rng)
+            counts[(c["a"], c["b"])] = counts.get((c["a"], c["b"]), 0) + 1
+        for key in ((0, 2), (1, 1), (2, 0)):
+            assert abs(counts[key] / trials - 1 / 3) < 0.05
+
+
+class TestCanonical:
+    def test_jumps_to_chosen_configuration(self):
+        policy = CanonicalRestart(lambda total: {"a": total})
+        assert policy.sample(5, REGS, random.Random(0)) == {"a": 5, "b": 0, "c": 0}
+
+    def test_total_mismatch_rejected(self):
+        policy = CanonicalRestart(lambda total: {"a": total + 1})
+        with pytest.raises(ValueError):
+            policy.sample(5, REGS, random.Random(0))
+
+    def test_unknown_register_rejected(self):
+        policy = CanonicalRestart(lambda total: {"zz": total})
+        with pytest.raises(ValueError):
+            policy.sample(5, REGS, random.Random(0))
+
+
+class TestMixture:
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            MixtureRestart(UniformRestart(), UniformRestart(), 1.5)
+
+    def test_extreme_probabilities(self):
+        canon = CanonicalRestart(lambda total: {"a": total})
+        always_first = MixtureRestart(canon, UniformRestart(), 1.0)
+        rng = random.Random(0)
+        for _ in range(10):
+            assert always_first.sample(4, REGS, rng)["a"] == 4
+
+    def test_mixes(self):
+        canon = CanonicalRestart(lambda total: {"a": total})
+        mix = MixtureRestart(canon, UniformRestart(), 0.5)
+        rng = random.Random(3)
+        outcomes = {tuple(sorted(mix.sample(6, REGS, rng).items())) for _ in range(200)}
+        assert len(outcomes) > 1  # not always canonical
+
+
+class TestAdversarial:
+    def test_cycles_through_list(self):
+        policy = AdversarialRestart([{"a": 3}, {"b": 3}])
+        rng = random.Random(0)
+        first = policy.sample(3, REGS, rng)
+        second = policy.sample(3, REGS, rng)
+        third = policy.sample(3, REGS, rng)
+        assert first["a"] == 3 and second["b"] == 3 and third == first
+
+    def test_wrong_total_rejected(self):
+        policy = AdversarialRestart([{"a": 2}])
+        with pytest.raises(ValueError):
+            policy.sample(5, REGS, random.Random(0))
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            AdversarialRestart([])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=6))
+def test_uniform_composition_total_invariant(total, k):
+    regs = tuple(f"r{i}" for i in range(k))
+    config = uniform_composition(total, regs, random.Random(total))
+    assert sum(config.values()) == total
+    assert all(v >= 0 for v in config.values())

@@ -1,0 +1,120 @@
+"""Tests for the size metric |Q| + L + S (Section 4)."""
+
+from repro.programs import (
+    CallExpr,
+    CallStmt,
+    Const,
+    Detect,
+    If,
+    Move,
+    Not,
+    Restart,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    instruction_count,
+    procedure,
+    program,
+    program_size,
+    seq,
+    swap_components,
+    swap_size,
+    while_true,
+)
+
+
+def make(registers, *procs):
+    return program(registers, procs)
+
+
+class TestInstructionCount:
+    def test_primitives_counted(self):
+        prog = make(
+            ["x", "y"],
+            procedure(
+                "Main",
+                Move("x", "y"),
+                Swap("x", "y"),
+                SetOutput(True),
+                Restart(),
+            ),
+        )
+        assert instruction_count(prog) == 4
+
+    def test_condition_atoms_counted(self):
+        prog = make(
+            ["x", "y"],
+            procedure(
+                "Main",
+                While(Detect("x"), seq(Move("x", "y"))),
+            ),
+        )
+        # 1 detect (condition) + 1 move
+        assert instruction_count(prog) == 2
+
+    def test_const_conditions_free(self):
+        prog = make(["x"], procedure("Main", while_true(SetOutput(False))))
+        assert instruction_count(prog) == 1  # only the SetOutput
+
+    def test_calls_counted_on_both_sides(self):
+        helper = procedure("P", Return(True), returns_value=True)
+        prog = make(
+            ["x"],
+            procedure(
+                "Main",
+                If(CallExpr("P"), then_body=seq(CallStmt("P"))),
+            ),
+            helper,
+        )
+        # CallExpr + CallStmt + Return
+        assert instruction_count(prog) == 3
+
+
+class TestSwapSize:
+    def test_paper_example_single_pair(self):
+        """Figure 1's program: swap x, y only -> swap-size 2."""
+        prog = make(
+            ["x", "y", "z"], procedure("Main", Swap("x", "y"))
+        )
+        assert swap_size(prog) == 2
+
+    def test_paper_example_transitive(self):
+        """Adding swap y, z makes (x, z) transitively swappable -> 6."""
+        prog = make(
+            ["x", "y", "z"],
+            procedure("Main", Swap("x", "y"), Swap("y", "z")),
+        )
+        assert swap_size(prog) == 6
+
+    def test_disjoint_components_add(self):
+        prog = make(
+            ["a", "b", "c", "d"],
+            procedure("Main", Swap("a", "b"), Swap("c", "d")),
+        )
+        assert swap_size(prog) == 4
+
+    def test_no_swaps(self):
+        prog = make(["x", "y"], procedure("Main", Move("x", "y")))
+        assert swap_size(prog) == 0
+
+    def test_components_reported(self):
+        prog = make(
+            ["a", "b", "c", "d"],
+            procedure("Main", Swap("a", "b"), Swap("b", "c")),
+        )
+        comps = swap_components(prog)
+        assert tuple(sorted(("a", "b", "c"))) in [tuple(m) for m in comps.values()]
+
+
+class TestTotal:
+    def test_decomposition_sums(self):
+        prog = make(
+            ["x", "y"],
+            procedure("Main", Move("x", "y"), Swap("x", "y")),
+        )
+        size = program_size(prog)
+        assert size.total == size.registers + size.instructions + size.swap_size
+        assert size.registers == 2
+        assert size.instructions == 2
+        assert size.swap_size == 2

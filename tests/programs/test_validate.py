@@ -1,0 +1,118 @@
+"""Tests for static program validation (Section 4 rules)."""
+
+import pytest
+
+from repro.core import InvalidProgramError
+from repro.programs import (
+    CallExpr,
+    CallStmt,
+    Detect,
+    If,
+    Move,
+    Return,
+    SetOutput,
+    Swap,
+    While,
+    call_graph,
+    procedure,
+    program,
+    seq,
+    topological_order,
+    validate_program,
+)
+
+
+class TestCallGraph:
+    def test_graph_edges(self):
+        a = procedure("Main", CallStmt("B"))
+        b = procedure("B", CallStmt("C"))
+        c = procedure("C", SetOutput(True))
+        prog = program(["x"], [a, b, c])
+        graph = call_graph(prog)
+        assert graph["Main"] == {"B"}
+        assert graph["B"] == {"C"}
+        assert graph["C"] == set()
+
+    def test_topological_order_callees_first(self):
+        a = procedure("Main", CallStmt("B"))
+        b = procedure("B", CallStmt("C"))
+        c = procedure("C", SetOutput(True))
+        order = topological_order(program(["x"], [a, b, c]))
+        assert order.index("C") < order.index("B") < order.index("Main")
+
+
+class TestRejections:
+    def test_recursion_rejected(self):
+        """No recursion: the model requires acyclic calls (Section 4)."""
+        loop = procedure("Main", CallStmt("Main"))
+        with pytest.raises(InvalidProgramError, match="cyclic"):
+            program(["x"], [loop])
+
+    def test_mutual_recursion_rejected(self):
+        a = procedure("Main", CallStmt("B"))
+        b = procedure("B", CallStmt("Main"))
+        with pytest.raises(InvalidProgramError, match="cyclic"):
+            program(["x"], [a, b])
+
+    def test_undefined_callee_rejected(self):
+        with pytest.raises(InvalidProgramError, match="undefined"):
+            program(["x"], [procedure("Main", CallStmt("Ghost"))])
+
+    def test_unknown_register_in_move(self):
+        with pytest.raises(InvalidProgramError, match="unknown register"):
+            program(["x"], [procedure("Main", Move("x", "nope"))])
+
+    def test_unknown_register_in_swap(self):
+        with pytest.raises(InvalidProgramError, match="unknown register"):
+            program(["x"], [procedure("Main", Swap("x", "nope"))])
+
+    def test_unknown_register_in_detect(self):
+        with pytest.raises(InvalidProgramError, match="unknown register"):
+            program(
+                ["x"],
+                [procedure("Main", If(Detect("nope"), then_body=seq()))],
+            )
+
+    def test_self_move_rejected(self):
+        with pytest.raises(InvalidProgramError, match="identical"):
+            program(["x"], [procedure("Main", Move("x", "x"))])
+
+    def test_value_return_needs_declaration(self):
+        bad = procedure("Main2", Return(True))  # not returns_value
+        with pytest.raises(InvalidProgramError, match="not declared"):
+            program(
+                ["x"],
+                [procedure("Main", CallStmt("Main2")), bad],
+            )
+
+    def test_condition_call_must_return_value(self):
+        silent = procedure("P", SetOutput(True))
+        with pytest.raises(InvalidProgramError, match="returns no value"):
+            program(
+                ["x"],
+                [
+                    procedure("Main", While(CallExpr("P"), seq())),
+                    silent,
+                ],
+            )
+
+    def test_main_must_not_return_value(self):
+        bad_main = procedure("Main", Return(True), returns_value=True)
+        with pytest.raises(InvalidProgramError, match="Main"):
+            program(["x"], [bad_main])
+
+
+class TestAcceptance:
+    def test_figure1_validates(self, figure1):
+        validate_program(figure1)
+
+    def test_lipton_validates(self, lipton2_program):
+        validate_program(lipton2_program)
+
+    def test_diamond_calls_allowed(self):
+        """Acyclic but not a tree: A -> B, A -> C, B -> D, C -> D."""
+        d = procedure("D", SetOutput(True))
+        b = procedure("B", CallStmt("D"))
+        c = procedure("C", CallStmt("D"))
+        a = procedure("Main", CallStmt("B"), CallStmt("C"))
+        validate_program(program(["x"], [a, b, c, d]))
