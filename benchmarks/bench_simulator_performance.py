@@ -2,11 +2,15 @@
 
 Not a paper artefact — these track the throughput of the schedulers,
 interpreters and the exact checker so regressions in the substrate are
-visible alongside the reproduction benchmarks."""
+visible alongside the reproduction benchmarks.  Headline numbers are
+recorded into the shared metrics registry and land in
+``BENCH_simulator.json`` (see ``conftest.record_benchmark``)."""
 
-import random
+import time
 
 import pytest
+
+from conftest import record_benchmark
 
 from repro.baselines import binary_threshold_protocol, majority_protocol
 from repro.core import (
@@ -18,10 +22,11 @@ from repro.core import (
 )
 from repro.lipton import build_threshold_program, canonical_restart_policy
 from repro.machines import lower_program, run_machine
+from repro.observability import NULL_OBSERVER
 from repro.programs import run_program
 
 
-def test_uniform_scheduler_throughput(benchmark):
+def test_uniform_scheduler_throughput(benchmark, bench_metrics):
     pp = majority_protocol()
     config = Multiset({"X": 600, "Y": 400})
 
@@ -36,11 +41,14 @@ def test_uniform_scheduler_throughput(benchmark):
         ).interactions
 
     interactions = benchmark(run)
+    record_benchmark(
+        bench_metrics, "uniform_scheduler", benchmark, units=interactions
+    )
     # The majority instance may reach consensus (silence) slightly early.
     assert interactions > 5_000
 
 
-def test_enabled_scheduler_throughput(benchmark):
+def test_enabled_scheduler_throughput(benchmark, bench_metrics):
     pp = binary_threshold_protocol(13)
     config = Multiset({"p0": 40})
 
@@ -54,11 +62,14 @@ def test_enabled_scheduler_throughput(benchmark):
         ).interactions
 
     interactions = benchmark(run)
+    record_benchmark(
+        bench_metrics, "enabled_scheduler", benchmark, units=interactions
+    )
     # The accepting run turns silent (all-TOP) once consensus is complete.
     assert interactions > 1_000
 
 
-def test_program_interpreter_throughput(benchmark):
+def test_program_interpreter_throughput(benchmark, bench_metrics):
     program = build_threshold_program(2)
     policy = canonical_restart_policy(2)
 
@@ -71,10 +82,12 @@ def test_program_interpreter_throughput(benchmark):
             max_steps=50_000,
         ).steps
 
-    assert benchmark(run) == 50_000
+    steps = benchmark(run)
+    record_benchmark(bench_metrics, "program_interpreter", benchmark, units=steps)
+    assert steps == 50_000
 
 
-def test_machine_interpreter_throughput(benchmark):
+def test_machine_interpreter_throughput(benchmark, bench_metrics):
     machine = lower_program(build_threshold_program(1), "lipton1")
 
     def run():
@@ -82,12 +95,50 @@ def test_machine_interpreter_throughput(benchmark):
             machine, {"x1": 3}, seed=3, max_steps=50_000, quiet_window=None
         ).steps
 
-    assert benchmark(run) == 50_000
+    steps = benchmark(run)
+    record_benchmark(bench_metrics, "machine_interpreter", benchmark, units=steps)
+    assert steps == 50_000
 
 
-def test_exact_checker_throughput(benchmark):
+def test_exact_checker_throughput(benchmark, bench_metrics):
     pp = binary_threshold_protocol(6)
     config = Multiset({"p0": 7})
 
     verdict = benchmark(stabilisation_verdict, pp, config, 500_000)
+    record_benchmark(bench_metrics, "exact_checker", benchmark)
     assert verdict is True
+
+
+def test_null_observer_overhead(benchmark, bench_metrics):
+    """The instrumentation acceptance gate: simulating with the null
+    observer must cost within 5% of simulating with no observer (plus
+    timing noise headroom).  Both timings are min-of-k ``perf_counter``
+    measurements of the same seeded run."""
+    pp = binary_threshold_protocol(13)
+    config = Multiset({"p0": 40})
+    kwargs = dict(seed=1, max_interactions=10_000, convergence_window=10**9)
+
+    def timed(observer, rounds=7):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            simulate(pp, config, observer=observer, **kwargs)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    timed(None, rounds=1)  # warm up caches before measuring
+    bare = timed(None)
+    null = timed(NULL_OBSERVER)
+    ratio = null / bare
+    bench_metrics.gauge("null_observer.bare_seconds").set(bare)
+    bench_metrics.gauge("null_observer.null_seconds").set(null)
+    bench_metrics.gauge("null_observer.overhead_ratio").set(ratio)
+    # Generous noise headroom on top of the ≤5% budget; the null observer
+    # is stripped to `None` at run entry, so the true overhead is ~0.
+    assert ratio < 1.15, f"null observer overhead {ratio:.3f}x"
+
+    interactions = benchmark(
+        lambda: simulate(pp, config, observer=NULL_OBSERVER, **kwargs).interactions
+    )
+    record_benchmark(bench_metrics, "null_observer", benchmark, units=interactions)
+    assert interactions > 1_000

@@ -4,17 +4,67 @@ Every module regenerates one table/figure/theorem of the paper (see the
 experiment index in DESIGN.md); the benchmark timings measure the cost of
 the regeneration itself.  Expensive pipelines are compiled once per
 session.
+
+Benchmarks additionally record their headline numbers into a shared
+:class:`repro.observability.metrics.Metrics` registry (``bench_metrics``);
+whatever was recorded is written to ``BENCH_simulator.json`` at the repo
+root when the session ends, so the perf trajectory of the substrate is
+machine-readable from PR to PR.
 """
+
+import platform
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.conversion import compile_program, compile_threshold_protocol
+from repro.observability.metrics import Metrics
 from repro.programs import simple_threshold_program
+
+_BENCH_METRICS = Metrics()
+_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
 
 
 def once(benchmark, fn, *args, **kwargs):
     """Run a (potentially slow) experiment exactly once under timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record_benchmark(metrics: Metrics, name: str, benchmark, units=None) -> None:
+    """Copy a pytest-benchmark result into the metrics registry.
+
+    ``units`` (e.g. interactions per round) converts the mean round time
+    into a throughput gauge.
+    """
+    stats = getattr(getattr(benchmark, "stats", None), "stats", None)
+    if stats is None:  # --benchmark-disable
+        return
+    metrics.gauge(f"{name}.mean_seconds").set(stats.mean)
+    metrics.gauge(f"{name}.min_seconds").set(stats.min)
+    metrics.gauge(f"{name}.rounds").set(stats.rounds)
+    if units and stats.mean:
+        metrics.gauge(f"{name}.ops_per_second").set(units / stats.mean)
+
+
+@pytest.fixture(scope="session")
+def bench_metrics() -> Metrics:
+    return _BENCH_METRICS
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _BENCH_METRICS:
+        _BENCH_METRICS.write_json(
+            _BENCH_JSON,
+            extra={
+                "schema": "repro-bench-v1",
+                "suite": "simulator",
+                "timestamp": time.time(),
+                "python": sys.version.split()[0],
+                "platform": platform.platform(),
+            },
+        )
 
 
 @pytest.fixture(scope="session")

@@ -20,6 +20,8 @@ Public API overview
   majority and remainder, for Table 1 comparisons.
 * :mod:`repro.analysis` — state complexity, 1-awareness and
   almost-self-stabilisation experiments.
+* :mod:`repro.observability` — structured tracing (JSONL), metrics and
+  profiling hooks; every execution driver accepts ``observer=``.
 * :mod:`repro.experiments` — drivers that regenerate every table and
   figure of the paper (see EXPERIMENTS.md).
 """

@@ -1,10 +1,19 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: regenerate the paper's tables and figures,
+and observe instrumented runs.
 
 Usage::
 
     python -m repro                 # quick sweep (structural experiments)
     python -m repro --full          # include the behavioural experiments
     python -m repro table1 figure2  # run selected experiments by id
+
+    python -m repro trace theorem3 --n 2       # JSONL trace + run digest
+    python -m repro stats theorem3 --n 2       # metrics digest only
+    python -m repro trace --list               # list traceable targets
+
+``trace``/``stats`` targets are the observed reference workloads of
+:mod:`repro.observability.runners` (the Theorem 3 program, a baseline
+protocol simulation, the lowered machine, the compilation pipeline).
 """
 
 from __future__ import annotations
@@ -166,7 +175,104 @@ FULL: Dict[str, Callable[[], str]] = {
 }
 
 
+def _observe_parser(command: str) -> argparse.ArgumentParser:
+    from repro.observability.runners import TARGETS
+
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {command}",
+        description=(
+            "Trace an instrumented run as JSONL + digest"
+            if command == "trace"
+            else "Collect metrics for an instrumented run"
+        ),
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        choices=sorted(TARGETS),
+        help="workload to observe",
+    )
+    parser.add_argument("--list", action="store_true", help="list targets and exit")
+    parser.add_argument("--n", type=int, default=None, help="construction levels n")
+    parser.add_argument(
+        "--total", type=int, default=None, help="input total m (register x1 / agents)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="rng seed")
+    parser.add_argument(
+        "--max-steps", type=int, default=None, help="step/interaction budget"
+    )
+    parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=2_000,
+        help="sampled configuration history interval (trace only)",
+    )
+    parser.add_argument(
+        "--max-events",
+        type=int,
+        default=2_000_000,
+        help="cap on stored trace events (trace only)",
+    )
+    parser.add_argument(
+        "--no-hot-events",
+        action="store_true",
+        help="drop per-step interaction/statement/instruction events",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (trace: JSONL, default trace_<target>.jsonl; "
+        "stats: metrics JSON, printed digest otherwise)",
+    )
+    return parser
+
+
+def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
+    from repro.observability import ALL_KINDS, HOT_KINDS, TraceRecorder
+    from repro.observability.metrics import MetricsObserver
+    from repro.observability.runners import TARGETS
+
+    parser = _observe_parser(command)
+    args = parser.parse_args(argv)
+    if args.list or args.target is None:
+        for name, fn in sorted(TARGETS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<10} {doc}")
+        return 0
+
+    kwargs = {}
+    for key in ("n", "total", "seed", "max_steps"):
+        value = getattr(args, key)
+        if value is not None:
+            kwargs[key] = value
+
+    recorder = None
+    if command == "trace":
+        recorder = TraceRecorder(
+            snapshot_every=args.snapshot_every,
+            max_events=args.max_events,
+            kinds=(ALL_KINDS - HOT_KINDS) if args.no_hot_events else None,
+        )
+    metrics = MetricsObserver()
+    start = time.time()
+    run = TARGETS[args.target](recorder=recorder, metrics=metrics, **kwargs)
+    elapsed = time.time() - start
+
+    print(run.outcome)
+    print(run.digest())
+    if command == "trace":
+        out = args.out or f"trace_{args.target}.jsonl"
+        path = recorder.write_jsonl(out)
+        print(f"\nwrote {len(recorder.events)} events to {path} in {elapsed:.1f}s")
+    elif args.out:
+        path = metrics.metrics.write_json(args.out, extra={"target": args.target})
+        print(f"\nwrote metrics to {path} in {elapsed:.1f}s")
+    return 0
+
+
 def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
+    if argv and argv[0] in ("trace", "stats"):
+        return _run_observe(argv[0], tuple(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",

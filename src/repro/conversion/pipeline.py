@@ -8,10 +8,12 @@ is the number of pointer agents.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.predicates import Predicate, ShiftedThreshold
+from repro.observability.observer import Observer, live
 from repro.core.protocol import PopulationProtocol
 from repro.machines.lowering import lower_program
 from repro.machines.machine import PopulationMachine
@@ -59,12 +61,39 @@ class PipelineResult:
 
 
 def compile_program(
-    program: PopulationProgram, name: str = "pipeline"
+    program: PopulationProgram,
+    name: str = "pipeline",
+    *,
+    observer: Optional[Observer] = None,
 ) -> PipelineResult:
-    """Run the full compilation pipeline on a population program."""
+    """Run the full compilation pipeline on a population program.
+
+    ``observer`` receives one ``stage`` event per pipeline stage (lower /
+    convert / broadcast) with its ``perf_counter`` wall time and the size
+    of the produced artefact.
+    """
+    obs = live(observer)
+    start = time.perf_counter()
     machine = lower_program(program, name=f"{name}-machine")
+    if obs is not None:
+        obs.on_stage(
+            "lower", time.perf_counter() - start, machine_size=machine.size()
+        )
+        start = time.perf_counter()
     conversion = convert_machine(machine, name=f"{name}-inner")
+    if obs is not None:
+        obs.on_stage(
+            "convert",
+            time.perf_counter() - start,
+            inner_states=conversion.protocol.state_count,
+            shift=conversion.shift,
+        )
+        start = time.perf_counter()
     protocol = with_output_broadcast(conversion.protocol, name=f"{name}-protocol")
+    if obs is not None:
+        obs.on_stage(
+            "broadcast", time.perf_counter() - start, states=protocol.state_count
+        )
     return PipelineResult(
         program=program,
         program_size=program_size(program),
@@ -77,10 +106,15 @@ def compile_program(
     )
 
 
-def compile_threshold_protocol(n: int, *, error_checking: bool = True) -> PipelineResult:
+def compile_threshold_protocol(
+    n: int,
+    *,
+    error_checking: bool = True,
+    observer: Optional[Observer] = None,
+) -> PipelineResult:
     """Theorem 1's protocol: O(n) states deciding ``x ≥ k + |F|`` with
     ``k = threshold(n) ≥ 2^(2^(n-1))``."""
     from repro.lipton.construction import build_threshold_program
 
     program = build_threshold_program(n, error_checking=error_checking)
-    return compile_program(program, name=f"lipton-n{n}")
+    return compile_program(program, name=f"lipton-n{n}", observer=observer)

@@ -47,7 +47,7 @@ from repro.core.semantics import (
     successors,
     transition_enabled,
 )
-from repro.core.simulation import SimulationResult, decide, simulate
+from repro.core.simulation import SimulationResult, decide, derive_seed, simulate
 from repro.core.stability import (
     initial_configurations,
     stabilisation_verdict,
@@ -77,6 +77,7 @@ __all__ = [
     "SchedulerStep",
     "simulate",
     "decide",
+    "derive_seed",
     "SimulationResult",
     "stabilisation_verdict",
     "verify_decides",

@@ -26,6 +26,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol, Transition
+from repro.observability.observer import Observer
 
 
 @dataclass
@@ -61,6 +62,7 @@ class UniformPairScheduler:
         protocol: PopulationProtocol,
         config: Multiset,
         rng: random.Random,
+        observer: Optional[Observer] = None,
     ) -> SchedulerStep:
         if config.size < 2:
             return SchedulerStep(None)
@@ -74,6 +76,13 @@ class UniformPairScheduler:
         ]
         r = rng.choices(support, weights=responder_weights)[0]
         candidates = protocol.transitions_from(q, r)
+        if observer is not None:
+            observer.on_scheduler_select(
+                None,
+                scheduler="uniform",
+                null=not candidates,
+                candidates=len(candidates),
+            )
         if not candidates:
             return SchedulerStep(None, (q, r))
         if len(candidates) == 1 or self.tie_break == "first":
@@ -93,6 +102,7 @@ class EnabledTransitionScheduler:
         protocol: PopulationProtocol,
         config: Multiset,
         rng: random.Random,
+        observer: Optional[Observer] = None,
     ) -> SchedulerStep:
         if config.size < 2:
             return SchedulerStep(None)
@@ -109,6 +119,14 @@ class EnabledTransitionScheduler:
                         continue
                     candidates.append(t)
                     weights.append(weight)
+        if observer is not None:
+            observer.on_scheduler_select(
+                None,
+                scheduler="enabled",
+                null=not candidates,
+                candidates=len(candidates),
+                weight=sum(weights),
+            )
         if not candidates:
             return SchedulerStep(None)
         choice = rng.choices(range(len(candidates)), weights=weights)[0]

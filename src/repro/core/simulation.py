@@ -15,6 +15,7 @@ based on two signals:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -27,6 +28,8 @@ from repro.core.scheduler import (
     UniformPairScheduler,
 )
 from repro.core.semantics import apply_transition_inplace, is_silent
+from repro.observability.events import LAYER_PROTOCOL
+from repro.observability.observer import Observer, live
 
 
 @dataclass
@@ -67,18 +70,27 @@ def simulate(
     max_interactions: int = 1_000_000,
     convergence_window: int = 2_000,
     check_silence_every: int = 512,
+    observer: Observer | None = None,
 ) -> SimulationResult:
     """Sample one run of ``protocol`` from ``config``.
 
     The run stops when the configuration is silent, when the output has been
     constant and defined for ``convergence_window`` productive steps, or
     when ``max_interactions`` scheduler steps have elapsed.
+
+    ``observer`` (see :mod:`repro.observability`) receives structured
+    events: per-interaction steps, output flips, silence checks, sampled
+    configuration snapshots and a run summary.  Observation never touches
+    the random stream, so an observed run is bit-identical to an
+    unobserved run with the same seed.
     """
     protocol.check_configuration(config)
     if rng is None:
         rng = random.Random(seed)
     if scheduler is None:
         scheduler = EnabledTransitionScheduler()
+    obs = live(observer)
+    snapshot_every = obs.snapshot_interval if obs is not None else None
     current = config.copy()
     population = current.size
     interactions = 0
@@ -86,18 +98,56 @@ def simulate(
     stable_output: Optional[bool] = protocol.output(current)
     stable_since = 0
     trace: List[Tuple[int, Optional[bool]]] = [(0, stable_output)]
+    if obs is not None:
+        obs.on_run_start(
+            LAYER_PROTOCOL,
+            protocol=protocol.name,
+            population=population,
+            states=protocol.state_count,
+            scheduler=type(scheduler).__name__,
+        )
+
+    def finish(verdict: Optional[bool], silent: bool) -> SimulationResult:
+        if obs is not None:
+            obs.on_run_end(
+                interactions,
+                LAYER_PROTOCOL,
+                verdict=verdict,
+                silent=silent,
+                interactions=interactions,
+                productive=productive,
+                population=population,
+            )
+        return SimulationResult(
+            final=current,
+            verdict=verdict,
+            silent=silent,
+            interactions=interactions,
+            productive=productive,
+            population=population,
+            output_trace=trace,
+        )
 
     while interactions < max_interactions:
-        step = scheduler.select(protocol, current, rng)
+        if obs is None:
+            step = scheduler.select(protocol, current, rng)
+        else:
+            step = scheduler.select(protocol, current, rng, observer=obs)
         interactions += 1
         if step.transition is None:
+            if obs is not None:
+                obs.on_interaction(interactions, None, step.pair, False)
             if isinstance(scheduler, EnabledTransitionScheduler):
                 # No productive transition exists at all: provably silent.
+                if obs is not None:
+                    obs.on_silence_check(interactions, True)
                 break
-            if interactions % check_silence_every == 0 and is_silent(
-                protocol, current
-            ):
-                break
+            if interactions % check_silence_every == 0:
+                silent_now = is_silent(protocol, current)
+                if obs is not None:
+                    obs.on_silence_check(interactions, silent_now)
+                if silent_now:
+                    break
             continue
         before = (
             current[step.transition.q],
@@ -112,38 +162,43 @@ def simulate(
             current[step.transition.q2],
             current[step.transition.r2],
         )
-        if before != after:
+        changed = before != after
+        if changed:
             productive += 1
+        if obs is not None:
+            obs.on_interaction(interactions, step.transition, step.pair, changed)
+            if snapshot_every and interactions % snapshot_every == 0:
+                obs.on_snapshot(interactions, current.to_dict(), LAYER_PROTOCOL)
         output = protocol.output(current)
         if output != stable_output:
             stable_output = output
             stable_since = productive
             trace.append((interactions, output))
+            if obs is not None:
+                obs.on_output_flip(interactions, output, LAYER_PROTOCOL)
         if (
             stable_output is not None
             and productive - stable_since >= convergence_window
         ):
-            return SimulationResult(
-                final=current,
-                verdict=stable_output,
-                silent=False,
-                interactions=interactions,
-                productive=productive,
-                population=population,
-                output_trace=trace,
-            )
+            return finish(stable_output, False)
 
     silent = is_silent(protocol, current)
-    verdict = protocol.output(current) if silent else None
-    return SimulationResult(
-        final=current,
-        verdict=verdict,
-        silent=silent,
-        interactions=interactions,
-        productive=productive,
-        population=population,
-        output_trace=trace,
-    )
+    return finish(protocol.output(current) if silent else None, silent)
+
+
+def derive_seed(base: int, attempt: int) -> int:
+    """A per-attempt seed that is independent across *both* arguments.
+
+    The old scheme (``base + attempt``) made adjacent base seeds share
+    runs across calls (``seed=1, attempt=1`` collided with ``seed=2,
+    attempt=0``), silently correlating what should be independent
+    experiments.  Hashing the pair keeps determinism per ``(base,
+    attempt)`` while decorrelating neighbours.
+    """
+    digest = hashlib.blake2b(
+        f"{base}:{attempt}".encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
 
 
 def decide(
@@ -152,14 +207,21 @@ def decide(
     *,
     seed: int | None = None,
     attempts: int = 3,
+    observer: Observer | None = None,
     **kwargs,
 ) -> bool:
     """Run :func:`simulate` until a verdict is reached, retrying with fresh
     seeds up to ``attempts`` times.  Raises :class:`NonConvergenceError` if
     no attempt stabilises."""
     base = seed if seed is not None else random.Random().randrange(2**31)
+    obs = live(observer)
     for attempt in range(attempts):
-        result = simulate(protocol, config, seed=base + attempt, **kwargs)
+        attempt_seed = derive_seed(base, attempt)
+        if obs is not None:
+            obs.on_attempt(attempt, attempt_seed)
+        result = simulate(
+            protocol, config, seed=attempt_seed, observer=obs, **kwargs
+        )
         if result.verdict is not None:
             return result.verdict
     raise NonConvergenceError(

@@ -18,6 +18,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.errors import InvalidMachineError, NonConvergenceError
+from repro.observability.events import LAYER_MACHINE
+from repro.observability.observer import Observer, live
 from repro.machines.machine import (
     AssignInstr,
     CF,
@@ -78,9 +80,17 @@ def machine_step(
     config: MachineConfiguration,
     rng: random.Random,
     detect_true_probability: float = 0.75,
+    *,
+    observer: Optional[Observer] = None,
+    step: int = 0,
 ) -> bool:
     """Execute one instruction *in place*; returns False when the machine
-    hangs (no proper successor exists)."""
+    hangs (no proper successor exists).
+
+    ``observer`` (already normalised by the caller — see
+    :func:`repro.observability.observer.live`) receives instruction
+    dispatch and detect-outcome events tagged with ``step``.
+    """
     instr = machine.instruction_at(config.ip)
     if isinstance(instr, MoveInstr):
         src = config.resolve(instr.x)
@@ -90,27 +100,40 @@ def machine_step(
                 "register map aliased a move's operands (corrupt lowering)"
             )
         if config.registers[src] == 0 or config.ip >= machine.length:
+            if observer is not None and config.registers[src] == 0:
+                observer.on_hang(step, LAYER_MACHINE, src)
             return False
         config.registers[src] -= 1
         config.registers[dst] += 1
         config.pointers[IP] = config.ip + 1
+        if observer is not None:
+            observer.on_instruction(step, config.ip - 1, "move")
         return True
     if isinstance(instr, DetectInstr):
         if config.ip >= machine.length:
             return False
-        actual = config.registers[config.resolve(instr.x)] > 0
-        config.pointers[CF] = actual and rng.random() < detect_true_probability
+        register = config.resolve(instr.x)
+        actual = config.registers[register] > 0
+        answer = actual and rng.random() < detect_true_probability
+        config.pointers[CF] = answer
         config.pointers[IP] = config.ip + 1
+        if observer is not None:
+            observer.on_instruction(step, config.ip - 1, "detect")
+            observer.on_detect(step, register, actual, answer, LAYER_MACHINE)
         return True
     if isinstance(instr, AssignInstr):
         value = instr.mapping[config.pointers[instr.source]]
         if instr.target == IP:
+            if observer is not None:
+                observer.on_instruction(step, config.ip, "assign")
             config.pointers[IP] = value
             return True
         if config.ip >= machine.length:
             return False
         config.pointers[instr.target] = value
         config.pointers[IP] = config.ip + 1
+        if observer is not None:
+            observer.on_instruction(step, config.ip - 1, "assign")
         return True
     raise InvalidMachineError(f"unknown instruction {instr!r}")
 
@@ -138,37 +161,81 @@ def run_machine(
     max_steps: int = 1_000_000,
     quiet_window: Optional[int] = None,
     initial: Optional[MachineConfiguration] = None,
+    observer: Optional[Observer] = None,
 ) -> MachineRunResult:
     """Sample a run from an initial configuration (or ``initial``).
 
     Stops on hang, on ``quiet_window`` steps without an output change or a
     pass through the restart helper, or on ``max_steps``.
+
+    ``observer`` receives instruction dispatch, detect outcomes,
+    restart-helper entries, output flips and sampled register snapshots;
+    it never touches the random stream.
     """
     if rng is None:
         rng = random.Random(seed)
     config = initial.copy() if initial is not None else machine.initial_configuration(
         register_values
     )
+    obs = live(observer)
+    snapshot_every = obs.snapshot_interval if obs is not None else None
     steps = 0
     restarts = 0
     last_event = 0
     hung = False
     of_trace: List[Tuple[int, bool]] = []
     previous_of = config.output
+    if obs is not None:
+        obs.on_run_start(
+            LAYER_MACHINE,
+            machine=machine.name,
+            length=machine.length,
+            total=sum(config.registers.values()),
+            registers=dict(config.registers),
+        )
     while steps < max_steps:
         if quiet_window is not None and steps - last_event >= quiet_window:
             break
-        if not machine_step(machine, config, rng, detect_true_probability):
+        if obs is None:
+            ok = machine_step(machine, config, rng, detect_true_probability)
+        else:
+            ok = machine_step(
+                machine,
+                config,
+                rng,
+                detect_true_probability,
+                observer=obs,
+                step=steps + 1,
+            )
+        if not ok:
             hung = True
             break
         steps += 1
+        if obs is not None and snapshot_every and steps % snapshot_every == 0:
+            obs.on_snapshot(steps, dict(config.registers), LAYER_MACHINE)
         if config.output != previous_of:
             previous_of = config.output
             of_trace.append((steps, previous_of))
             last_event = steps
+            if obs is not None:
+                obs.on_output_flip(steps, previous_of, LAYER_MACHINE)
         if machine.restart_entry is not None and config.ip == machine.restart_entry:
             restarts += 1
             last_event = steps
+            if obs is not None:
+                obs.on_restart(
+                    steps, restarts, LAYER_MACHINE, registers=dict(config.registers)
+                )
+    if obs is not None:
+        obs.on_run_end(
+            steps,
+            LAYER_MACHINE,
+            output=config.output,
+            restarts=restarts,
+            hung=hung,
+            quiet_steps=steps - last_event,
+            registers=dict(config.registers),
+        )
     return MachineRunResult(
         config=config,
         output=config.output,
@@ -189,6 +256,7 @@ def decide_machine(
     quiet_window: int = 100_000,
     max_steps: int = 20_000_000,
     strict: bool = True,
+    observer: Optional[Observer] = None,
 ) -> bool:
     """Quiet-period decision, mirroring
     :func:`repro.programs.interpreter.decide_program`."""
@@ -199,6 +267,7 @@ def decide_machine(
         detect_true_probability=detect_true_probability,
         max_steps=max_steps,
         quiet_window=quiet_window,
+        observer=observer,
     )
     if result.hung or result.quiet_steps >= quiet_window:
         return result.output

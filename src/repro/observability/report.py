@@ -1,0 +1,120 @@
+"""Human-readable run digests from recorded metrics and traces."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.observability import events as ev
+from repro.observability.metrics import Metrics, MetricsObserver
+from repro.observability.trace import TraceRecorder
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:,.4g}"
+    return f"{value:,}"
+
+
+def summarize(
+    metrics: Optional[Union[Metrics, MetricsObserver]] = None,
+    trace: Optional[TraceRecorder] = None,
+    *,
+    top_transitions: int = 5,
+) -> str:
+    """Render a run digest: headline counters, timing histograms, the
+    hottest transitions and (when a trace is supplied) the event mix and
+    Lipton level progression."""
+    if isinstance(metrics, MetricsObserver):
+        metrics = metrics.metrics
+    lines: List[str] = ["run digest", "=========="]
+
+    if metrics is not None:
+        headline = [
+            "runs",
+            "attempts",
+            "interactions",
+            "productive",
+            "null_steps",
+            "steps",
+            "restarts",
+            "detect_true",
+            "detect_false",
+            "detect_empty",
+            "output_flips",
+            "silence_checks",
+            "snapshots",
+            "hangs",
+        ]
+        for name in headline:
+            counter = metrics.counters.get(name)
+            if counter is not None and counter.value:
+                lines.append(f"  {name:<16} {_fmt(counter.value)}")
+        base = metrics.counters.get("interactions") or metrics.counters.get("steps")
+        productive = metrics.counters.get("productive")
+        if base and base.value and productive:
+            ratio = productive.value / base.value
+            lines.append(f"  {'productive_ratio':<16} {ratio:.3f}")
+
+        for name, histogram in sorted(metrics.histograms.items()):
+            if histogram.count == 0:
+                continue
+            lines.append(
+                f"  {name:<24} count={_fmt(histogram.count)} "
+                f"mean={_fmt(histogram.mean)} min={_fmt(histogram.min)} "
+                f"max={_fmt(histogram.max)}"
+            )
+        for name, gauge in sorted(metrics.gauges.items()):
+            if gauge.value is not None:
+                lines.append(f"  {name:<24} {_fmt(gauge.value)}")
+
+        fires = [
+            (counter.value, name[len("transition[") : -1])
+            for name, counter in metrics.counters.items()
+            if name.startswith("transition[")
+        ]
+        if fires:
+            fires.sort(reverse=True)
+            lines.append(f"  top transitions ({min(top_transitions, len(fires))}"
+                         f" of {len(fires)}):")
+            for value, label in fires[:top_transitions]:
+                lines.append(f"    {_fmt(value):>12}  {label}")
+        breakdowns = [
+            (counter.value, name)
+            for name, counter in metrics.counters.items()
+            if name.startswith(("statement[", "instruction["))
+        ]
+        if breakdowns:
+            breakdowns.sort(reverse=True)
+            lines.append("  step breakdown:")
+            for value, name in breakdowns:
+                lines.append(f"    {_fmt(value):>12}  {name}")
+
+    if trace is not None:
+        counts = trace.kind_counts()
+        if counts:
+            lines.append("  events:")
+            for kind, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+                lines.append(f"    {_fmt(count):>12}  {kind}")
+        if trace.dropped:
+            lines.append(f"  (dropped {_fmt(trace.dropped)} events over the cap)")
+        levels = trace.level_progression()
+        if levels:
+            shown = ", ".join(str(level) for level in levels[-12:])
+            prefix = "…, " if len(levels) > 12 else ""
+            lines.append(f"  lipton levels:  {prefix}{shown}")
+        restarts = trace.events_of(ev.RESTART)
+        if restarts:
+            steps = [event.step for event in restarts if event.step is not None]
+            if steps:
+                gaps = [b - a for a, b in zip(steps, steps[1:])]
+                mean_gap = sum(gaps) / len(gaps) if gaps else None
+                lines.append(
+                    f"  restarts:  first@{_fmt(steps[0])} last@{_fmt(steps[-1])}"
+                    + (f" mean-gap={_fmt(mean_gap)}" if mean_gap is not None else "")
+                )
+
+    if len(lines) == 2:
+        lines.append("  (nothing recorded)")
+    return "\n".join(lines)

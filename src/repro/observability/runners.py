@@ -1,0 +1,168 @@
+"""Observed runs of reference workloads — the engine behind
+``python -m repro trace`` / ``python -m repro stats``.
+
+Each target builds one of the repository's canonical workloads, attaches
+the requested observers to the relevant execution layer, runs it, and
+returns an :class:`ObservedRun`.
+
+All heavyweight imports are deferred into the target functions so that
+importing :mod:`repro.observability` never drags in (or cyclically
+re-enters) the execution layers it instruments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.observability.metrics import MetricsObserver
+from repro.observability.observer import CompositeObserver
+from repro.observability.report import summarize
+from repro.observability.trace import TraceRecorder
+
+
+@dataclass
+class ObservedRun:
+    """Artefacts of one observed workload run."""
+
+    target: str
+    recorder: Optional[TraceRecorder]
+    metrics: MetricsObserver
+    outcome: str  # one-line description of what the workload returned
+
+    def digest(self) -> str:
+        return summarize(self.metrics, self.recorder)
+
+
+def _observer(recorder, metrics):
+    return CompositeObserver(*(o for o in (recorder, metrics) if o is not None))
+
+
+def run_theorem3(
+    *,
+    n: int = 2,
+    total: Optional[int] = None,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsObserver] = None,
+) -> ObservedRun:
+    """Trace the Theorem 3 program (the Section 6 repeated-squaring
+    counter) at ``n`` levels deciding ``m ≥ k_n``.
+
+    ``total`` defaults to ``k_n - 1``, just below the threshold, where the
+    detect–restart loop is busiest — the regime the instrumentation
+    exists to make visible.
+    """
+    from repro.lipton.canonical import canonical_restart_policy
+    from repro.lipton.construction import build_threshold_program
+    from repro.lipton.levels import threshold
+    from repro.programs.interpreter import run_program
+
+    metrics = metrics or MetricsObserver()
+    if total is None:
+        total = max(1, threshold(n) - 1)
+    program = build_threshold_program(n)
+    result = run_program(
+        program,
+        {"x1": total},
+        seed=seed,
+        restart_policy=canonical_restart_policy(n),
+        max_steps=max_steps,
+        observer=_observer(recorder, metrics),
+    )
+    outcome = (
+        f"theorem3 n={n} total={total} (k={threshold(n)}): output={result.output} "
+        f"steps={result.steps} restarts={result.restarts} hung={result.hung}"
+    )
+    return ObservedRun("theorem3", recorder, metrics, outcome)
+
+
+def run_protocol(
+    *,
+    n: int = 13,
+    total: int = 40,
+    seed: int = 1,
+    max_steps: int = 50_000,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsObserver] = None,
+) -> ObservedRun:
+    """Trace a protocol-level simulation of the succinct binary threshold
+    baseline ``x ≥ n`` on ``total`` agents."""
+    from repro.baselines import binary_threshold_protocol
+    from repro.core.multiset import Multiset
+    from repro.core.simulation import simulate
+
+    metrics = metrics or MetricsObserver()
+    result = simulate(
+        binary_threshold_protocol(n),
+        Multiset({"p0": total}),
+        seed=seed,
+        max_interactions=max_steps,
+        observer=_observer(recorder, metrics),
+    )
+    outcome = (
+        f"protocol x>={n} m={total}: verdict={result.verdict} "
+        f"silent={result.silent} interactions={result.interactions} "
+        f"productive={result.productive}"
+    )
+    return ObservedRun("protocol", recorder, metrics, outcome)
+
+
+def run_machine_target(
+    *,
+    n: int = 1,
+    total: int = 3,
+    seed: int = 3,
+    max_steps: int = 50_000,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsObserver] = None,
+) -> ObservedRun:
+    """Trace the population machine lowered from the Theorem 3 program."""
+    from repro.lipton.construction import build_threshold_program
+    from repro.machines.interpreter import run_machine
+    from repro.machines.lowering import lower_program
+
+    metrics = metrics or MetricsObserver()
+    machine = lower_program(build_threshold_program(n), name=f"lipton{n}")
+    result = run_machine(
+        machine,
+        {"x1": total},
+        seed=seed,
+        max_steps=max_steps,
+        quiet_window=None,
+        observer=_observer(recorder, metrics),
+    )
+    outcome = (
+        f"machine lipton{n} total={total}: output={result.output} "
+        f"steps={result.steps} restarts={result.restarts} hung={result.hung}"
+    )
+    return ObservedRun("machine", recorder, metrics, outcome)
+
+
+def run_pipeline(
+    *,
+    n: int = 2,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsObserver] = None,
+    **_ignored: Any,
+) -> ObservedRun:
+    """Time the program → machine → protocol compilation pipeline."""
+    from repro.conversion.pipeline import compile_threshold_protocol
+
+    metrics = metrics or MetricsObserver()
+    result = compile_threshold_protocol(n, observer=_observer(recorder, metrics))
+    outcome = (
+        f"pipeline lipton-n{n}: machine-size={result.machine_size} "
+        f"inner-states={result.inner_state_count} states={result.state_count} "
+        f"(bound {result.state_bound})"
+    )
+    return ObservedRun("pipeline", recorder, metrics, outcome)
+
+
+TARGETS: Dict[str, Callable[..., ObservedRun]] = {
+    "theorem3": run_theorem3,
+    "protocol": run_protocol,
+    "machine": run_machine_target,
+    "pipeline": run_pipeline,
+}

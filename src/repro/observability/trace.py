@@ -1,0 +1,123 @@
+"""Trace recording: capture structured events, export them as JSONL.
+
+:class:`TraceRecorder` is an :class:`~repro.observability.observer.Observer`
+that appends every event to an in-memory list and can write the result as
+one JSON object per line.  It also
+
+* samples configuration history (``snapshot_every=k`` asks the
+  instrumented driver for a full configuration snapshot every k steps —
+  the ppsim-style recorded history), and
+* derives **Lipton level progression** events: whenever an event carries a
+  register snapshot (snapshots, restarts, run ends), the recorder computes
+  the highest active Section 6 level and synthesises a ``level`` event when
+  it changes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.observability import events as ev
+from repro.observability.events import TraceEvent, events_to_jsonl, lipton_level
+from repro.observability.observer import Observer
+
+
+class TraceRecorder(Observer):
+    """Record every observed event.
+
+    Parameters
+    ----------
+    snapshot_every:
+        Ask drivers for a configuration snapshot every that-many steps
+        (``None`` disables sampled history).
+    kinds:
+        Optional whitelist of event kinds to keep.  Use
+        ``ALL_KINDS - HOT_KINDS`` to skip the per-step firehose while
+        keeping the diagnostic events.
+    max_events:
+        Hard cap on stored events; further events are counted in
+        :attr:`dropped` but not stored (the trace never exhausts memory).
+    """
+
+    def __init__(
+        self,
+        *,
+        snapshot_every: Optional[int] = None,
+        kinds: Optional[Iterable[str]] = None,
+        max_events: Optional[int] = None,
+        track_levels: bool = True,
+    ):
+        self.events: List[TraceEvent] = []
+        self.snapshot_interval = snapshot_every
+        self.kinds = frozenset(kinds) if kinds is not None else None
+        self.max_events = max_events
+        self.dropped = 0
+        self.track_levels = track_levels
+        self._level: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, step: Optional[int], **data: Any) -> None:
+        if self.track_levels and kind != ev.LEVEL:
+            registers = data.get("registers") or data.get("configuration")
+            if isinstance(registers, dict):
+                self._observe_level(step, registers)
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        if self.max_events is not None and len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(kind, step, data))
+
+    def _observe_level(self, step: Optional[int], registers: Dict[str, int]) -> None:
+        try:
+            level = lipton_level(registers)
+        except (TypeError, AttributeError):  # non-register snapshot
+            return
+        if level != self._level:
+            previous = self._level
+            self._level = level
+            self.record(
+                ev.LEVEL, step, layer=ev.LAYER_PROGRAM, level=level, previous=previous
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def events_of(self, *kinds: str) -> List[TraceEvent]:
+        wanted = frozenset(kinds)
+        return [event for event in self.events if event.kind in wanted]
+
+    def kind_counts(self) -> Dict[str, int]:
+        return dict(_Counter(event.kind for event in self.events))
+
+    def snapshots(self) -> List[TraceEvent]:
+        return self.events_of(ev.SNAPSHOT)
+
+    def level_progression(self) -> List[Any]:
+        """The sequence of active Lipton levels, in observation order."""
+        return [event.data["level"] for event in self.events_of(ev.LEVEL)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # ------------------------------------------------------------------
+    # JSONL export / import
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        return events_to_jsonl(self.events)
+
+    def write_jsonl(self, path) -> Path:
+        path = Path(path)
+        text = self.to_jsonl()
+        path.write_text(text + ("\n" if text else ""), encoding="utf-8")
+        return path
+
+    @classmethod
+    def read_jsonl(cls, path) -> "TraceRecorder":
+        recorder = cls(track_levels=False)
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            if line.strip():
+                recorder.events.append(TraceEvent.from_json(line))
+        return recorder

@@ -52,6 +52,8 @@ from repro.programs.ast import (
     Swap,
     While,
 )
+from repro.observability.events import LAYER_PROGRAM
+from repro.observability.observer import Observer, live
 from repro.programs.restart import RestartPolicy, UniformRestart
 
 
@@ -122,9 +124,15 @@ class ProgramInterpreter:
         rng: Optional[random.Random] = None,
         max_steps: int = 1_000_000,
         stop_condition: Optional[Callable[["_RunState"], bool]] = None,
+        observer: Optional[Observer] = None,
     ) -> RunResult:
         """Execute from the given register configuration (missing registers
-        default to 0; per the model they may hold *any* value)."""
+        default to 0; per the model they may hold *any* value).
+
+        ``observer`` receives statement dispatch, detect outcomes,
+        restarts, output flips, hangs and sampled register snapshots (see
+        :mod:`repro.observability`); it never touches the random stream.
+        """
         if rng is None:
             rng = random.Random(seed)
         registers = {name: 0 for name in self.program.registers}
@@ -135,16 +143,26 @@ class ProgramInterpreter:
                 raise InvalidProgramError("register values must be nonnegative")
             registers[name] = value
 
+        obs = live(observer)
         state = _RunState(
             registers=registers,
             rng=rng,
             max_steps=max_steps,
             stop_condition=stop_condition,
             detect_true_probability=self.detect_true_probability,
+            obs=obs,
+            obs_snapshot=obs.snapshot_interval if obs is not None else None,
         )
         total = sum(registers.values())
         hung = False
         main_returned = False
+        if obs is not None:
+            obs.on_run_start(
+                LAYER_PROGRAM,
+                total=total,
+                registers=dict(registers),
+                restart_policy=type(self.restart_policy).__name__,
+            )
         while True:
             try:
                 self._call(self.program.main, state)
@@ -157,12 +175,30 @@ class ProgramInterpreter:
                 state.registers = self.restart_policy.sample(
                     total, self.program.registers, state.rng
                 )
+                if obs is not None:
+                    obs.on_restart(
+                        state.steps,
+                        state.restarts,
+                        LAYER_PROGRAM,
+                        registers=dict(state.registers),
+                    )
                 continue
             except _HangSignal:
                 hung = True
                 break
             except _StopSignal:
                 break
+        if obs is not None:
+            obs.on_run_end(
+                state.steps,
+                LAYER_PROGRAM,
+                output=state.output,
+                restarts=state.restarts,
+                hung=hung,
+                main_returned=main_returned,
+                quiet_steps=state.steps - state.last_event_step,
+                registers=dict(state.registers),
+            )
         return RunResult(
             registers=dict(state.registers),
             output=state.output,
@@ -201,12 +237,17 @@ class ProgramInterpreter:
     def _exec_stmt(
         self, stmt: Statement, state: "_RunState", box: _ReturnBox
     ) -> bool:
+        obs = state.obs
         if isinstance(stmt, Move):
             state.tick()
             if state.registers[stmt.src] == 0:
+                if obs is not None:
+                    obs.on_hang(state.steps, LAYER_PROGRAM, stmt.src)
                 raise _HangSignal()
             state.registers[stmt.src] -= 1
             state.registers[stmt.dst] += 1
+            if obs is not None:
+                obs.on_statement(state.steps, "move", f"{stmt.src}->{stmt.dst}")
             return True
         if isinstance(stmt, Swap):
             state.tick()
@@ -214,23 +255,35 @@ class ProgramInterpreter:
                 state.registers[stmt.b],
                 state.registers[stmt.a],
             )
+            if obs is not None:
+                obs.on_statement(state.steps, "swap", f"{stmt.a}<->{stmt.b}")
             return True
         if isinstance(stmt, SetOutput):
             state.tick()
+            if obs is not None:
+                obs.on_statement(state.steps, "set_output", str(stmt.value))
             if state.output != stmt.value:
                 state.output = stmt.value
                 state.of_trace.append((state.steps, stmt.value))
                 state.last_event_step = state.steps
+                if obs is not None:
+                    obs.on_output_flip(state.steps, stmt.value, LAYER_PROGRAM)
             return True
         if isinstance(stmt, Restart):
             state.tick()
+            if obs is not None:
+                obs.on_statement(state.steps, "restart")
             raise _RestartSignal()
         if isinstance(stmt, Return):
             state.tick()
+            if obs is not None:
+                obs.on_statement(state.steps, "return", str(stmt.value))
             box.value = stmt.value
             return False
         if isinstance(stmt, CallStmt):
             state.tick()
+            if obs is not None:
+                obs.on_statement(state.steps, "call", stmt.procedure)
             self._call(stmt.procedure, state)
             return True
         if isinstance(stmt, If):
@@ -256,8 +309,17 @@ class ProgramInterpreter:
         if isinstance(condition, Detect):
             state.tick()
             if state.registers[condition.register] == 0:
+                if state.obs is not None:
+                    state.obs.on_detect(
+                        state.steps, condition.register, False, False, LAYER_PROGRAM
+                    )
                 return False
-            return state.rng.random() < state.detect_true_probability
+            answer = state.rng.random() < state.detect_true_probability
+            if state.obs is not None:
+                state.obs.on_detect(
+                    state.steps, condition.register, True, answer, LAYER_PROGRAM
+                )
+            return answer
         if isinstance(condition, CallExpr):
             state.tick()
             value = self._call(condition.procedure, state)
@@ -286,6 +348,8 @@ class _RunState:
     max_steps: int
     stop_condition: Optional[Callable[["_RunState"], bool]]
     detect_true_probability: float
+    obs: Optional[Observer] = None
+    obs_snapshot: Optional[int] = None
     steps: int = 0
     restarts: int = 0
     output: bool = False
@@ -295,6 +359,11 @@ class _RunState:
 
     def tick(self) -> None:
         self.steps += 1
+        if (
+            self.obs_snapshot is not None
+            and self.steps % self.obs_snapshot == 0
+        ):
+            self.obs.on_snapshot(self.steps, dict(self.registers), LAYER_PROGRAM)
         if self.steps >= self.max_steps:
             raise _StopSignal()
         if self.stop_condition is not None and self.stop_condition(self):
@@ -391,6 +460,7 @@ def run_program(
     detect_true_probability: float = 0.75,
     max_steps: int = 1_000_000,
     stop_condition: Optional[Callable] = None,
+    observer: Optional[Observer] = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`ProgramInterpreter`."""
     interp = ProgramInterpreter(
@@ -403,6 +473,7 @@ def run_program(
         seed=seed,
         max_steps=max_steps,
         stop_condition=stop_condition,
+        observer=observer,
     )
 
 
@@ -416,6 +487,7 @@ def decide_program(
     quiet_window: int = 50_000,
     max_steps: int = 5_000_000,
     strict: bool = True,
+    observer: Optional[Observer] = None,
 ) -> bool:
     """Sample a run until it is *quiet* (no restart / output change for
     ``quiet_window`` steps) and return the stabilised output flag.
@@ -437,6 +509,7 @@ def decide_program(
         detect_true_probability=detect_true_probability,
         max_steps=max_steps,
         stop_condition=stop,
+        observer=observer,
     )
     if result.hung or result.quiet_steps >= quiet_window or result.main_returned:
         return result.output

@@ -1,0 +1,161 @@
+"""Metrics registry and MetricsObserver aggregation."""
+
+import json
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol
+from repro.core import Multiset, simulate
+from repro.lipton import build_threshold_program, canonical_restart_policy
+from repro.machines import lower_program, run_machine
+from repro.observability import Metrics, MetricsObserver, summarize, transition_label
+from repro.conversion import compile_threshold_protocol
+from repro.programs import run_program
+
+
+class TestInstruments:
+    def test_counter(self):
+        metrics = Metrics()
+        metrics.counter("a").inc()
+        metrics.counter("a").inc(4)
+        assert metrics.counters["a"].value == 5
+
+    def test_gauge(self):
+        metrics = Metrics()
+        metrics.gauge("g").set(1.5)
+        metrics.gauge("g").set(2.5)
+        assert metrics.gauges["g"].value == 2.5
+
+    def test_histogram(self):
+        metrics = Metrics()
+        for value in (1.0, 3.0, 2.0):
+            metrics.histogram("h").observe(value)
+        h = metrics.histograms["h"]
+        assert (h.count, h.min, h.max, h.mean) == (3, 1.0, 3.0, 2.0)
+
+    def test_timer_records_seconds(self):
+        metrics = Metrics()
+        with metrics.timer("t"):
+            pass
+        assert metrics.histograms["t"].count == 1
+        assert metrics.histograms["t"].min >= 0.0
+
+    def test_write_json(self, tmp_path):
+        metrics = Metrics()
+        metrics.counter("a").inc(2)
+        metrics.histogram("h").observe(1.0)
+        path = metrics.write_json(tmp_path / "m.json", extra={"suite": "x"})
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["a"] == 2
+        assert payload["histograms"]["h"]["count"] == 1
+        assert payload["suite"] == "x"
+
+    def test_bool_reflects_content(self):
+        metrics = Metrics()
+        assert not metrics
+        metrics.counter("a")
+        assert metrics
+
+
+class TestMetricsObserverProtocol:
+    def test_counts_match_simulation_result(self):
+        observer = MetricsObserver()
+        result = simulate(
+            binary_threshold_protocol(5),
+            Multiset({"p0": 9}),
+            seed=11,
+            max_interactions=20_000,
+            observer=observer,
+        )
+        counters = observer.metrics.counters
+        assert counters["interactions"].value == result.interactions
+        assert counters["productive"].value == result.productive
+        assert counters["runs"].value == 1
+        fires = sum(
+            c.value for name, c in counters.items() if name.startswith("transition[")
+        )
+        assert fires == result.productive  # enabled scheduler: no null steps
+        parallel = observer.metrics.histograms["parallel_time"]
+        assert parallel.mean == pytest.approx(result.parallel_time)
+        assert observer.metrics.histograms["wall_seconds"].count == 1
+
+    def test_transition_label_is_stable(self):
+        pp = binary_threshold_protocol(3)
+        t = pp.transitions[0]
+        assert transition_label(t) == f"{t.q},{t.r}->{t.q2},{t.r2}"
+
+
+class TestMetricsObserverProgram:
+    def test_program_counters(self):
+        observer = MetricsObserver()
+        result = run_program(
+            build_threshold_program(2),
+            {"x1": 9},
+            seed=0,
+            restart_policy=canonical_restart_policy(2),
+            max_steps=20_000,
+            observer=observer,
+        )
+        counters = observer.metrics.counters
+        assert counters["restarts"].value == result.restarts
+        flips = counters["output_flips"].value if "output_flips" in counters else 0
+        assert flips == len(result.of_trace)
+        detects = sum(
+            counters[name].value
+            for name in ("detect_true", "detect_false", "detect_empty")
+            if name in counters
+        )
+        assert detects > 0
+        statements = sum(
+            c.value for name, c in counters.items() if name.startswith("statement[")
+        )
+        assert statements == counters["steps"].value
+
+    def test_machine_counters(self):
+        observer = MetricsObserver()
+        result = run_machine(
+            lower_program(build_threshold_program(1), "lipton1"),
+            {"x1": 3},
+            seed=3,
+            max_steps=20_000,
+            quiet_window=None,
+            observer=observer,
+        )
+        counters = observer.metrics.counters
+        assert counters["steps"].value == result.steps
+        assert counters["restarts"].value == result.restarts
+        instructions = sum(
+            c.value for name, c in counters.items() if name.startswith("instruction[")
+        )
+        assert instructions == result.steps
+
+
+class TestPipelineStages:
+    def test_stage_timings_recorded(self):
+        observer = MetricsObserver()
+        result = compile_threshold_protocol(1, observer=observer)
+        histograms = observer.metrics.histograms
+        for stage in ("lower", "convert", "broadcast"):
+            assert histograms[f"stage.{stage}.seconds"].count == 1
+        gauges = observer.metrics.gauges
+        assert gauges["stage.lower.machine_size"].value == result.machine_size
+        assert gauges["stage.broadcast.states"].value == result.state_count
+
+
+class TestSummarize:
+    def test_digest_mentions_headline_counters(self):
+        observer = MetricsObserver()
+        simulate(
+            binary_threshold_protocol(4),
+            Multiset({"p0": 7}),
+            seed=2,
+            max_interactions=10_000,
+            observer=observer,
+        )
+        digest = summarize(observer)
+        assert "interactions" in digest
+        assert "productive" in digest
+        assert "top transitions" in digest
+
+    def test_empty_digest(self):
+        assert "(nothing recorded)" in summarize(Metrics())

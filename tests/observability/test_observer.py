@@ -1,0 +1,169 @@
+"""Observer identity guarantees: observing a run never changes it."""
+
+import random
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol, majority_protocol
+from repro.core import Multiset, UniformPairScheduler, decide, simulate
+from repro.lipton import build_threshold_program, canonical_restart_policy
+from repro.machines import lower_program, run_machine
+from repro.observability import (
+    NULL_OBSERVER,
+    CompositeObserver,
+    MetricsObserver,
+    NullObserver,
+    Observer,
+    TraceRecorder,
+    live,
+)
+from repro.programs import run_program
+
+
+def _sim_fingerprint(result):
+    return (
+        result.final.to_dict(),
+        result.verdict,
+        result.silent,
+        result.interactions,
+        result.productive,
+        result.output_trace,
+    )
+
+
+def _program_fingerprint(result):
+    return (
+        result.registers,
+        result.output,
+        result.steps,
+        result.restarts,
+        result.hung,
+        result.main_returned,
+        result.of_trace,
+        result.restart_steps,
+    )
+
+
+class TestLive:
+    def test_none_and_null_are_stripped(self):
+        assert live(None) is None
+        assert live(NULL_OBSERVER) is None
+        assert live(NullObserver()) is None
+        assert live(Observer()) is None
+
+    def test_real_observers_pass_through(self):
+        recorder = TraceRecorder()
+        assert live(recorder) is recorder
+        metrics = MetricsObserver()
+        assert live(metrics) is metrics
+
+
+class TestSimulateIdentity:
+    @pytest.mark.parametrize("observer_factory", [
+        lambda: NULL_OBSERVER,
+        lambda: TraceRecorder(snapshot_every=100),
+        lambda: MetricsObserver(),
+        lambda: CompositeObserver(TraceRecorder(), MetricsObserver()),
+    ])
+    def test_observed_run_is_bit_identical(self, observer_factory):
+        pp = binary_threshold_protocol(5)
+        config = Multiset({"p0": 9})
+        bare = simulate(pp, config, seed=11, max_interactions=20_000)
+        observed = simulate(
+            pp,
+            config,
+            seed=11,
+            max_interactions=20_000,
+            observer=observer_factory(),
+        )
+        assert _sim_fingerprint(bare) == _sim_fingerprint(observed)
+
+    def test_uniform_scheduler_identity(self):
+        pp = majority_protocol()
+        config = Multiset({"X": 12, "Y": 9})
+        kwargs = dict(seed=2, max_interactions=5_000, convergence_window=200)
+        bare = simulate(pp, config, scheduler=UniformPairScheduler(), **kwargs)
+        observed = simulate(
+            pp,
+            config,
+            scheduler=UniformPairScheduler(),
+            observer=TraceRecorder(),
+            **kwargs,
+        )
+        assert _sim_fingerprint(bare) == _sim_fingerprint(observed)
+
+    def test_decide_identity(self):
+        pp = binary_threshold_protocol(4)
+        config = Multiset({"p0": 7})
+        assert decide(pp, config, seed=3) == decide(
+            pp, config, seed=3, observer=TraceRecorder()
+        )
+
+
+class TestProgramIdentity:
+    def test_observed_program_run_is_bit_identical(self):
+        program = build_threshold_program(2)
+        policy = canonical_restart_policy(2)
+        kwargs = dict(seed=5, restart_policy=policy, max_steps=20_000)
+        bare = run_program(program, {"x1": 9}, **kwargs)
+        observed = run_program(
+            program,
+            {"x1": 9},
+            observer=CompositeObserver(
+                TraceRecorder(snapshot_every=500), MetricsObserver()
+            ),
+            **kwargs,
+        )
+        assert _program_fingerprint(bare) == _program_fingerprint(observed)
+
+    def test_null_observer_program_identity(self):
+        program = build_threshold_program(1)
+        bare = run_program(program, {"x1": 3}, seed=1, max_steps=5_000)
+        observed = run_program(
+            program, {"x1": 3}, seed=1, max_steps=5_000, observer=NULL_OBSERVER
+        )
+        assert _program_fingerprint(bare) == _program_fingerprint(observed)
+
+
+class TestMachineIdentity:
+    def test_observed_machine_run_is_bit_identical(self):
+        machine = lower_program(build_threshold_program(1), "lipton1")
+        kwargs = dict(seed=3, max_steps=20_000, quiet_window=None)
+        bare = run_machine(machine, {"x1": 3}, **kwargs)
+        observed = run_machine(
+            machine,
+            {"x1": 3},
+            observer=CompositeObserver(
+                TraceRecorder(snapshot_every=1_000), MetricsObserver()
+            ),
+            **kwargs,
+        )
+        assert bare.config.registers == observed.config.registers
+        assert bare.config.pointers == observed.config.pointers
+        assert (bare.output, bare.steps, bare.restarts, bare.hung) == (
+            observed.output,
+            observed.steps,
+            observed.restarts,
+            observed.hung,
+        )
+        assert bare.of_trace == observed.of_trace
+
+
+class TestCompositeObserver:
+    def test_fans_out_to_all_children(self):
+        a, b = TraceRecorder(), TraceRecorder()
+        composite = CompositeObserver(a, b)
+        composite.on_output_flip(3, True, "program")
+        assert len(a.events) == len(b.events) == 1
+
+    def test_strips_null_children(self):
+        composite = CompositeObserver(NULL_OBSERVER, TraceRecorder())
+        assert len(composite.observers) == 1
+
+    def test_snapshot_interval_is_min_of_children(self):
+        composite = CompositeObserver(
+            TraceRecorder(snapshot_every=500),
+            TraceRecorder(snapshot_every=200),
+            TraceRecorder(),
+        )
+        assert composite.snapshot_interval == 200
