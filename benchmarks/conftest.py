@@ -12,6 +12,7 @@ root when the session ends, so the perf trajectory of the substrate is
 machine-readable from PR to PR.
 """
 
+import os
 import platform
 import sys
 import time
@@ -24,7 +25,14 @@ from repro.observability.metrics import Metrics
 from repro.programs import simple_threshold_program
 
 _BENCH_METRICS = Metrics()
-_BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_simulator.json"
+# REPRO_BENCH_OUT redirects the JSON (used by the CI regression check to
+# compare a fresh run against the committed baseline without overwriting it).
+_BENCH_JSON = Path(
+    os.environ.get(
+        "REPRO_BENCH_OUT",
+        Path(__file__).resolve().parent.parent / "BENCH_simulator.json",
+    )
+)
 
 
 def once(benchmark, fn, *args, **kwargs):

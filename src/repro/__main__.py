@@ -11,16 +11,29 @@ Usage::
     python -m repro stats theorem3 --n 2       # metrics digest only
     python -m repro trace --list               # list traceable targets
 
+    python -m repro bench                      # run the simulator bench suite
+    python -m repro bench --out BENCH.json     # write the metrics elsewhere
+    python -m repro bench --check              # fail on throughput regression
+
 ``trace``/``stats`` targets are the observed reference workloads of
 :mod:`repro.observability.runners` (the Theorem 3 program, a baseline
 protocol simulation, the lowered machine, the compilation pipeline).
+``bench`` drives the pytest-benchmark suites under ``benchmarks/`` and,
+with ``--check``, compares every ``*.ops_per_second`` gauge of the fresh
+run against a baseline JSON (default: the committed
+``BENCH_simulator.json``), failing if any regressed by more than the
+tolerance (``--tolerance`` / ``REPRO_BENCH_TOLERANCE``, default 30%).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import subprocess
 import sys
 import time
+from pathlib import Path
 from typing import Callable, Dict, Tuple
 
 
@@ -270,9 +283,137 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
     return 0
 
 
+#: Benchmark suites runnable via ``python -m repro bench --suite NAME``.
+BENCH_SUITES: Dict[str, str] = {
+    "simulator": "bench_simulator_performance.py",
+    "all": ".",
+}
+
+
+def _compare_bench(new_path: Path, baseline_path: Path, tolerance: float) -> int:
+    """Exit status of the regression gate: compare every
+    ``*.ops_per_second`` gauge in ``new_path`` against ``baseline_path``.
+
+    A gauge fails when the fresh value drops below ``baseline × (1 −
+    tolerance)``; a gauge present in the baseline but missing from the
+    fresh run also fails (a silently skipped benchmark must not read as a
+    pass).  Gauges new in the fresh run are reported but never fail.
+    """
+    new = json.loads(new_path.read_text(encoding="utf-8")).get("gauges", {})
+    base = json.loads(baseline_path.read_text(encoding="utf-8")).get("gauges", {})
+    failures = []
+    for name in sorted(base):
+        if not name.endswith(".ops_per_second") or base[name] in (None, 0):
+            continue
+        fresh = new.get(name)
+        if fresh is None:
+            failures.append(f"{name}: missing from fresh run")
+            print(f"FAIL {name}: baseline {base[name]:.1f}, missing from fresh run")
+            continue
+        ratio = fresh / base[name]
+        status = "ok" if ratio >= 1.0 - tolerance else "FAIL"
+        print(
+            f"{status:>4} {name}: {fresh:.1f} vs baseline {base[name]:.1f} "
+            f"({ratio:+.1%} of baseline)"
+        )
+        if status == "FAIL":
+            failures.append(f"{name}: {ratio:.1%} of baseline")
+    for name in sorted(set(new) - set(base)):
+        if name.endswith(".ops_per_second") and new[name] is not None:
+            print(f" new {name}: {new[name]:.1f} (no baseline)")
+    if failures:
+        print(
+            f"\nbench check FAILED ({len(failures)} gauge(s) regressed beyond "
+            f"{tolerance:.0%} tolerance)"
+        )
+        return 1
+    print(f"\nbench check passed (tolerance {tolerance:.0%})")
+    return 0
+
+
+def _run_bench(argv: Tuple[str, ...]) -> int:
+    repo_root = Path(__file__).resolve().parents[2]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Run a pytest-benchmark suite and record BENCH_*.json.",
+    )
+    parser.add_argument(
+        "--suite",
+        default="simulator",
+        choices=sorted(BENCH_SUITES),
+        help="benchmark suite to run (default: simulator)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="metrics JSON output path (default: BENCH_simulator.json at the "
+        "repo root, i.e. the committed baseline is overwritten in place)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="after running, compare *.ops_per_second gauges against the "
+        "baseline and exit non-zero on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON for --check (default: BENCH_simulator.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.30")),
+        help="allowed fractional throughput drop before --check fails "
+        "(default: 0.30, or REPRO_BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--pytest-args",
+        default="",
+        help="extra arguments passed through to pytest (one string)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = Path(args.baseline) if args.baseline else repo_root / "BENCH_simulator.json"
+    out = Path(args.out) if args.out else repo_root / "BENCH_simulator.json"
+    if args.check and not baseline.exists():
+        print(f"bench: baseline {baseline} does not exist", file=sys.stderr)
+        return 2
+    if args.check and out.resolve() == baseline.resolve():
+        print(
+            "bench: --check needs --out different from the baseline "
+            "(the fresh run would overwrite what it is compared against)",
+            file=sys.stderr,
+        )
+        return 2
+
+    target = repo_root / "benchmarks" / BENCH_SUITES[args.suite]
+    cmd = [sys.executable, "-m", "pytest", str(target), "-q"]
+    if args.pytest_args:
+        cmd += args.pytest_args.split()
+    env = dict(os.environ)
+    env["REPRO_BENCH_OUT"] = str(out)
+    src = str(repo_root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    status = subprocess.call(cmd, cwd=repo_root, env=env)
+    if status != 0:
+        return status
+    if not out.exists():
+        print(f"bench: suite wrote no metrics to {out}", file=sys.stderr)
+        return 2
+    print(f"\nwrote {out}")
+    if args.check:
+        return _compare_bench(out, baseline, args.tolerance)
+    return 0
+
+
 def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
     if argv and argv[0] in ("trace", "stats"):
         return _run_observe(argv[0], tuple(argv[1:]))
+    if argv and argv[0] == "bench":
+        return _run_bench(tuple(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",

@@ -21,6 +21,11 @@ from repro.core.composition import (
     negate,
     product,
 )
+from repro.core.fastpath import (
+    EnabledIndex,
+    FastEnabledScheduler,
+    FastUniformScheduler,
+)
 from repro.core.multiset import Multiset
 from repro.core.predicates import (
     Equality,
@@ -74,6 +79,9 @@ __all__ = [
     "Transition",
     "UniformPairScheduler",
     "EnabledTransitionScheduler",
+    "FastEnabledScheduler",
+    "FastUniformScheduler",
+    "EnabledIndex",
     "SchedulerStep",
     "simulate",
     "decide",

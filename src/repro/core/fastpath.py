@@ -1,0 +1,1044 @@
+"""Fast-path simulation engine: incremental scheduling without rescans.
+
+The legacy schedulers rebuild their candidate lists from the full support
+on every step, making each interaction cost ``O(|support|² · |δ|)``.  One
+interaction changes at most four state counts, so almost all of that work
+is recomputation of unchanged weights.  This module rebuilds the hot path
+around that observation:
+
+* :class:`TransitionTable` — a per-protocol compilation (cached on the
+  protocol instance): states are encoded as dense integers, every ``(q,
+  r)`` pair with transitions becomes a *key* with the precomputed data the
+  inner loop needs (pair-weight offset, candidate tuples with net deltas
+  and output deltas), plus per-state lists of the keys each state touches.
+* :class:`EnabledIndex` — the incremental index.  It maintains, per key,
+  the ordered-pair weight ``c_q·(c_r − [q=r])`` (times the candidate
+  multiplicity in enabled mode) and a dense *active list* of keys with
+  positive weight used for weighted sampling by linear scan.  A step's
+  repair recomputes just the keys touching the (≤ 4, usually fewer)
+  states whose count changed, via static per-state record lists.  The
+  index can :meth:`~EnabledIndex.attach` to a :class:`Multiset` and stay
+  exact through arbitrary ``inc``/``dec`` calls via the multiset's change
+  hooks.
+* :func:`run_fast_simulation` — the drop-in driver used by
+  :func:`repro.core.simulate` for the fast schedulers.  It adds O(Δ)
+  output tracking (an incrementally maintained count of agents in
+  accepting states replaces ``protocol.output(current)`` per step),
+  geometric null-step skip-ahead for the uniform model (null runs are
+  sampled from the exact geometric distribution and jumped in one go,
+  preserving interaction counts and parallel time exactly), and a
+  run-collapsing batch mode that applies a transition ``k`` times at once
+  while it is provably the only enabled choice.
+
+Sampling invariants (why the fast path is distribution-equivalent):
+
+* enabled mode: a key's weight is ``pair_weight × #non-noop candidates``
+  and the candidate within the key is chosen uniformly — identical to the
+  legacy flat ``rng.choices`` over (candidate, pair_weight) pairs;
+* uniform mode: a *matched* step picks a key with probability
+  ``pair_weight / M`` (``M`` = total matched weight), the candidate by the
+  legacy tie-break rule, and the number of null steps before it follows
+  ``Geometric(M/T)`` with ``T = m(m−1)`` — exactly the law of the
+  textbook "pick an ordered pair uniformly" process.
+
+The silence predicate is exact, not heuristic: the configuration is
+silent iff no key with a configuration-changing candidate has positive
+pair weight, which the index answers by scanning the (small) active list.
+"""
+
+from __future__ import annotations
+
+import random
+from math import log
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol, Transition
+from repro.core.scheduler import EnabledTransitionScheduler, UniformPairScheduler
+from repro.observability.events import LAYER_PROTOCOL
+
+#: Above this total weight ``int(random() * total)`` loses low bits; the
+#: sampler switches to ``randrange`` (bit-exact, slightly slower).
+_FLOAT_SAFE_TOTAL = 1 << 53
+
+#: Convergence threshold sentinel while the output is undefined — an
+#: integer ``productive`` counter never reaches it.
+_NEVER = float("inf")
+
+
+class FastEnabledScheduler(EnabledTransitionScheduler):
+    """Incremental-index version of :class:`EnabledTransitionScheduler`.
+
+    Samples the same distribution (enabled non-no-op transitions weighted
+    by matching pair counts) but lets :func:`repro.core.simulate` run the
+    incremental fast path: per-step cost proportional to the *change* per
+    interaction instead of the support size.  ``select`` falls back to the
+    legacy implementation, so the class is a drop-in replacement; runs are
+    distribution-equivalent but not bit-identical to the legacy scheduler
+    under the same seed (the random stream is consumed differently).
+    """
+
+
+class FastUniformScheduler(UniformPairScheduler):
+    """Incremental-index version of :class:`UniformPairScheduler`.
+
+    Preserves the textbook uniform-pair semantics — interaction counts
+    include null steps and parallel time is unchanged — but null runs are
+    skipped in one geometric jump and matched pairs are sampled from the
+    incremental index.  Distribution-equivalent, not bit-identical, to
+    the legacy scheduler under the same seed.
+    """
+
+
+# ----------------------------------------------------------------------
+# Per-protocol compiled table
+# ----------------------------------------------------------------------
+class ModeTable:
+    """The compiled key set for one sampling mode (enabled or uniform).
+
+    ``keys[i] = (a, b, off, mult, cands)`` with ``off = 1`` for same-state
+    pairs (pair weight ``c·(c−1)``) and ``mult`` the candidate count.
+    Candidate records are ``(q, r, q2, r2, changes, accept_delta, deltas,
+    transition)`` — state ids, a changed-configuration flag (no-ops *and*
+    swaps are changeless), the accepting-count delta, the nonzero
+    ``(state_id, net_delta)`` pairs, and the original transition.
+    ``hot[i]`` carries just ``(changes, accept_delta, deltas)`` per
+    candidate: the inner loops apply the *net* deltas, so a catalyst-style
+    transition (one agent unchanged) touches one fewer state than a naive
+    4-count update would.  ``srecs[s]`` is the static repair list of state
+    ``s`` — one ``(i, partner, off, weight_mult)`` record per key touching
+    ``s`` (``weight_mult`` folds ``mult`` into the weight in enabled mode
+    and is 1 in uniform mode); ``touch[s]`` lists the keys mentioning
+    state ``s``; ``changing[i]`` flags keys with at least one
+    configuration-changing candidate.
+    """
+
+    __slots__ = ("keys", "touch", "changing", "srecs", "hot")
+
+    def __init__(self, n_states: int, keys: list, fold_mult: bool):
+        self.keys = tuple(keys)
+        touch: List[List[int]] = [[] for _ in range(n_states)]
+        for i, (a, b, _off, _mult, _cands) in enumerate(keys):
+            touch[a].append(i)
+            if b != a:
+                touch[b].append(i)
+        self.touch = tuple(tuple(t) for t in touch)
+        self.changing = tuple(
+            1 if any(c[4] for c in key[4]) else 0 for key in keys
+        )
+        # Side-specific repair records: from state ``s``'s point of view a
+        # key's weight is ``cnt[s]·(cnt[partner] − off)·mult`` (for
+        # distinct-state keys ``off = 0`` and the product commutes; for
+        # same-state keys the partner is ``s`` itself), so the repair
+        # loops can hoist ``cnt[s]`` out of the per-record recomputation.
+        # The lists are static — every key touching ``s``, occupied
+        # partner or not — which keeps repairs branch-free: a vacated
+        # partner just yields weight 0.
+        srecs: List[List[tuple]] = [[] for _ in range(n_states)]
+        for i, (a, b, off, mult, _cands) in enumerate(keys):
+            m_eff = mult if fold_mult else 1
+            srecs[a].append((i, b, off, m_eff))
+            if b != a:
+                srecs[b].append((i, a, off, m_eff))
+        self.srecs = tuple(tuple(r) for r in srecs)
+        self.hot = tuple(tuple((c[4], c[5], c[6]) for c in key[4]) for key in keys)
+
+
+class TransitionTable:
+    """Dense-integer compilation of a protocol's transition structure."""
+
+    __slots__ = ("states", "sid", "accepting", "enabled", "uniform")
+
+    def __init__(self, protocol: PopulationProtocol):
+        # Sorted by repr for a deterministic encoding across runs.
+        self.states: Tuple[object, ...] = tuple(sorted(protocol.states, key=repr))
+        self.sid: Dict[object, int] = {s: i for i, s in enumerate(self.states)}
+        self.accepting: Tuple[bool, ...] = tuple(
+            s in protocol.accepting_states for s in self.states
+        )
+
+        def cand_record(t: Transition):
+            net: Dict[int, int] = {}
+            for s, d in ((t.q, -1), (t.r, -1), (t.q2, 1), (t.r2, 1)):
+                i = self.sid[s]
+                net[i] = net.get(i, 0) + d
+            deltas = tuple((i, d) for i, d in net.items() if d)
+            accept_delta = (
+                int(t.q2 in protocol.accepting_states)
+                + int(t.r2 in protocol.accepting_states)
+                - int(t.q in protocol.accepting_states)
+                - int(t.r in protocol.accepting_states)
+            )
+            return (
+                self.sid[t.q],
+                self.sid[t.r],
+                self.sid[t.q2],
+                self.sid[t.r2],
+                1 if deltas else 0,
+                accept_delta,
+                deltas,
+                t,
+            )
+
+        def build_keys(candidate_filter):
+            keys = []
+            for (q, r), ts in sorted(protocol._index.items(), key=repr):
+                cands = [t for t in ts if candidate_filter(t)]
+                if not cands:
+                    continue
+                keys.append(
+                    (
+                        self.sid[q],
+                        self.sid[r],
+                        1 if q == r else 0,
+                        len(cands),
+                        tuple(cand_record(t) for t in cands),
+                    )
+                )
+            return keys
+
+        # Enabled mode samples only non-no-op transitions (the legacy
+        # EnabledTransitionScheduler's candidate set); uniform mode needs
+        # every matched pair, no-ops included.
+        n = len(self.states)
+        self.enabled = ModeTable(
+            n, build_keys(lambda t: not t.is_noop()), fold_mult=True
+        )
+        self.uniform = ModeTable(n, build_keys(lambda t: True), fold_mult=False)
+
+
+def get_table(protocol: PopulationProtocol) -> TransitionTable:
+    """The protocol's compiled :class:`TransitionTable` (built once and
+    cached on the protocol instance)."""
+    table = getattr(protocol, "_fastpath_table", None)
+    if table is None:
+        table = TransitionTable(protocol)
+        protocol._fastpath_table = table
+    return table
+
+
+# ----------------------------------------------------------------------
+# Incremental index
+# ----------------------------------------------------------------------
+class EnabledIndex:
+    """Incrementally maintained weights for every transition key.
+
+    Invariant (checked by :meth:`validate`): for every key ``i = (a, b)``,
+
+    * ``w[i] == cnt[a]·(cnt[b] − off) · weight_mult`` (never negative:
+      ``off = 1`` only for same-state keys, whose ``c·(c−1)`` is ≥ 0 for
+      every integer count);
+    * ``active`` lists exactly the keys with ``w[i] > 0`` and ``total``
+      is their sum.
+
+    After a count change of state ``s`` the keys whose weight may have
+    moved are exactly ``srecs[s]`` — the *static* list of keys touching
+    ``s`` — so a repair is a branch-free O(degree of ``s``) recompute
+    with no membership bookkeeping.  (An earlier design kept dynamic
+    per-state lists restricted to occupied partners; the dict churn of
+    maintaining them on support flips cost more than the few extra
+    multiply-and-compare no-ops the static lists admit.)
+    """
+
+    __slots__ = (
+        "table",
+        "mode",
+        "keys",
+        "touch",
+        "changing",
+        "srecs",
+        "hot",
+        "cnt",
+        "w",
+        "active",
+        "activepos",
+        "total",
+        "_watched",
+    )
+
+    def __init__(
+        self,
+        protocol: PopulationProtocol,
+        config: Optional[Multiset] = None,
+        *,
+        mode: str = "enabled",
+    ):
+        if mode not in ("enabled", "uniform"):
+            raise ValueError("mode must be 'enabled' or 'uniform'")
+        self.table = get_table(protocol)
+        self.mode = mode
+        mt = self.table.enabled if mode == "enabled" else self.table.uniform
+        self.keys = mt.keys
+        self.touch = mt.touch
+        self.changing = mt.changing
+        self.srecs = mt.srecs
+        self.hot = mt.hot
+        n_states = len(self.table.states)
+        self.cnt: List[int] = [0] * n_states
+        self.w: List[int] = [0] * len(self.keys)
+        self.active: List[int] = []
+        self.activepos: Dict[int, int] = {}
+        self.total = 0
+        self._watched: Optional[Multiset] = None
+        if config is not None:
+            self.rebuild(config)
+
+    # -- construction / sync -------------------------------------------
+    def rebuild(self, config: Multiset) -> None:
+        """Reset all incremental state from a configuration snapshot."""
+        sid = self.table.sid
+        n_states = len(self.table.states)
+        self.cnt = [0] * n_states
+        for state, count in config.items():
+            self.cnt[sid[state]] = count
+        self.w = [0] * len(self.keys)
+        self.active = []
+        self.activepos = {}
+        self.total = 0
+        for s in range(n_states):
+            self.fix_state(s)
+
+    # -- multiset change hooks -----------------------------------------
+    def attach(self, config: Multiset) -> None:
+        """Keep the index exact through ``config.inc``/``dec`` calls."""
+        if self._watched is not None:
+            self.detach()
+        self.rebuild(config)
+        config.watch(self._on_change)
+        self._watched = config
+
+    def detach(self) -> None:
+        if self._watched is not None:
+            self._watched.unwatch(self._on_change)
+            self._watched = None
+
+    def _on_change(self, state, new_count: int) -> None:
+        s = self.table.sid.get(state)
+        if s is None:  # state foreign to the protocol: no keys touch it
+            return
+        self.cnt[s] = new_count
+        self.fix_state(s)
+
+    # -- incremental repair --------------------------------------------
+    def fix_state(self, s: int) -> None:
+        """Re-establish the invariant for every key touching state ``s``.
+
+        Idempotent and correct regardless of how ``cnt[s]`` got to its
+        current value, so it serves the watcher path and the bulk count
+        updates of the batch mode alike.
+        """
+        cnt = self.cnt
+        w = self.w
+        active = self.active
+        activepos = self.activepos
+        c_s = cnt[s]
+        for i, partner, off, m_eff in self.srecs[s]:
+            v = c_s * (cnt[partner] - off) * m_eff
+            old = w[i]
+            if v != old:
+                self.total += v - old
+                w[i] = v
+                if not old:
+                    activepos[i] = len(active)
+                    active.append(i)
+                elif not v:
+                    pos = activepos.pop(i)
+                    last = active.pop()
+                    if last != i:
+                        active[pos] = last
+                        activepos[last] = pos
+
+    # -- queries --------------------------------------------------------
+    def weight(self, q, r) -> int:
+        """Current sampling weight of the ordered key ``(q, r)``."""
+        sid = self.table.sid
+        a, b = sid.get(q), sid.get(r)
+        if a is None or b is None:
+            return 0
+        for i, (ka, kb, _off, _mult, _cands) in enumerate(self.keys):
+            if ka == a and kb == b:
+                return self.w[i]
+        return 0
+
+    def enabled_weights(self) -> Dict[Tuple[object, object], int]:
+        """``{(q, r): weight}`` for every key with positive weight."""
+        states = self.table.states
+        return {
+            (states[self.keys[i][0]], states[self.keys[i][1]]): self.w[i]
+            for i in self.active
+        }
+
+    def is_silent_now(self) -> bool:
+        """Exact silence: no configuration-changing candidate is enabled."""
+        changing = self.changing
+        return not any(changing[i] for i in self.active)
+
+    def sample_key(self, rng: random.Random) -> Optional[int]:
+        """A key index drawn with probability ``w[i] / total`` (``None``
+        when no key is enabled)."""
+        total = self.total
+        if total <= 0:
+            return None
+        if total > _FLOAT_SAFE_TOTAL:
+            x = rng.randrange(total)
+        else:
+            x = int(rng.random() * total)
+            if x >= total:
+                x = total - 1
+        acc = 0
+        i = self.active[0]
+        for i in self.active:
+            acc += self.w[i]
+            if acc > x:
+                break
+        return i
+
+    def validate(self, config: Multiset) -> None:
+        """Brute-force check of the index invariant against ``config``
+        (test hook; raises ``AssertionError`` on any divergence)."""
+        sid = self.table.sid
+        for state, count in config.items():
+            assert self.cnt[sid[state]] == count, (state, count)
+        expected_total = 0
+        for i, (a, b, off, mult, _cands) in enumerate(self.keys):
+            m_eff = mult if self.mode == "enabled" else 1
+            pair = self.cnt[a] * (self.cnt[b] - off)
+            v = max(pair, 0) * m_eff
+            assert self.w[i] == v, (i, self.w[i], v)
+            expected_total += v
+            assert (i in self.activepos) == (v > 0)
+        assert self.total == expected_total
+        assert sorted(self.active) == sorted(self.activepos)
+
+
+# ----------------------------------------------------------------------
+# Batch-mode bound computation
+# ----------------------------------------------------------------------
+def _first_reach(c: int, d: int, lo: int) -> Optional[int]:
+    """Smallest ``j ≥ 0`` with ``c + j·d ≥ lo`` (``None`` if never)."""
+    if c >= lo:
+        return 0
+    if d <= 0:
+        return None
+    return (lo - c + d - 1) // d
+
+
+def _last_reach(c: int, d: int, lo: int) -> Optional[int]:
+    """Largest ``j`` with ``c + j·d ≥ lo`` (``None`` = forever), assuming
+    ``c ≥ lo`` holds at ``j = 0``; returns -1 if it fails immediately."""
+    if c < lo:
+        return -1
+    if d >= 0:
+        return None
+    return (c - lo) // (-d)
+
+
+def _first_positive_weight(key, cnt, delta_map) -> Optional[int]:
+    """The first ``j ≥ 0`` at which ``key``'s pair weight is positive
+    while counts evolve as ``cnt[s] + j·delta[s]`` (``None`` if never:
+    some factor never reaches its threshold, or the factors' positive
+    windows do not overlap)."""
+    a, b, off, _mult, _cands = key
+    if a == b:
+        bounds = ((cnt[a], delta_map.get(a, 0), 2),)
+    else:
+        bounds = (
+            (cnt[a], delta_map.get(a, 0), 1),
+            (cnt[b], delta_map.get(b, 0), 1),
+        )
+    start = 0
+    end: Optional[int] = None
+    for c, d, lo in bounds:
+        first = _first_reach(c, d, lo)
+        if first is None:
+            return None
+        if first > start:
+            start = first
+        if d < 0:
+            last = (c - lo) // (-d) if c >= lo else -1
+            if end is None or last < end:
+                end = last
+    if end is not None and start > end:
+        return None
+    return start
+
+
+def _first_output_flip(accept: int, ad: int, m: int, category) -> Optional[int]:
+    """Smallest ``j ≥ 1`` at which the output category of ``accept +
+    j·ad`` differs from ``category`` (``None`` if it never does)."""
+    if ad == 0:
+        return None
+    if category is False:  # accept == 0 and ad > 0: leaves False at once
+        return 1
+    if category is True:  # accept == m and ad < 0: leaves True at once
+        return 1
+    if ad > 0:
+        gap = m - accept
+        return gap // ad if gap % ad == 0 else None
+    gap = accept
+    return gap // (-ad) if gap % (-ad) == 0 else None
+
+
+def _batch_length(
+    index: EnabledIndex,
+    i: int,
+    cand,
+    *,
+    budget,
+    window_left,
+    accept,
+    m,
+    category,
+    snapshot_gap,
+):
+    """How many times the sole enabled candidate may be applied at once.
+
+    While counts evolve linearly (``cnt[s] + j·d_s``), the batch must end
+    no later than: the sole key losing its weight, any other key gaining
+    weight (the choice would stop being deterministic), the interaction
+    budget, the convergence window completing, the output category
+    changing, or the next snapshot point.  All bounds are exact integer
+    solutions of the linear threshold inequalities, so the collapsed run
+    is step-for-step identical to executing the transition ``k`` times.
+    """
+    _q, _r, _q2, _r2, _ch, ad, deltas, _t = cand
+    cnt = index.cnt
+    keys = index.keys
+    k = budget
+    if window_left is not None and window_left < k:
+        k = window_left
+    if snapshot_gap is not None and snapshot_gap < k:
+        k = snapshot_gap
+    if k <= 1:
+        return k
+    delta_map = dict(deltas)
+
+    # The sole key must keep positive weight for steps j = 0..k-1.
+    a, b, off, _mult, _cands = keys[i]
+    if a == b:
+        last = _last_reach(cnt[a], delta_map.get(a, 0), 2)
+    else:
+        last = _last_reach(cnt[a], delta_map.get(a, 0), 1)
+        last_b = _last_reach(cnt[b], delta_map.get(b, 0), 1)
+        if last is None or (last_b is not None and last_b < last):
+            last = last_b
+    if last is not None and last + 1 < k:
+        k = last + 1
+    if k <= 1:
+        return k
+
+    # No other key may become enabled before the batch ends: the first j
+    # at which another key's weight turns positive caps k at that j.
+    # (Only keys touching a state the batch changes can newly turn on.)
+    w = index.w
+    touch = index.touch
+    seen = set()
+    for s, _d in deltas:
+        for i2 in touch[s]:
+            if i2 == i or w[i2] or i2 in seen:
+                continue
+            seen.add(i2)
+            first = _first_positive_weight(keys[i2], cnt, delta_map)
+            if first is not None and first < k:
+                k = first
+    if k <= 1:
+        return k
+
+    # The output category may change only at the batch's final step.
+    flip = _first_output_flip(accept, ad, m, category)
+    if flip is not None and flip < k:
+        k = flip
+    return k
+
+
+# ----------------------------------------------------------------------
+# The fast simulation drivers
+# ----------------------------------------------------------------------
+def run_fast_simulation(
+    protocol: PopulationProtocol,
+    current: Multiset,
+    *,
+    population: int,
+    rng: random.Random,
+    scheduler,
+    max_interactions: int,
+    convergence_window: int,
+    check_silence_every: int,
+    obs,
+    trace,
+    stable_output,
+):
+    """Run the incremental-index hot loop; returns a ``SimulationResult``.
+
+    Called by :func:`repro.core.simulate` after the common prologue
+    (validation, rng setup, ``on_run_start``).  ``current`` is the working
+    copy of the configuration; the loops operate on the index's flat count
+    array and materialise configurations only at observation points and at
+    exit, which is what makes per-step cost O(Δ).
+    """
+    if isinstance(scheduler, FastUniformScheduler):
+        index = EnabledIndex(protocol, current, mode="uniform")
+        return _uniform_loop(
+            index,
+            population=population,
+            rng=rng,
+            tie_first=scheduler.tie_break == "first",
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+            check_silence_every=check_silence_every,
+            obs=obs,
+            trace=trace,
+            stable_output=stable_output,
+        )
+    index = EnabledIndex(protocol, current, mode="enabled")
+    return _enabled_loop(
+        index,
+        population=population,
+        rng=rng,
+        max_interactions=max_interactions,
+        convergence_window=convergence_window,
+        obs=obs,
+        trace=trace,
+        stable_output=stable_output,
+    )
+
+
+def _snapshot_dict(states, cnt):
+    return {states[s]: c for s, c in enumerate(cnt) if c}
+
+
+def _result(index, interactions, productive, population, trace, verdict, silent, obs):
+    from repro.core.simulation import SimulationResult  # late: avoids cycle
+
+    if obs is not None:
+        obs.on_run_end(
+            interactions,
+            LAYER_PROTOCOL,
+            verdict=verdict,
+            silent=silent,
+            interactions=interactions,
+            productive=productive,
+            population=population,
+        )
+    return SimulationResult(
+        final=Multiset(_snapshot_dict(index.table.states, index.cnt)),
+        verdict=verdict,
+        silent=silent,
+        interactions=interactions,
+        productive=productive,
+        population=population,
+        output_trace=trace,
+    )
+
+
+def _enabled_loop(
+    index: EnabledIndex,
+    *,
+    population,
+    rng,
+    max_interactions,
+    convergence_window,
+    obs,
+    trace,
+    stable_output,
+):
+    states = index.table.states
+    accepting = index.table.accepting
+    cnt = index.cnt
+    w = index.w
+    srecs = index.srecs
+    active = index.active
+    activepos = index.activepos
+    hot = index.hot
+    kcands = tuple(key[4] for key in index.keys)
+    kmult = tuple(key[3] for key in index.keys)
+    # Single-candidate keys (the common case) skip the tie-break draw and
+    # the length check entirely.
+    hot1 = tuple(h[0] if len(h) == 1 else None for h in index.hot)
+    changing = index.changing
+    fix_state = index.fix_state
+    rnd = rng.random
+    randrange = rng.randrange
+
+    snapshot_every = obs.snapshot_interval if obs is not None else None
+    interactions = 0
+    productive = 0
+    stable_since = 0
+    accept = sum(cnt[s] for s in range(len(states)) if accepting[s])
+    m = population
+    out = stable_output
+    conv_at = stable_since + convergence_window if out is not None else _NEVER
+    total = index.total
+
+    while interactions < max_interactions:
+        if total <= 0:
+            # No productive transition enabled: provably silent, matching
+            # the legacy enabled scheduler's single null step + break.
+            interactions += 1
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="fast_enabled",
+                    null=True,
+                    candidates=0,
+                    weight=0,
+                )
+                obs.on_interaction(interactions, None, None, False)
+                obs.on_silence_check(interactions, True)
+            break
+
+        # ---- run-collapsing batch mode -------------------------------
+        if len(active) == 1:
+            i = active[0]
+            cands = kcands[i]
+            if len(cands) == 1:
+                cand = cands[0]
+                ch = cand[4]
+                index.total = total
+                k = _batch_length(
+                    index,
+                    i,
+                    cand,
+                    budget=max_interactions - interactions,
+                    window_left=(
+                        convergence_window - (productive - stable_since)
+                        if (out is not None and ch)
+                        else None
+                    ),
+                    accept=accept,
+                    m=m,
+                    category=out,
+                    snapshot_gap=(
+                        snapshot_every - interactions % snapshot_every
+                        if snapshot_every
+                        else None
+                    ),
+                )
+                if k > 1:
+                    ad = cand[5]
+                    interactions += k
+                    for s, d in cand[6]:
+                        cnt[s] += d * k
+                    for s, _d in cand[6]:
+                        fix_state(s)
+                    total = index.total
+                    if ch:
+                        productive += k
+                    accept += ad * k
+                    if obs is not None:
+                        obs.on_batch(
+                            interactions,
+                            kind="collapse",
+                            count=k,
+                            transition=cand[7],
+                            productive=k if ch else 0,
+                        )
+                        if snapshot_every and interactions % snapshot_every == 0:
+                            obs.on_snapshot(
+                                interactions,
+                                _snapshot_dict(states, cnt),
+                                LAYER_PROTOCOL,
+                            )
+                    if ad:
+                        new_out = (
+                            True
+                            if accept == m
+                            else (False if accept == 0 else None)
+                        )
+                        if new_out != out:
+                            out = new_out
+                            stable_since = productive
+                            conv_at = (
+                                stable_since + convergence_window
+                                if out is not None
+                                else _NEVER
+                            )
+                            trace.append((interactions, out))
+                            if obs is not None:
+                                obs.on_output_flip(
+                                    interactions, out, LAYER_PROTOCOL
+                                )
+                    if productive >= conv_at:
+                        index.total = total
+                        return _result(
+                            index, interactions, productive, population,
+                            trace, out, False, obs,
+                        )
+                    continue
+
+        # ---- one sampled step ----------------------------------------
+        interactions += 1
+        if total <= _FLOAT_SAFE_TOTAL:
+            x = int(rnd() * total)
+            if x >= total:
+                x = total - 1
+        else:
+            x = randrange(total)
+        acc = 0
+        for i in active:
+            acc += w[i]
+            if acc > x:
+                break
+        hc = hot1[i]
+        j = 0
+        if hc is None:
+            hcands = hot[i]
+            j = int(rnd() * len(hcands))
+            hc = hcands[j]
+        ch, ad, deltas = hc
+
+        if obs is not None:
+            ncand = 0
+            for k2 in active:
+                ncand += kmult[k2]
+            obs.on_scheduler_select(
+                interactions,
+                scheduler="fast_enabled",
+                null=False,
+                candidates=ncand,
+                weight=total,
+            )
+
+        # Enabled-mode candidates are non-no-ops but may still be
+        # changeless (swaps); those leave every count untouched.  Only the
+        # keys touching a state with a nonzero net delta can move, and
+        # the recompute is idempotent, so a key shared by two changed
+        # states is just a no-op the second time.
+        if ch:
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                c_s = cnt[s]
+                for i2, partner, off, m_eff in srecs[s]:
+                    v = c_s * (cnt[partner] - off) * m_eff
+                    old = w[i2]
+                    if v != old:
+                        total += v - old
+                        w[i2] = v
+                        if not old:
+                            activepos[i2] = len(active)
+                            active.append(i2)
+                        elif not v:
+                            pos = activepos.pop(i2)
+                            last = active.pop()
+                            if last != i2:
+                                active[pos] = last
+                                activepos[last] = pos
+
+        if obs is not None:
+            t = kcands[i][j][7]
+            obs.on_interaction(interactions, t, (t.q, t.r), bool(ch))
+            if snapshot_every and interactions % snapshot_every == 0:
+                obs.on_snapshot(
+                    interactions, _snapshot_dict(states, cnt), LAYER_PROTOCOL
+                )
+
+        if ad:
+            accept += ad
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+        if productive >= conv_at:
+            index.total = total
+            return _result(
+                index, interactions, productive, population, trace, out,
+                False, obs,
+            )
+
+    index.total = total
+    silent = not any(changing[j2] for j2 in active)
+    return _result(
+        index, interactions, productive, population, trace,
+        out if silent else None, silent, obs,
+    )
+
+
+def _uniform_loop(
+    index: EnabledIndex,
+    *,
+    population,
+    rng,
+    tie_first,
+    max_interactions,
+    convergence_window,
+    check_silence_every,
+    obs,
+    trace,
+    stable_output,
+):
+    states = index.table.states
+    accepting = index.table.accepting
+    cnt = index.cnt
+    w = index.w
+    srecs = index.srecs
+    active = index.active
+    activepos = index.activepos
+    hot = index.hot
+    kcands = tuple(key[4] for key in index.keys)
+    hot1 = tuple(h[0] if len(h) == 1 else None for h in index.hot)
+    changing = index.changing
+    fix_state = index.fix_state
+    rnd = rng.random
+    randrange = rng.randrange
+
+    snapshot_every = obs.snapshot_interval if obs is not None else None
+    interactions = 0
+    productive = 0
+    stable_since = 0
+    accept = sum(cnt[s] for s in range(len(states)) if accepting[s])
+    m = population
+    out = stable_output
+    conv_at = stable_since + convergence_window if out is not None else _NEVER
+    total = index.total
+    T = m * (m - 1)
+    cse = check_silence_every
+
+    while interactions < max_interactions:
+        if total < T:
+            # ---- geometric null-step skip-ahead ----------------------
+            # P(null) = 1 − M/T; the null-run length before the next
+            # matched pair is Geometric(M/T), sampled exactly by
+            # inversion with u ∈ (0, 1] (so nulls = 0 has probability
+            # M/T, matching the step-by-step Bernoulli process).
+            remaining = max_interactions - interactions
+            if total > 0:
+                u = 1.0 - rnd()
+                nulls = int(log(u) / log((T - total) / T))
+            else:
+                nulls = remaining + cse  # no matched pair exists at all
+            if nulls:
+                span = remaining if nulls > remaining else nulls
+                next_check = interactions - interactions % cse + cse
+                if next_check <= interactions + span:
+                    # The null run crosses silence-check points; the
+                    # configuration is frozen, so silence is constant
+                    # across the whole run and one test settles it.
+                    if not any(changing[j2] for j2 in active):
+                        count = next_check - interactions
+                        interactions = next_check
+                        if obs is not None:
+                            obs.on_batch(
+                                interactions, kind="null_skip", count=count
+                            )
+                            obs.on_silence_check(interactions, True)
+                        break
+                    if obs is not None:
+                        check = next_check
+                        limit = interactions + span
+                        while check <= limit:
+                            obs.on_silence_check(check, False)
+                            check += cse
+                if nulls >= remaining:
+                    interactions = max_interactions
+                    if obs is not None:
+                        obs.on_batch(
+                            interactions, kind="null_skip", count=remaining
+                        )
+                    break
+                interactions += nulls
+                if obs is not None:
+                    obs.on_batch(interactions, kind="null_skip", count=nulls)
+
+        # ---- one matched step ----------------------------------------
+        interactions += 1
+        if total <= _FLOAT_SAFE_TOTAL:
+            x = int(rnd() * total)
+            if x >= total:
+                x = total - 1
+        else:
+            x = randrange(total)
+        acc = 0
+        for i in active:
+            acc += w[i]
+            if acc > x:
+                break
+        hc = hot1[i]
+        j = 0
+        if hc is None:
+            hcands = hot[i]
+            if not tie_first:
+                j = int(rnd() * len(hcands))
+            hc = hcands[j]
+        ch, ad, deltas = hc
+
+        if obs is not None:
+            obs.on_scheduler_select(
+                interactions,
+                scheduler="fast_uniform",
+                null=False,
+                candidates=len(hot[i]),
+                weight=total,
+            )
+
+        # Uniform-mode candidates include no-ops; both no-ops and swaps
+        # are changeless and leave every count untouched.  Only the keys
+        # touching a state with a nonzero net delta can move, and the
+        # recompute is idempotent, so a key shared by two changed states
+        # is just a no-op the second time.
+        if ch:
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                c_s = cnt[s]
+                for i2, partner, off, m_eff in srecs[s]:
+                    v = c_s * (cnt[partner] - off) * m_eff
+                    old = w[i2]
+                    if v != old:
+                        total += v - old
+                        w[i2] = v
+                        if not old:
+                            activepos[i2] = len(active)
+                            active.append(i2)
+                        elif not v:
+                            pos = activepos.pop(i2)
+                            last = active.pop()
+                            if last != i2:
+                                active[pos] = last
+                                activepos[last] = pos
+
+        if obs is not None:
+            t = kcands[i][j][7]
+            obs.on_interaction(interactions, t, (t.q, t.r), bool(ch))
+            if snapshot_every and interactions % snapshot_every == 0:
+                obs.on_snapshot(
+                    interactions, _snapshot_dict(states, cnt), LAYER_PROTOCOL
+                )
+
+        if ad:
+            accept += ad
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+        if productive >= conv_at:
+            index.total = total
+            return _result(
+                index, interactions, productive, population, trace, out,
+                False, obs,
+            )
+
+    index.total = total
+    silent = not any(changing[j2] for j2 in active)
+    return _result(
+        index, interactions, productive, population, trace,
+        out if silent else None, silent, obs,
+    )

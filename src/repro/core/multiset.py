@@ -34,11 +34,12 @@ class Multiset:
     3
     """
 
-    __slots__ = ("_counts", "_size")
+    __slots__ = ("_counts", "_size", "_watchers")
 
     def __init__(self, counts: Mapping[State, int] | Iterable[State] | None = None):
         self._counts: Dict[State, int] = {}
         self._size: int = 0
+        self._watchers: list | None = None
         if counts is None:
             return
         if isinstance(counts, Mapping):
@@ -115,10 +116,14 @@ class Multiset:
                 del result[state]
         return Multiset(result)
 
-    def __le__(self, other: "Multiset") -> bool:
+    def __le__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
         return all(count <= other[state] for state, count in self._counts.items())
 
-    def __lt__(self, other: "Multiset") -> bool:
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
         return self <= other and self != other
 
     def __eq__(self, other: object) -> bool:
@@ -150,10 +155,36 @@ class Multiset:
         else:
             self._counts.pop(state, None)
         self._size += amount
+        if self._watchers:
+            for callback in self._watchers:
+                callback(state, new)
 
     def dec(self, state: State, amount: int = 1) -> None:
         """Remove ``amount`` from ``state``'s count, in place."""
         self.inc(state, -amount)
+
+    # ------------------------------------------------------------------
+    # Change hooks (used by repro.core.fastpath to maintain incremental
+    # indexes without rescanning the configuration)
+    # ------------------------------------------------------------------
+    def watch(self, callback) -> None:
+        """Register ``callback(state, new_count)`` to fire after every
+        :meth:`inc`/:meth:`dec`.  Watchers are intentionally excluded from
+        :meth:`copy` — a copy starts unobserved."""
+        if self._watchers is None:
+            self._watchers = []
+        self._watchers.append(callback)
+
+    def unwatch(self, callback) -> None:
+        """Remove a previously registered change callback (no-op if the
+        callback is not registered)."""
+        if self._watchers:
+            try:
+                self._watchers.remove(callback)
+            except ValueError:
+                return
+            if not self._watchers:
+                self._watchers = None
 
     def copy(self) -> "Multiset":
         fresh = Multiset()

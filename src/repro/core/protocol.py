@@ -78,6 +78,16 @@ class PopulationProtocol:
         self._validate()
         for t in self.transitions:
             self._index.setdefault((t.q, t.r), []).append(t)
+        # Precomputed (q, r) → non-no-op transitions: the hot loops ask
+        # this question once per candidate pair per step, so it is frozen
+        # into tuples up front rather than filtered on every call.
+        self._productive_index: Dict[Tuple[State, State], Tuple[Transition, ...]] = {
+            key: tuple(t for t in ts if not t.is_noop())
+            for key, ts in self._index.items()
+        }
+        self._productive_index = {
+            key: ts for key, ts in self._productive_index.items() if ts
+        }
 
     # ------------------------------------------------------------------
     # Validation
@@ -110,9 +120,14 @@ class PopulationProtocol:
         """All transitions whose (ordered) precondition is ``(q, r)``."""
         return self._index.get((q, r), [])
 
+    def productive_transitions_from(self, q: State, r: State) -> Tuple[Transition, ...]:
+        """The non-no-op transitions with (ordered) precondition ``(q, r)``,
+        from the precomputed table built at construction time."""
+        return self._productive_index.get((q, r), ())
+
     def has_interaction(self, q: State, r: State) -> bool:
         """Whether the ordered pair (q, r) has any non-no-op transition."""
-        return any(not t.is_noop() for t in self.transitions_from(q, r))
+        return (q, r) in self._productive_index
 
     def is_initial(self, config: Multiset) -> bool:
         """Whether ``config`` is an initial configuration (``C ∈ ℕ^I``)."""

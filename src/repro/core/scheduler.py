@@ -63,10 +63,14 @@ class UniformPairScheduler:
         config: Multiset,
         rng: random.Random,
         observer: Optional[Observer] = None,
+        step: Optional[int] = None,
     ) -> SchedulerStep:
         if config.size < 2:
             return SchedulerStep(None)
-        support = list(config.support())
+        # Sorted support: frozenset iteration order depends on the process
+        # hash salt, which would make seeded runs irreproducible across
+        # interpreter invocations.
+        support = sorted(config.support(), key=repr)
         # Sample the initiator's state proportionally to its count, then the
         # responder's state proportionally among the remaining m-1 agents.
         weights = [config[q] for q in support]
@@ -78,7 +82,7 @@ class UniformPairScheduler:
         candidates = protocol.transitions_from(q, r)
         if observer is not None:
             observer.on_scheduler_select(
-                None,
+                step,
                 scheduler="uniform",
                 null=not candidates,
                 candidates=len(candidates),
@@ -103,10 +107,12 @@ class EnabledTransitionScheduler:
         config: Multiset,
         rng: random.Random,
         observer: Optional[Observer] = None,
+        step: Optional[int] = None,
     ) -> SchedulerStep:
         if config.size < 2:
             return SchedulerStep(None)
-        support = list(config.support())
+        # Sorted for cross-process reproducibility (see UniformPairScheduler).
+        support = sorted(config.support(), key=repr)
         candidates: List[Transition] = []
         weights: List[int] = []
         for q in support:
@@ -114,14 +120,12 @@ class EnabledTransitionScheduler:
                 weight = ordered_pair_weight(config, q, r)
                 if weight <= 0:
                     continue
-                for t in protocol.transitions_from(q, r):
-                    if t.is_noop():
-                        continue
+                for t in protocol.productive_transitions_from(q, r):
                     candidates.append(t)
                     weights.append(weight)
         if observer is not None:
             observer.on_scheduler_select(
-                None,
+                step,
                 scheduler="enabled",
                 null=not candidates,
                 candidates=len(candidates),

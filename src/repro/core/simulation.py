@@ -21,6 +21,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.core.errors import NonConvergenceError
+from repro.core.fastpath import (
+    FastEnabledScheduler,
+    FastUniformScheduler,
+    run_fast_simulation,
+)
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol
 from repro.core.scheduler import (
@@ -83,12 +88,18 @@ def simulate(
     configuration snapshots and a run summary.  Observation never touches
     the random stream, so an observed run is bit-identical to an
     unobserved run with the same seed.
+
+    The default scheduler is :class:`FastEnabledScheduler`, which runs the
+    incremental fast path of :mod:`repro.core.fastpath`.  Pass
+    ``scheduler=EnabledTransitionScheduler()`` (or ``UniformPairScheduler()``)
+    to reproduce runs recorded with the legacy per-step schedulers
+    bit-exactly under the same seed.
     """
     protocol.check_configuration(config)
     if rng is None:
         rng = random.Random(seed)
     if scheduler is None:
-        scheduler = EnabledTransitionScheduler()
+        scheduler = FastEnabledScheduler()
     obs = live(observer)
     snapshot_every = obs.snapshot_interval if obs is not None else None
     current = config.copy()
@@ -105,6 +116,24 @@ def simulate(
             population=population,
             states=protocol.state_count,
             scheduler=type(scheduler).__name__,
+        )
+
+    if (
+        isinstance(scheduler, (FastEnabledScheduler, FastUniformScheduler))
+        and population >= 2
+    ):
+        return run_fast_simulation(
+            protocol,
+            current,
+            population=population,
+            rng=rng,
+            scheduler=scheduler,
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+            check_silence_every=check_silence_every,
+            obs=obs,
+            trace=trace,
+            stable_output=stable_output,
         )
 
     def finish(verdict: Optional[bool], silent: bool) -> SimulationResult:
@@ -132,7 +161,9 @@ def simulate(
         if obs is None:
             step = scheduler.select(protocol, current, rng)
         else:
-            step = scheduler.select(protocol, current, rng, observer=obs)
+            step = scheduler.select(
+                protocol, current, rng, observer=obs, step=interactions + 1
+            )
         interactions += 1
         if step.transition is None:
             if obs is not None:

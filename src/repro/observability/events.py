@@ -23,6 +23,7 @@ from typing import Any, Dict, Iterable, Optional
 RUN_START = "run_start"  # a driver began sampling a run
 RUN_END = "run_end"  # the driver stopped (with its summary statistics)
 INTERACTION = "interaction"  # one protocol-level scheduler step
+BATCH = "batch"  # many collapsed scheduler steps reported at once
 SCHEDULER = "scheduler"  # scheduler-internal detail (candidate sets)
 STATEMENT = "statement"  # program-level primitive statement dispatch
 INSTRUCTION = "instruction"  # machine-level instruction dispatch
@@ -47,6 +48,7 @@ ALL_KINDS = frozenset(
         RUN_START,
         RUN_END,
         INTERACTION,
+        BATCH,
         SCHEDULER,
         STATEMENT,
         INSTRUCTION,
@@ -63,6 +65,9 @@ ALL_KINDS = frozenset(
 )
 
 #: Per-step event kinds — the high-volume ones a recorder may want to drop.
+#: ``BATCH`` is deliberately excluded: one batch event summarises many
+#: steps, so keeping it preserves interaction accounting even in traces
+#: that drop the per-step firehose.
 HOT_KINDS = frozenset({INTERACTION, SCHEDULER, STATEMENT, INSTRUCTION})
 
 

@@ -215,6 +215,19 @@ class MetricsObserver(Observer):
         if self.per_transition:
             self.metrics.counter(f"transition[{transition_label(transition)}]").inc()
 
+    def on_batch(self, step, *, kind, count, transition=None, productive=0) -> None:
+        self.metrics.counter("interactions").inc(count)
+        self.metrics.counter("batches").inc()
+        if transition is None:
+            self.metrics.counter("null_steps").inc(count)
+            return
+        if productive:
+            self.metrics.counter("productive").inc(productive)
+        if self.per_transition:
+            self.metrics.counter(
+                f"transition[{transition_label(transition)}]"
+            ).inc(count)
+
     def on_scheduler_select(self, step, *, scheduler, null, candidates=0, weight=0):
         self.metrics.counter("scheduler_selects").inc()
         if null:

@@ -62,6 +62,30 @@ class Observer:
             productive=productive,
         )
 
+    def on_batch(
+        self,
+        step: int,
+        *,
+        kind: str,
+        count: int,
+        transition: Any = None,
+        productive: int = 0,
+    ) -> None:
+        """``count`` scheduler steps collapsed into one event, ending at
+        interaction index ``step``.  ``kind`` is ``"null_skip"`` (uniform
+        fast path: a geometric run of null steps) or ``"collapse"`` (the
+        sole enabled transition applied ``count`` times); ``productive``
+        is how many of the collapsed steps changed the configuration."""
+        self.record(
+            ev.BATCH,
+            step,
+            layer=ev.LAYER_PROTOCOL,
+            batch=kind,
+            count=count,
+            transition=transition,
+            productive=productive,
+        )
+
     def on_scheduler_select(
         self,
         step: int,
@@ -180,6 +204,10 @@ class CompositeObserver(Observer):
     def on_interaction(self, step, transition, pair, productive) -> None:
         for obs in self.observers:
             obs.on_interaction(step, transition, pair, productive)
+
+    def on_batch(self, step, **kwargs) -> None:
+        for obs in self.observers:
+            obs.on_batch(step, **kwargs)
 
     def on_scheduler_select(self, step, **kwargs) -> None:
         for obs in self.observers:

@@ -70,6 +70,15 @@ class TestOperators:
         y = Multiset({"b": 2})
         assert not x <= y and not y <= x
 
+    def test_comparison_with_non_multiset_not_implemented(self):
+        c = Multiset({"a": 1})
+        assert c.__le__({"a": 1}) is NotImplemented
+        assert c.__lt__({"a": 1}) is NotImplemented
+        with pytest.raises(TypeError):
+            c <= {"a": 1}
+        with pytest.raises(TypeError):
+            c < 5
+
     def test_equality_and_hash(self):
         assert Multiset({"a": 1, "b": 0}) == Multiset({"a": 1})
         assert hash(Multiset({"a": 2})) == hash(Multiset({"a": 2}))
@@ -110,6 +119,25 @@ class TestMutation:
     def test_freeze_roundtrip(self):
         c = Multiset({"a": 2, "b": 1})
         assert dict(c.freeze()) == {"a": 2, "b": 1}
+
+    def test_watchers_see_every_count_change(self):
+        c = Multiset({"a": 1})
+        seen = []
+        c.watch(lambda state, new: seen.append((state, new)))
+        c.inc("a")
+        c.inc("b", 3)
+        c.dec("a", 2)
+        assert seen == [("a", 2), ("b", 3), ("a", 0)]
+        c.unwatch(next(iter(c._watchers)))
+        assert not c._watchers
+
+    def test_copy_drops_watchers(self):
+        c = Multiset({"a": 1})
+        seen = []
+        c.watch(lambda state, new: seen.append((state, new)))
+        d = c.copy()
+        d.inc("a")
+        assert seen == []
 
 
 @given(counts_strategy, counts_strategy)

@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.baselines import binary_threshold_protocol
-from repro.core import Multiset, simulate
+from repro.core import EnabledTransitionScheduler, Multiset, simulate
 from repro.lipton import build_threshold_program, canonical_restart_policy
 from repro.lipton.levels import threshold
 from repro.observability import (
@@ -86,6 +86,9 @@ class TestTheorem3Trace:
 
 class TestProtocolTrace:
     def test_interaction_and_silence_events(self):
+        # The default (fast) scheduler may collapse runs of steps into
+        # BATCH events, so the interaction accounting is: one INTERACTION
+        # event per sampled step plus the collapsed counts of every BATCH.
         recorder = TraceRecorder(snapshot_every=50)
         result = simulate(
             binary_threshold_protocol(5),
@@ -95,13 +98,31 @@ class TestProtocolTrace:
             observer=recorder,
         )
         counts = recorder.kind_counts()
-        assert counts[ev.INTERACTION] == result.interactions
-        assert counts.get(ev.SCHEDULER, 0) == result.interactions
+        batched = sum(e.data["count"] for e in recorder.events_of(ev.BATCH))
+        assert counts[ev.INTERACTION] + batched == result.interactions
+        assert counts.get(ev.SCHEDULER, 0) == counts[ev.INTERACTION]
         assert counts[ev.RUN_END] == 1
         end = recorder.events_of(ev.RUN_END)[0]
         assert end.data["interactions"] == result.interactions
         assert end.data["productive"] == result.productive
         assert end.data["verdict"] == result.verdict
+
+    def test_interaction_events_exact_with_legacy_scheduler(self):
+        # The legacy scheduler has no batching: exactly one INTERACTION
+        # and one SCHEDULER event per scheduler step, as before.
+        recorder = TraceRecorder(snapshot_every=50)
+        result = simulate(
+            binary_threshold_protocol(5),
+            Multiset({"p0": 9}),
+            seed=4,
+            scheduler=EnabledTransitionScheduler(),
+            max_interactions=20_000,
+            observer=recorder,
+        )
+        counts = recorder.kind_counts()
+        assert counts[ev.INTERACTION] == result.interactions
+        assert counts.get(ev.SCHEDULER, 0) == result.interactions
+        assert ev.BATCH not in counts
 
     def test_output_flip_events_match_output_trace(self):
         recorder = TraceRecorder()
