@@ -6,6 +6,7 @@ Usage::
     python -m repro                 # quick sweep (structural experiments)
     python -m repro --full          # include the behavioural experiments
     python -m repro table1 figure2  # run selected experiments by id
+    python -m repro --full --jobs 4 # fan Monte Carlo drivers across a pool
 
     python -m repro trace theorem3 --n 2       # JSONL trace + run digest
     python -m repro stats theorem3 --n 2       # metrics digest only
@@ -237,6 +238,13 @@ def _observe_parser(command: str) -> argparse.ArgumentParser:
         help="output path (trace: JSONL, default trace_<target>.jsonl; "
         "stats: metrics JSON, printed digest otherwise)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for parallelisable targets (sets "
+        "REPRO_JOBS; 0 = all cores, default 1 = sequential)",
+    )
     return parser
 
 
@@ -252,6 +260,9 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<10} {doc}")
         return 0
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     kwargs = {}
     for key in ("n", "total", "seed", "max_steps"):
@@ -284,9 +295,14 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
 
 
 #: Benchmark suites runnable via ``python -m repro bench --suite NAME``.
-BENCH_SUITES: Dict[str, str] = {
-    "simulator": "bench_simulator_performance.py",
-    "all": ".",
+#: Each entry is the list of paths (relative to ``benchmarks/``) pytest
+#: collects; ``core`` is what CI gates on — the simulator micro-benchmarks
+#: plus the parallel-runtime multi-run suite, written into one JSON.
+BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
+    "simulator": ("bench_simulator_performance.py",),
+    "parallel": ("bench_parallel_runtime.py",),
+    "core": ("bench_simulator_performance.py", "bench_parallel_runtime.py"),
+    "all": (".",),
 }
 
 
@@ -372,6 +388,13 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
         default="",
         help="extra arguments passed through to pytest (one string)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for the parallel-runtime benchmarks "
+        "(sets REPRO_JOBS in the pytest subprocess; 0 = all cores)",
+    )
     args = parser.parse_args(argv)
 
     baseline = Path(args.baseline) if args.baseline else repo_root / "BENCH_simulator.json"
@@ -387,12 +410,14 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
         )
         return 2
 
-    target = repo_root / "benchmarks" / BENCH_SUITES[args.suite]
-    cmd = [sys.executable, "-m", "pytest", str(target), "-q"]
+    targets = [str(repo_root / "benchmarks" / name) for name in BENCH_SUITES[args.suite]]
+    cmd = [sys.executable, "-m", "pytest", *targets, "-q"]
     if args.pytest_args:
         cmd += args.pytest_args.split()
     env = dict(os.environ)
     env["REPRO_BENCH_OUT"] = str(out)
+    if args.jobs is not None:
+        env["REPRO_JOBS"] = str(args.jobs)
     src = str(repo_root / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
@@ -427,7 +452,17 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
     parser.add_argument(
         "--full", action="store_true", help="run the behavioural experiments too"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for parallelisable experiments (sets "
+        "REPRO_JOBS; 0 = all cores, default 1 = sequential)",
+    )
     args = parser.parse_args(argv)
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
 
     if args.experiments:
         unknown = [e for e in args.experiments if e not in FULL]

@@ -193,6 +193,21 @@ class Multiset:
         return fresh
 
     # ------------------------------------------------------------------
+    # Pickling (used by repro.runtime to ship configurations to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle only the counts.  Watchers are process-local callbacks
+        into live index structures (:class:`repro.core.fastpath.EnabledIndex`
+        change hooks); like :meth:`copy`, a transported multiset starts
+        unobserved and any index must re-:meth:`attach` on the other side."""
+        return dict(self._counts)
+
+    def __setstate__(self, counts) -> None:
+        self._counts = dict(counts)
+        self._size = sum(counts.values())
+        self._watchers = None
+
+    # ------------------------------------------------------------------
     # Convenience constructors / display
     # ------------------------------------------------------------------
     @classmethod

@@ -166,6 +166,54 @@ class PopulationProtocol:
         return config
 
     # ------------------------------------------------------------------
+    # Pickling (used by repro.runtime to ship protocols to workers)
+    # ------------------------------------------------------------------
+    @classmethod
+    def _restore(cls, states, transitions, input_states, accepting_states, name):
+        """Unpickle fast path: the defining tuple came from a validated
+        instance (already frozen, deduplicated and normalised), so skip
+        ``__init__``'s validation and normalisation — at compiled-pipeline
+        scale (hundreds of thousands of transitions) re-validating costs
+        more than the compile it was cached to avoid — and rebuild only
+        the pair indexes."""
+        self = cls.__new__(cls)
+        self.states = states
+        self.transitions = transitions
+        self.input_states = input_states
+        self.accepting_states = accepting_states
+        self.name = name
+        self._index = {}
+        for t in transitions:
+            self._index.setdefault((t.q, t.r), []).append(t)
+        productive = {
+            key: tuple(t for t in ts if not t.is_noop())
+            for key, ts in self._index.items()
+        }
+        self._productive_index = {key: ts for key, ts in productive.items() if ts}
+        return self
+
+    def __reduce__(self):
+        """Reconstruct from the defining tuple ``(Q, δ, I, O, name)``.
+
+        Derived structures — the pair indexes built here and the compiled
+        ``TransitionTable`` the fast path attaches as ``_fastpath_table``
+        — are deliberately not serialised: they are cheap to rebuild or
+        (for the table) recoverable from the content-addressed cache of
+        :mod:`repro.runtime.cache`, and the table's change-hook wiring is
+        process-local state that must not cross a pickle boundary.
+        """
+        return (
+            PopulationProtocol._restore,
+            (
+                self.states,
+                self.transitions,
+                self.input_states,
+                self.accepting_states,
+                self.name,
+            ),
+        )
+
+    # ------------------------------------------------------------------
     # Display
     # ------------------------------------------------------------------
     def __repr__(self) -> str:

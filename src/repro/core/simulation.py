@@ -239,13 +239,36 @@ def decide(
     seed: int | None = None,
     attempts: int = 3,
     observer: Observer | None = None,
+    jobs: int | None = None,
     **kwargs,
 ) -> bool:
     """Run :func:`simulate` until a verdict is reached, retrying with fresh
     seeds up to ``attempts`` times.  Raises :class:`NonConvergenceError` if
-    no attempt stabilises."""
+    no attempt stabilises.
+
+    ``jobs`` fans the attempts out across a process pool (see
+    :mod:`repro.runtime`): per-attempt seeds are unchanged and the verdict
+    is the lowest-indexed stabilising attempt's, so the result is
+    identical to sequential execution for every seed.  ``jobs=1`` (the
+    default) runs the sequential loop below, bit-identical to previous
+    behaviour; ``jobs=None`` defers to the ``REPRO_JOBS`` environment
+    variable.
+    """
     base = seed if seed is not None else random.Random().randrange(2**31)
     obs = live(observer)
+    from repro.runtime.pool import decide_parallel, resolve_jobs
+
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs > 1 and attempts > 1:
+        return decide_parallel(
+            protocol,
+            config,
+            base=base,
+            attempts=attempts,
+            jobs=n_jobs,
+            observer=obs,
+            **kwargs,
+        )
     for attempt in range(attempts):
         attempt_seed = derive_seed(base, attempt)
         if obs is not None:

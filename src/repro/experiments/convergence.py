@@ -16,6 +16,8 @@ from repro.lipton.canonical import canonical_restart_policy, good_configuration
 from repro.lipton.construction import build_threshold_program
 from repro.lipton.levels import threshold
 from repro.programs.interpreter import run_program
+from repro.runtime.pool import parallel_map
+from repro.runtime.seeds import derive_seed_path
 
 
 @dataclass
@@ -104,18 +106,34 @@ def run_convergence(
     trials: int = 3,
     seed: int = 0,
     max_steps: int = 20_000_000,
+    jobs: int | None = None,
 ) -> ConvergenceReport:
-    samples: List[ConvergenceSample] = []
-    for n in range(1, max_n + 1):
-        k = threshold(n)
-        for m in (k - 1, k, k + 3):
-            for trial in range(trials):
-                samples.append(
-                    measure_convergence(
-                        n, m, seed=seed + 1000 * n + 10 * trial, max_steps=max_steps
-                    )
-                )
+    """Sweep (n, m, trial); ``jobs`` fans the samples across a process
+    pool (identical results to sequential for the same seed — each
+    sample's seed is a pure function of its (n, m, trial) path).
+
+    The old per-sample scheme ``seed + 1000*n + 10*trial`` was
+    collision-prone (any ``trials > 10`` reused neighbouring streams,
+    and every (n, m) pair at the same n shared them); seeds now come
+    from the :mod:`repro.runtime.seeds` tree.
+    """
+    tasks = [
+        (n, m, derive_seed_path(seed, "convergence", n, m, trial), max_steps)
+        for n in range(1, max_n + 1)
+        for m in ((threshold(n) - 1), threshold(n), threshold(n) + 3)
+        for trial in range(trials)
+    ]
+    samples: List[ConvergenceSample] = parallel_map(
+        measure_convergence_task, tasks, jobs=jobs
+    )
     return ConvergenceReport(samples)
+
+
+def measure_convergence_task(
+    n: int, m: int, seed: int, max_steps: int
+) -> ConvergenceSample:
+    """Module-level task wrapper so the pool can pickle it by reference."""
+    return measure_convergence(n, m, seed=seed, max_steps=max_steps)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, Iterator, List, Optional
 
+from repro.core.simulation import derive_seed
 from repro.experiments.report import render_table
 from repro.lipton.classify import MainBehaviour, classify
 from repro.lipton.construction import build_threshold_program
@@ -19,6 +20,8 @@ from repro.lipton.levels import all_registers
 from repro.programs.ast import PopulationProgram
 from repro.programs.interpreter import run_program
 from repro.programs.restart import UniformRestart
+from repro.runtime.pool import parallel_map
+from repro.runtime.seeds import derive_seed_path
 
 
 def enumerate_register_configurations(
@@ -102,10 +105,12 @@ def check_lemma4_case(
     """
     last: Optional[MainBehaviour] = None
     for attempt in range(attempts):
+        # Per-attempt seeds are hash-derived (like decide's): the old
+        # ``base_seed + attempt`` made adjacent base seeds share streams.
         observed = observe_main_behaviour(
             program,
             config,
-            seed=base_seed + attempt,
+            seed=derive_seed(base_seed, attempt),
             quiet_window=quiet_window,
             max_steps=max_steps,
         )
@@ -163,27 +168,54 @@ def run_lemma4(
     seed: int = 0,
     quiet_window: int = 20_000,
     max_steps: int = 2_000_000,
+    jobs: Optional[int] = None,
 ) -> Lemma4Report:
     """Check Lemma 4 on all (or ``sample`` random) configurations of the
-    given total."""
+    given total.
+
+    ``jobs`` fans the per-configuration checks across a process pool.
+    Each check's base seed is derived from its configuration index via
+    the seed tree (replacing the collision-prone ``seed + 100 * index``),
+    so parallel and sequential runs observe identical samples.
+    """
     program = build_threshold_program(n)
     configs = list(enumerate_register_configurations(n, total))
     rng = random.Random(seed)
     if sample is not None and sample < len(configs):
         configs = rng.sample(configs, sample)
-    trials = []
-    for index, config in enumerate(configs):
-        predicted = classify(config, n).behaviour
-        observed = check_lemma4_case(
+    tasks = [
+        (
             program,
             config,
-            predicted,
-            base_seed=seed + 100 * index,
-            quiet_window=quiet_window,
-            max_steps=max_steps,
+            classify(config, n).behaviour,
+            derive_seed_path(seed, "lemma4", index),
+            quiet_window,
+            max_steps,
         )
-        trials.append(Lemma4Trial(config=config, predicted=predicted, observed=observed))
+        for index, config in enumerate(configs)
+    ]
+    trials = parallel_map(check_lemma4_task, tasks, jobs=jobs)
     return Lemma4Report(n=n, total=total, trials=trials)
+
+
+def check_lemma4_task(
+    program: PopulationProgram,
+    config: Dict[str, int],
+    predicted: MainBehaviour,
+    base_seed: int,
+    quiet_window: int,
+    max_steps: int,
+) -> Lemma4Trial:
+    """Module-level task wrapper so the pool can pickle it by reference."""
+    observed = check_lemma4_case(
+        program,
+        config,
+        predicted,
+        base_seed=base_seed,
+        quiet_window=quiet_window,
+        max_steps=max_steps,
+    )
+    return Lemma4Trial(config=config, predicted=predicted, observed=observed)
 
 
 if __name__ == "__main__":

@@ -62,8 +62,18 @@ class Table1Report:
         return render_table(header, rows)
 
 
-def run_table1(max_n: int = 6) -> Table1Report:
-    return Table1Report(rows=table1_rows(max_n))
+def run_table1(max_n: int = 6, *, jobs: int | None = None) -> Table1Report:
+    """Regenerate Table 1; ``jobs`` fans the per-``n`` row constructions
+    (each a full build-and-count of four protocol families) across a
+    process pool.  Rows are deterministic, so parallel output is
+    identical to sequential."""
+    from repro.analysis.state_complexity import table1_row
+    from repro.runtime.pool import parallel_map
+
+    rows = parallel_map(
+        table1_row, [(n,) for n in range(1, max_n + 1)], jobs=jobs
+    )
+    return Table1Report(rows=rows)
 
 
 if __name__ == "__main__":

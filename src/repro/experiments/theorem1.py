@@ -60,39 +60,69 @@ def run_theorem1_end_to_end(
     convergence_window: int = 300_000,
     pipeline: Optional[PipelineResult] = None,
     offsets: tuple = (-1, 0),
+    jobs: int | None = None,
 ) -> List[EndToEndTrial]:
     """Sample the n=1 protocol's decisions just below / at its shifted
     threshold ``k_1 + |F|``.
+
+    ``jobs`` fans the per-offset runs across a process pool (the compiled
+    protocol ships to workers stripped of its transition table, which
+    they recover from the artifact cache rather than recompiling).
 
     Budget note: under true pairwise scheduling the detect primitive
     answers *false* with probability ≈ (m-1)/m per encounter, so accepting
     runs need hundreds of thousands of interactions (measured ~260-400k);
     the convergence window must exceed the longest all-false stretch."""
     if pipeline is None:
-        pipeline = compile_threshold_protocol(1)
+        from repro.runtime.cache import cached_compile_threshold_protocol
+
+        pipeline = cached_compile_threshold_protocol(1)
     shift = pipeline.shift
     k = threshold(1)
     initial_state = next(iter(pipeline.protocol.input_states))
-    trials: List[EndToEndTrial] = []
-    for offset in offsets:
-        population = shift + k + offset
-        config = Multiset({initial_state: population})
-        result = simulate(
+    from repro.runtime.pool import parallel_map
+
+    tasks = [
+        (
             pipeline.protocol,
-            config,
-            seed=seed + offset,
-            max_interactions=max_interactions,
-            convergence_window=convergence_window,
+            initial_state,
+            shift + k + offset,
+            shift,
+            k,
+            seed + offset,
+            max_interactions,
+            convergence_window,
         )
-        trials.append(
-            EndToEndTrial(
-                population=population,
-                expected=population - shift >= k,
-                verdict=result.verdict,
-                interactions=result.interactions,
-            )
-        )
-    return trials
+        for offset in offsets
+    ]
+    return parallel_map(end_to_end_task, tasks, jobs=jobs)
+
+
+def end_to_end_task(
+    protocol,
+    initial_state,
+    population: int,
+    shift: int,
+    k: int,
+    seed: int,
+    max_interactions: int,
+    convergence_window: int,
+) -> EndToEndTrial:
+    """One end-to-end simulation (module-level so the pool can pickle it
+    by reference)."""
+    result = simulate(
+        protocol,
+        Multiset({initial_state: population}),
+        seed=seed,
+        max_interactions=max_interactions,
+        convergence_window=convergence_window,
+    )
+    return EndToEndTrial(
+        population=population,
+        expected=population - shift >= k,
+        verdict=result.verdict,
+        interactions=result.interactions,
+    )
 
 
 if __name__ == "__main__":

@@ -92,27 +92,62 @@ def run_theorem3_decisions(
     seed: int = 0,
     quiet_window: int | None = None,
     max_steps: int = 50_000_000,
+    jobs: int | None = None,
 ) -> List[DecisionTrial]:
-    """Sample program decisions around the threshold boundary."""
+    """Sample program decisions around the threshold boundary.
+
+    ``jobs`` fans the per-total decisions across a process pool; each
+    decision's seed is a pure function of its (n, total) path (replacing
+    the collision-prone ``seed + index``), so parallel and sequential
+    runs sample identical decisions.
+    """
+    from repro.runtime.pool import parallel_map
+    from repro.runtime.seeds import derive_seed_path
+
     if quiet_window is None:
         quiet_window = suggested_quiet_window(n)
     k = threshold(n)
     if totals is None:
         totals = [max(1, k - 2), k - 1, k, k + 1, k + 5]
-    program = build_threshold_program(n)
-    policy = canonical_restart_policy(n)
-    trials = []
-    for index, total in enumerate(totals):
-        got = decide_program(
-            program,
-            {"x1": total},
-            seed=seed + index,
-            restart_policy=policy,
-            quiet_window=quiet_window,
-            max_steps=max_steps,
+    tasks = [
+        (
+            n,
+            total,
+            derive_seed_path(seed, "theorem3", n, total),
+            quiet_window,
+            max_steps,
         )
-        trials.append(DecisionTrial(n=n, total=total, expected=total >= k, got=got))
-    return trials
+        for total in totals
+    ]
+    return parallel_map(decide_threshold_task, tasks, jobs=jobs)
+
+
+def decide_threshold_task(
+    n: int, total: int, seed: int, quiet_window: int, max_steps: int
+) -> DecisionTrial:
+    """One boundary decision (module-level so the pool can pickle it by
+    reference).  The program and restart policy are rebuilt per process —
+    the canonical policy closes over a local chooser and cannot cross a
+    pickle boundary — and memoised for the worker's lifetime."""
+    program, policy = _threshold_artifacts(n)
+    got = decide_program(
+        program,
+        {"x1": total},
+        seed=seed,
+        restart_policy=policy,
+        quiet_window=quiet_window,
+        max_steps=max_steps,
+    )
+    return DecisionTrial(n=n, total=total, expected=total >= threshold(n), got=got)
+
+
+_ARTIFACTS: dict = {}
+
+
+def _threshold_artifacts(n: int):
+    if n not in _ARTIFACTS:
+        _ARTIFACTS[n] = (build_threshold_program(n), canonical_restart_policy(n))
+    return _ARTIFACTS[n]
 
 
 if __name__ == "__main__":

@@ -81,6 +81,12 @@ class AssignInstr:
     def __hash__(self):
         return hash((self.target, self.source, tuple(sorted(self.mapping.items(), key=repr))))
 
+    def __reduce__(self):
+        # The mapping proxy is not picklable; rebuild through __init__,
+        # which re-wraps a plain dict (needed to ship compiled pipelines
+        # across process/disk boundaries in repro.runtime).
+        return (AssignInstr, (self.target, self.source, dict(self.mapping)))
+
 
 Instruction = Union[MoveInstr, DetectInstr, AssignInstr]
 

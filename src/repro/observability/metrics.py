@@ -118,6 +118,33 @@ class Metrics:
         finally:
             self.histogram(name).observe(time.perf_counter() - start)
 
+    # -- merge ----------------------------------------------------------
+    def merge(self, payload: Dict[str, Any]) -> None:
+        """Fold an exported registry (the :meth:`to_dict` of another
+        ``Metrics``, e.g. one shipped back from a pool worker) into this
+        one: counters add, histograms combine their summary statistics,
+        gauges are last-write-wins (matching their in-process semantics).
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in payload.get("gauges", {}).items():
+            if value is not None:
+                self.gauge(name).set(value)
+        for name, data in payload.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            histogram.count += data.get("count", 0)
+            histogram.total += data.get("total", 0.0)
+            for bound, better in (("min", min), ("max", max)):
+                incoming = data.get(bound)
+                if incoming is None:
+                    continue
+                current = getattr(histogram, bound)
+                setattr(
+                    histogram,
+                    bound,
+                    incoming if current is None else better(current, incoming),
+                )
+
     # -- export ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -140,6 +140,46 @@ def run_machine_target(
     return ObservedRun("machine", recorder, metrics, outcome)
 
 
+def run_decide(
+    *,
+    n: int = 13,
+    total: int = 40,
+    seed: int = 1,
+    max_steps: int = 50_000,
+    recorder: Optional[TraceRecorder] = None,
+    metrics: Optional[MetricsObserver] = None,
+) -> ObservedRun:
+    """Observe a multi-attempt ``decide`` of the binary threshold baseline.
+
+    Honours ``REPRO_JOBS`` / ``--jobs``: with ``jobs > 1`` the attempts
+    fan out across a process pool and each worker's metrics registry is
+    merged back here, so the digest counts every interaction actually
+    simulated.  (Tracing stays sequential-only: workers do not stream
+    events to the parent recorder, which then sees just the per-attempt
+    markers.)
+    """
+    from repro.baselines import binary_threshold_protocol
+    from repro.core.multiset import Multiset
+    from repro.core.simulation import decide
+    from repro.runtime.pool import resolve_jobs
+
+    metrics = metrics or MetricsObserver()
+    jobs = resolve_jobs(None)
+    verdict = decide(
+        binary_threshold_protocol(n),
+        Multiset({"p0": total}),
+        seed=seed,
+        attempts=4,
+        max_interactions=max_steps,
+        observer=_observer(recorder, metrics),
+    )
+    outcome = (
+        f"decide x>={n} m={total} jobs={jobs}: verdict={verdict} "
+        f"(4 attempts, first stabilising wins)"
+    )
+    return ObservedRun("decide", recorder, metrics, outcome)
+
+
 def run_pipeline(
     *,
     n: int = 2,
@@ -163,6 +203,7 @@ def run_pipeline(
 TARGETS: Dict[str, Callable[..., ObservedRun]] = {
     "theorem3": run_theorem3,
     "protocol": run_protocol,
+    "decide": run_decide,
     "machine": run_machine_target,
     "pipeline": run_pipeline,
 }

@@ -1,0 +1,248 @@
+"""Content-addressed cache for compiled artifacts.
+
+The expensive compilations in this repository are pure functions of their
+input structure: ``compile_program`` (program → machine → protocol) and
+the per-protocol :class:`~repro.core.fastpath.TransitionTable`.  Both are
+recomputed wholesale by every process that needs them — which, once runs
+fan out across a process pool, means every worker redoing work the parent
+already did.  This module gives those artifacts *content addresses*
+(stable blake2b fingerprints of the defining structure) and a two-layer
+cache:
+
+* **in-memory** — a plain dict.  With the default ``fork`` start method
+  the pool's workers inherit the parent's populated cache for free, so
+  warming the cache before fan-out means no worker ever compiles;
+* **on-disk** (optional) — pickle files under ``REPRO_CACHE_DIR``, written
+  atomically (temp file + ``os.replace``) so concurrent workers can share
+  one directory without locks.  Disk caching is *off* unless
+  ``REPRO_CACHE_DIR`` is set: silently writing outside the repository
+  would be a surprising default, and the in-memory layer already covers
+  the dominant fork-based path.
+
+Invalidation is by construction: the fingerprint covers every input the
+compilation depends on (plus a schema version bumped when the compiled
+representation changes), so a changed program or protocol simply has a
+different address and never sees a stale artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Optional
+
+from repro.core.protocol import PopulationProtocol
+
+#: Bumped whenever the pickled artifact layout changes incompatibly
+#: (e.g. a TransitionTable slot is added): old disk entries then simply
+#: miss instead of deserialising garbage.
+SCHEMA_VERSION = 1
+
+_MISS = object()
+
+
+def _blake(parts: Iterable[str]) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def protocol_fingerprint(protocol: PopulationProtocol) -> str:
+    """A stable content hash of a protocol's defining structure.
+
+    Covers the state set (order-insensitively — the compiled table sorts
+    states itself), the transition *sequence* (order matters: candidate
+    order within a key is tie-break-relevant for sampling), and the input
+    and accepting sets.  The display name is deliberately excluded, so
+    identically-structured protocols share one compiled table.
+    """
+    return _blake(
+        [
+            f"protocol-v{SCHEMA_VERSION}",
+            *sorted(map(repr, protocol.states)),
+            "|delta|",
+            *(repr(t) for t in protocol.transitions),
+            "|I|",
+            *sorted(map(repr, protocol.input_states)),
+            "|O|",
+            *sorted(map(repr, protocol.accepting_states)),
+        ]
+    )
+
+
+def program_fingerprint(program: Any) -> str:
+    """A stable content hash of a population program's AST.
+
+    The AST is a tree of frozen dataclasses whose ``repr`` is a complete,
+    deterministic rendering of the structure, so hashing it captures
+    exactly the pipeline's input.
+    """
+    return _blake([f"program-v{SCHEMA_VERSION}", repr(program)])
+
+
+class ArtifactCache:
+    """Two-layer (memory + optional disk) content-addressed store."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.memory: Dict[str, Any] = {}
+        self.directory: Optional[Path] = Path(directory) if directory else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    # -- core protocol --------------------------------------------------
+    def _path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value, or ``None`` on a miss (cached values are
+        compiled artifacts, never ``None``)."""
+        value = self.memory.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return value
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                value = _MISS  # absent or corrupt: treat as a miss
+            if value is not _MISS:
+                self.memory[key] = value
+                self.disk_hits += 1
+                return value
+        self.misses += 1
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        self.memory[key] = value
+        if self.directory is not None:
+            # Atomic publish: concurrent workers may race on the same key;
+            # both write the same content, and os.replace makes whichever
+            # lands last the (identical) winner with no torn reads.
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def get_or_build(self, key: str, builder: Callable[[], Any]) -> Any:
+        value = self.get(key)
+        if value is None:
+            value = builder()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        self.memory.clear()
+        if self.directory is not None:
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "entries": len(self.memory),
+        }
+
+
+_GLOBAL_CACHE: Optional[ArtifactCache] = None
+
+
+def artifact_cache() -> ArtifactCache:
+    """The process-wide cache (created lazily; disk layer enabled iff
+    ``REPRO_CACHE_DIR`` is set when first used)."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        _GLOBAL_CACHE = ArtifactCache(os.environ.get("REPRO_CACHE_DIR") or None)
+    return _GLOBAL_CACHE
+
+
+def reset_artifact_cache() -> None:
+    """Drop the process-wide cache (tests; REPRO_CACHE_DIR changes)."""
+    global _GLOBAL_CACHE
+    _GLOBAL_CACHE = None
+
+
+# ----------------------------------------------------------------------
+# Cached compilations
+# ----------------------------------------------------------------------
+def cached_transition_table(
+    protocol: PopulationProtocol, cache: Optional[ArtifactCache] = None
+):
+    """The protocol's compiled :class:`TransitionTable`, via the cache.
+
+    Resolution order: the table already attached to this instance → the
+    cache (memory, then disk) keyed by the protocol's fingerprint → a
+    fresh compilation (which is published to the cache).  The result is
+    attached to the instance either way, so the per-simulation fast path
+    (:func:`repro.core.fastpath.get_table`) stays a plain attribute read.
+    """
+    from repro.core.fastpath import TransitionTable
+
+    table = getattr(protocol, "_fastpath_table", None)
+    if table is None:
+        cache = cache if cache is not None else artifact_cache()
+        key = f"table-{protocol_fingerprint(protocol)}"
+        table = cache.get_or_build(key, lambda: TransitionTable(protocol))
+        protocol._fastpath_table = table
+    return table
+
+
+def cached_compile_program(
+    program: Any,
+    name: str = "pipeline",
+    *,
+    observer=None,
+    cache: Optional[ArtifactCache] = None,
+):
+    """A :class:`~repro.conversion.pipeline.PipelineResult` for
+    ``program``, compiled at most once per content address.
+
+    ``name`` is part of the key (it is baked into the produced artefact
+    names).  ``observer`` only sees stage events on a miss — a cache hit
+    does no observable work.
+    """
+    from repro.conversion.pipeline import compile_program
+
+    cache = cache if cache is not None else artifact_cache()
+    key = f"pipeline-{name}-{program_fingerprint(program)}"
+    return cache.get_or_build(
+        key, lambda: compile_program(program, name, observer=observer)
+    )
+
+
+def cached_compile_threshold_protocol(
+    n: int,
+    *,
+    error_checking: bool = True,
+    observer=None,
+    cache: Optional[ArtifactCache] = None,
+):
+    """Theorem 1's compiled pipeline for ``n`` levels, via the cache."""
+    from repro.lipton.construction import build_threshold_program
+
+    program = build_threshold_program(n, error_checking=error_checking)
+    return cached_compile_program(
+        program, name=f"lipton-n{n}", observer=observer, cache=cache
+    )

@@ -1,0 +1,245 @@
+"""Process-pool execution engine for independent simulation tasks.
+
+Three layers, all sharing the same determinism contract (task results
+depend only on the task's own inputs and its seed-tree seed, never on
+worker scheduling):
+
+* :func:`resolve_jobs` — the single interpretation of a ``jobs``
+  argument.  ``jobs=1`` is *the sequential path*: no pool, no pickling,
+  bit-identical to the pre-parallel code.  ``jobs=None`` defers to the
+  ``REPRO_JOBS`` environment variable (default 1) so whole experiment
+  sweeps — and the test suite — can be switched to parallel execution
+  without touching call sites.  ``jobs=0`` means "all cores".
+* :func:`parallel_map` — deterministic fan-out of ``fn(*task)`` over a
+  task list; results are assembled in task order, so the output is
+  exactly ``[fn(*t) for t in tasks]`` regardless of completion order.
+* :func:`decide_parallel` — the parallel core of
+  :func:`repro.core.simulation.decide`: all attempts launch concurrently,
+  the verdict is the *lowest-indexed* attempt that stabilised (the same
+  attempt sequential execution would have returned, preserving
+  ``jobs=1``/``jobs=N`` result equality), and once that attempt resolves
+  every not-yet-started attempt is cancelled.
+
+Workers run with their own :class:`~repro.observability.metrics.Metrics`
+registry; completed attempts ship it back (as a plain dict) and the
+parent merges it into any :class:`MetricsObserver` reachable from the
+caller's observer, so ``python -m repro stats`` and the benchmark JSON
+report the work that actually happened, wherever it happened.
+
+Start method: ``fork`` where the platform offers it (workers inherit the
+parent's warmed :mod:`~repro.runtime.cache` for free), else the platform
+default; override with ``REPRO_START_METHOD``.  Workers pin their own
+``REPRO_JOBS`` to 1, so a parallelised driver calling another
+parallelisable function never fans out a pool inside a pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.errors import NonConvergenceError
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol
+from repro.core.simulation import derive_seed, simulate
+from repro.observability.observer import CompositeObserver, Observer, live
+from repro.runtime.cache import cached_transition_table
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Normalise a ``jobs`` argument to a worker count ≥ 1 (see module
+    docstring for the ``None``/``0`` conventions)."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _start_method() -> str:
+    preferred = os.environ.get("REPRO_START_METHOD")
+    available = multiprocessing.get_all_start_methods()
+    if preferred and preferred in available:
+        return preferred
+    return "fork" if "fork" in available else available[0]
+
+
+def _worker_init() -> None:
+    # A worker is a leaf of the fan-out tree: anything it calls that
+    # consults REPRO_JOBS must run sequentially rather than nest pools.
+    os.environ["REPRO_JOBS"] = "1"
+
+
+def _executor(jobs: int, tasks: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(
+        max_workers=max(1, min(jobs, tasks)),
+        mp_context=multiprocessing.get_context(_start_method()),
+        initializer=_worker_init,
+    )
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Iterable[Sequence[Any]],
+    *,
+    jobs: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(*t) for t in tasks]``, fanned across a process pool.
+
+    ``fn`` must be a module-level callable and every task argument (and
+    result) picklable.  With ``jobs=1`` (or a single task) no pool is
+    created and the comprehension runs verbatim in-process.
+    """
+    tasks = [tuple(t) for t in tasks]
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(*t) for t in tasks]
+    with _executor(jobs, len(tasks)) as executor:
+        futures = [executor.submit(fn, *t) for t in tasks]
+        return [future.result() for future in futures]
+
+
+# ----------------------------------------------------------------------
+# Observability merge
+# ----------------------------------------------------------------------
+def _metrics_registries(observer: Optional[Observer]) -> List[Any]:
+    """Every :class:`Metrics` registry reachable from ``observer``."""
+    from repro.observability.metrics import MetricsObserver
+
+    obs = live(observer)
+    if obs is None:
+        return []
+    if isinstance(obs, MetricsObserver):
+        return [obs.metrics]
+    if isinstance(obs, CompositeObserver):
+        registries: List[Any] = []
+        for child in obs.observers:
+            registries.extend(_metrics_registries(child))
+        return registries
+    return []
+
+
+def merge_worker_metrics(observer: Optional[Observer], payload: Dict[str, Any]) -> None:
+    """Fold a worker's exported metrics dict (``Metrics.to_dict()``) into
+    every metrics registry behind the parent's observer.  A no-op when the
+    observer carries no registry."""
+    for registry in _metrics_registries(observer):
+        registry.merge(payload)
+
+
+# ----------------------------------------------------------------------
+# Parallel decide
+# ----------------------------------------------------------------------
+def _decide_attempt_worker(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    seed: int,
+    sim_kwargs: Dict[str, Any],
+) -> Dict[str, Any]:
+    """One decide attempt, run inside a worker process.
+
+    Collects the attempt's metrics locally and returns them with the
+    verdict; observation never touches the random stream, so the sampled
+    run is identical to an unobserved sequential attempt with this seed.
+    """
+    from repro.observability.metrics import MetricsObserver
+
+    cached_transition_table(protocol)  # fork-inherited or disk cache hit
+    metrics = MetricsObserver()
+    result = simulate(protocol, config, seed=seed, observer=metrics, **sim_kwargs)
+    return {
+        "verdict": result.verdict,
+        "silent": result.silent,
+        "interactions": result.interactions,
+        "productive": result.productive,
+        "metrics": metrics.metrics.to_dict(),
+    }
+
+
+def decide_parallel(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    base: int,
+    attempts: int,
+    jobs: int,
+    observer: Optional[Observer] = None,
+    stats: Optional[Dict[str, int]] = None,
+    **sim_kwargs: Any,
+) -> bool:
+    """Run all decide attempts concurrently; first verdict (in attempt
+    order) wins and cancels the not-yet-started rest.
+
+    Per-attempt seeds are ``derive_seed(base, attempt)`` — the exact
+    seeds sequential :func:`~repro.core.simulation.decide` uses — and the
+    returned verdict is the lowest-indexed attempt with one, so the
+    result is identical to ``jobs=1`` for every base seed.  Attempts that
+    were already running when the verdict landed are drained (their
+    metrics still merge: the registry reports work actually done); pending
+    ones are cancelled before they consume a core.
+
+    ``stats``, when passed, receives ``launched`` / ``completed`` /
+    ``cancelled`` counts (test and CLI hook).
+
+    Raises :class:`NonConvergenceError` when no attempt stabilises, like
+    the sequential path.
+    """
+    obs = live(observer)
+    seeds = [derive_seed(base, attempt) for attempt in range(attempts)]
+    # Warm the compile caches *before* the pool exists so fork-started
+    # workers inherit the table instead of recompiling it per attempt.
+    cached_transition_table(protocol)
+    launched = completed = cancelled = 0
+    verdict: Optional[bool] = None
+    with _executor(jobs, attempts) as executor:
+        futures = [
+            executor.submit(
+                _decide_attempt_worker, protocol, config, seeds[a], sim_kwargs
+            )
+            for a in range(attempts)
+        ]
+        launched = attempts
+        try:
+            for attempt, future in enumerate(futures):
+                payload = future.result()
+                completed += 1
+                if obs is not None:
+                    obs.on_attempt(attempt, seeds[attempt])
+                merge_worker_metrics(obs, payload["metrics"])
+                if payload["verdict"] is not None:
+                    verdict = payload["verdict"]
+                    break
+        finally:
+            # First verdict wins: pending attempts are cancelled; already
+            # running ones finish (the executor's shutdown on __exit__
+            # waits for them, so no worker outlives this call) and their
+            # metrics are merged below for a truthful work count.
+            draining = []
+            for future in futures[completed:]:
+                if future.cancel():
+                    cancelled += 1
+                else:
+                    draining.append(future)
+            for future in draining:
+                try:
+                    payload = future.result()
+                except BaseException:
+                    continue  # a drained attempt's failure cannot unwind a verdict
+                completed += 1
+                merge_worker_metrics(obs, payload["metrics"])
+    if stats is not None:
+        stats.update(
+            launched=launched, completed=completed, cancelled=cancelled
+        )
+    if verdict is None:
+        raise NonConvergenceError(
+            f"protocol {protocol.name!r} did not stabilise on |C|={config.size} "
+            f"within the budget ({attempts} attempts)"
+        )
+    return verdict

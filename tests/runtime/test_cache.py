@@ -1,0 +1,141 @@
+"""Content-addressed artifact cache: fingerprints, layers, robustness."""
+
+import pickle
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol, majority_protocol
+from repro.core.fastpath import TransitionTable
+from repro.core.protocol import PopulationProtocol
+from repro.lipton.construction import build_threshold_program
+from repro.runtime.cache import (
+    ArtifactCache,
+    cached_compile_program,
+    cached_compile_threshold_protocol,
+    cached_transition_table,
+    program_fingerprint,
+    protocol_fingerprint,
+)
+
+
+class TestFingerprints:
+    def test_protocol_fingerprint_stable(self):
+        assert protocol_fingerprint(majority_protocol()) == protocol_fingerprint(
+            majority_protocol()
+        )
+
+    def test_protocol_fingerprint_ignores_name(self):
+        pp = majority_protocol()
+        renamed = PopulationProtocol(
+            pp.states, pp.transitions, pp.input_states, pp.accepting_states, "other"
+        )
+        assert protocol_fingerprint(pp) == protocol_fingerprint(renamed)
+
+    def test_protocol_fingerprint_sees_structure(self):
+        assert protocol_fingerprint(binary_threshold_protocol(5)) != (
+            protocol_fingerprint(binary_threshold_protocol(6))
+        )
+
+    def test_protocol_fingerprint_sees_accepting_set(self):
+        pp = majority_protocol()
+        flipped = PopulationProtocol(
+            pp.states,
+            pp.transitions,
+            pp.input_states,
+            pp.states - pp.accepting_states,
+            pp.name,
+        )
+        assert protocol_fingerprint(pp) != protocol_fingerprint(flipped)
+
+    def test_program_fingerprint_invalidates_on_change(self):
+        assert program_fingerprint(build_threshold_program(1)) != (
+            program_fingerprint(build_threshold_program(2))
+        )
+        assert program_fingerprint(build_threshold_program(2)) == (
+            program_fingerprint(build_threshold_program(2))
+        )
+
+
+class TestArtifactCache:
+    def test_memory_roundtrip(self):
+        cache = ArtifactCache()
+        assert cache.get("k") is None
+        cache.put("k", [1, 2])
+        assert cache.get("k") == [1, 2]
+        assert cache.stats() == {
+            "hits": 1,
+            "disk_hits": 0,
+            "misses": 1,
+            "entries": 1,
+        }
+
+    def test_get_or_build_builds_once(self):
+        cache = ArtifactCache()
+        calls = []
+        build = lambda: calls.append(1) or "artifact"
+        assert cache.get_or_build("k", build) == "artifact"
+        assert cache.get_or_build("k", build) == "artifact"
+        assert len(calls) == 1
+
+    def test_disk_layer_survives_process_memory(self, tmp_path):
+        writer = ArtifactCache(tmp_path)
+        writer.put("k", {"compiled": True})
+        reader = ArtifactCache(tmp_path)  # fresh memory, same directory
+        assert reader.get("k") == {"compiled": True}
+        assert reader.disk_hits == 1
+        assert reader.get("k") == {"compiled": True}  # now a memory hit
+        assert reader.hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
+        assert cache.get("bad") is None
+        cache.put("bad", "rebuilt")  # overwrites the corrupt entry
+        assert ArtifactCache(tmp_path).get("bad") == "rebuilt"
+
+    def test_clear_empties_both_layers(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", 1)
+        cache.clear()
+        assert cache.get("k") is None
+        assert not list(tmp_path.glob("*.pkl"))
+
+
+class TestCachedCompilations:
+    def test_transition_table_shared_across_instances(self):
+        cache = ArtifactCache()
+        pp1 = majority_protocol()
+        pp2 = majority_protocol()
+        t1 = cached_transition_table(pp1, cache)
+        t2 = cached_transition_table(pp2, cache)
+        assert isinstance(t1, TransitionTable)
+        assert t1 is t2  # same fingerprint, one compilation
+        assert pp2._fastpath_table is t2  # re-attached for the fast path
+
+    def test_transition_table_prefers_attached(self):
+        cache = ArtifactCache()
+        pp = majority_protocol()
+        attached = TransitionTable(pp)
+        pp._fastpath_table = attached
+        assert cached_transition_table(pp, cache) is attached
+        assert cache.stats()["entries"] == 0
+
+    def test_cached_pipeline_identical_and_memoised(self):
+        cache = ArtifactCache()
+        program = build_threshold_program(1)
+        first = cached_compile_program(program, "lipton-n1", cache=cache)
+        second = cached_compile_program(
+            build_threshold_program(1), "lipton-n1", cache=cache
+        )
+        assert second is first
+        assert first.protocol.states
+
+    def test_cached_threshold_pipeline_disk_roundtrip(self, tmp_path):
+        cold = cached_compile_threshold_protocol(1, cache=ArtifactCache(tmp_path))
+        warm_cache = ArtifactCache(tmp_path)
+        warm = cached_compile_threshold_protocol(1, cache=warm_cache)
+        assert warm_cache.disk_hits == 1
+        assert warm.protocol.states == cold.protocol.states
+        assert protocol_fingerprint(warm.protocol) == protocol_fingerprint(
+            cold.protocol
+        )

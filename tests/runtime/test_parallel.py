@@ -1,0 +1,191 @@
+"""Parallel execution semantics: fan-out is invisible in results,
+first-verdict cancellation works, and worker metrics merge back."""
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol, majority_protocol
+from repro.core import Multiset, decide
+from repro.observability.metrics import MetricsObserver
+from repro.runtime.pool import (
+    decide_parallel,
+    merge_worker_metrics,
+    parallel_map,
+    resolve_jobs,
+)
+
+
+def square(x):
+    return x * x
+
+
+def add(a, b):
+    return a + b
+
+
+class TestResolveJobs:
+    def test_default_is_sequential(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert resolve_jobs(None) == 3
+        assert resolve_jobs(2) == 2  # explicit argument wins
+
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert resolve_jobs(None) == 1
+
+
+class TestParallelMap:
+    def test_matches_comprehension_in_order(self):
+        tasks = [(i,) for i in range(10)]
+        assert parallel_map(square, tasks, jobs=4) == [i * i for i in range(10)]
+
+    def test_multi_argument_tasks(self):
+        tasks = [(i, 10 * i) for i in range(6)]
+        assert parallel_map(add, tasks, jobs=2) == [11 * i for i in range(6)]
+
+    def test_sequential_path_no_pool(self):
+        # jobs=1 must not touch multiprocessing at all: an unpicklable
+        # closure is fine sequentially.
+        fn = lambda x: x + 1
+        assert parallel_map(fn, [(1,), (2,)], jobs=1) == [2, 3]
+
+
+class TestDecideParallelDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 42])
+    def test_decide_jobs4_equals_jobs1(self, seed):
+        pp = binary_threshold_protocol(5)
+        config = Multiset({"p0": 7})
+        kwargs = dict(
+            seed=seed, attempts=4, max_interactions=200_000,
+            convergence_window=20_000,
+        )
+        assert decide(pp, config, jobs=4, **kwargs) == decide(
+            pp, config, jobs=1, **kwargs
+        )
+
+    def test_decide_env_jobs(self, monkeypatch):
+        pp = majority_protocol()
+        config = Multiset({"X": 6, "Y": 3})
+        kwargs = dict(seed=7, attempts=3, max_interactions=100_000)
+        sequential = decide(pp, config, **kwargs)
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        assert decide(pp, config, **kwargs) == sequential
+
+
+class TestDecideParallelCancellation:
+    def test_first_verdict_wins_and_rest_cancelled(self):
+        # Plenty of attempts, few workers: the first attempt's verdict
+        # must land before most attempts ever start, so they cancel.
+        pp = binary_threshold_protocol(5)
+        config = Multiset({"p0": 7})
+        stats = {}
+        verdict = decide_parallel(
+            pp,
+            config,
+            base=0,
+            attempts=12,
+            jobs=2,
+            stats=stats,
+            max_interactions=200_000,
+            convergence_window=20_000,
+        )
+        assert verdict is True
+        assert stats["launched"] == 12
+        assert stats["cancelled"] > 0
+        assert stats["completed"] >= 1
+        # Every launched attempt is accounted for: no orphaned workers
+        # (the executor shutdown inside decide_parallel waits on the rest).
+        assert stats["completed"] + stats["cancelled"] == stats["launched"]
+
+
+class TestMetricsMerge:
+    def test_worker_metrics_reach_parent_registry(self):
+        pp = binary_threshold_protocol(5)
+        config = Multiset({"p0": 7})
+        observer = MetricsObserver()
+        verdict = decide(
+            pp,
+            config,
+            seed=0,
+            attempts=4,
+            jobs=2,
+            observer=observer,
+            max_interactions=200_000,
+            convergence_window=20_000,
+        )
+        assert verdict is True
+        counters = observer.metrics.to_dict()["counters"]
+        assert counters.get("interactions", 0) > 0
+
+    def test_parallel_metrics_match_sequential_for_winning_prefix(self):
+        # With jobs=2 but a verdict on attempt 0, at most attempt 1 extra
+        # runs; the merged interaction count is at least the sequential one.
+        pp = binary_threshold_protocol(5)
+        config = Multiset({"p0": 7})
+        seq = MetricsObserver()
+        par = MetricsObserver()
+        kwargs = dict(
+            seed=3, attempts=3, max_interactions=200_000,
+            convergence_window=20_000,
+        )
+        decide(pp, config, jobs=1, observer=seq, **kwargs)
+        decide(pp, config, jobs=2, observer=par, **kwargs)
+        seq_interactions = seq.metrics.to_dict()["counters"]["interactions"]
+        par_interactions = par.metrics.to_dict()["counters"]["interactions"]
+        assert par_interactions >= seq_interactions
+
+    def test_merge_worker_metrics_folds_payload(self):
+        observer = MetricsObserver()
+        payload = {
+            "counters": {"interactions": 5},
+            "gauges": {"population": 9},
+            "histograms": {
+                "wall_seconds": {"count": 2, "total": 1.0, "min": 0.4, "max": 0.6}
+            },
+        }
+        merge_worker_metrics(observer, payload)
+        merge_worker_metrics(observer, payload)
+        snapshot = observer.metrics.to_dict()
+        assert snapshot["counters"]["interactions"] == 10
+        assert snapshot["gauges"]["population"] == 9
+        assert snapshot["histograms"]["wall_seconds"]["count"] == 4
+
+
+class TestParallelDrivers:
+    def test_convergence_driver_matches_sequential(self):
+        from repro.experiments.convergence import run_convergence
+
+        sequential = run_convergence(2, trials=2, seed=0, jobs=1)
+        parallel = run_convergence(2, trials=2, seed=0, jobs=2)
+        assert parallel.samples == sequential.samples
+
+    def test_lemma4_driver_matches_sequential(self):
+        from repro.experiments.lemma4 import run_lemma4
+
+        sequential = run_lemma4(1, 2, seed=0, jobs=1)
+        parallel = run_lemma4(1, 2, seed=0, jobs=2)
+        assert parallel.trials == sequential.trials
+
+    def test_theorem3_driver_matches_sequential(self):
+        from repro.experiments.theorem3 import run_theorem3_decisions
+
+        sequential = run_theorem3_decisions(1, seed=0, jobs=1)
+        parallel = run_theorem3_decisions(1, seed=0, jobs=2)
+        assert parallel == sequential
+        assert all(t.correct for t in parallel)
+
+    def test_table1_driver_matches_sequential(self):
+        from repro.experiments.table1 import run_table1
+
+        sequential = run_table1(4, jobs=1)
+        parallel = run_table1(4, jobs=2)
+        assert parallel.rows == sequential.rows
