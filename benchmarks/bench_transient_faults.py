@@ -1,0 +1,54 @@
+"""Benchmark X4 — transient faults: recovery under mid-run corruption.
+
+Extends the X2 ablation from adversarial *initialisation* to transient
+*perturbation*: runs start from the good configuration, a deterministic
+fault plan corrupts registers mid-flight, and the §5.2 error-checking
+machinery must restart its way back to the right verdict while the
+assertion-stripped variant fails measurably more often.
+
+Headline gauges land in ``BENCH_simulator.json`` under ``chaos.*`` —
+deliberately *not* ``*.ops_per_second``, so the perf regression gate
+ignores them (they are correctness rates, not throughput):
+
+* ``chaos.transient.with_checks_rate`` / ``without_checks_rate``
+* ``chaos.transient.rate_gap`` — the resilience margin
+"""
+
+from conftest import once, record_benchmark
+
+from repro.experiments import run_transient_faults
+
+
+def test_transient_fault_recovery(benchmark, bench_metrics):
+    report = once(
+        benchmark, run_transient_faults, 2, trials_per_total=2, seed=4
+    )
+    print("\n" + report.render())
+    record_benchmark(bench_metrics, "chaos.transient", benchmark)
+
+    # The full construction recovers from every transient hit …
+    assert report.with_checks_correct == report.with_checks_total
+    # … while the stripped variant visibly does not.
+    assert report.without_checks_correct < report.without_checks_total
+    assert report.checks_help
+
+    # The protocol-level probe ran each scheduler family through the
+    # mixed fault plan end-to-end; every family must reach a verdict.
+    probes = {p.family: p for p in report.probes}
+    assert set(probes) == {
+        "fast_enabled",
+        "fast_uniform",
+        "legacy_enabled",
+        "legacy_uniform",
+    }
+    assert all(p.verdict is not None for p in report.probes)
+
+    bench_metrics.gauge("chaos.transient.with_checks_rate").set(
+        report.with_checks_rate
+    )
+    bench_metrics.gauge("chaos.transient.without_checks_rate").set(
+        report.without_checks_rate
+    )
+    bench_metrics.gauge("chaos.transient.rate_gap").set(
+        report.with_checks_rate - report.without_checks_rate
+    )

@@ -16,6 +16,9 @@ Usage::
     python -m repro bench --out BENCH.json     # write the metrics elsewhere
     python -m repro bench --check              # fail on throughput regression
 
+    python -m repro chaos                      # X4 transient-fault experiment
+    python -m repro chaos --smoke              # quick resilience smoke check
+
 ``trace``/``stats`` targets are the observed reference workloads of
 :mod:`repro.observability.runners` (the Theorem 3 program, a baseline
 protocol simulation, the lowered machine, the compilation pipeline).
@@ -189,6 +192,95 @@ FULL: Dict[str, Callable[[], str]] = {
 }
 
 
+def _run_chaos(argv: Tuple[str, ...]) -> int:
+    """X4 — transient-fault recovery (``python -m repro chaos``).
+
+    Runs the fault-injection experiment end-to-end: the Theorem 3 program
+    with and without §5.2 error checks under mid-run register corruption,
+    plus the protocol-level scheduler-family probe.  Headline rates are
+    merged into the bench metrics JSON as ``chaos.*`` gauges (read-modify-
+    write, so the throughput gauges recorded by ``bench`` survive).
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Transient-fault recovery experiment (X4).",
+    )
+    parser.add_argument("--n", type=int, default=2, help="construction levels n")
+    parser.add_argument(
+        "--trials", type=int, default=3, help="trials per boundary total"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="rng seed")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick mode: fewer trials, no metrics JSON update (CI smoke)",
+    )
+    parser.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the protocol-level scheduler-family probe",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="process-pool width for the trial fan-out (0 = all cores)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="metrics JSON to merge the chaos.* gauges into "
+        "(default: BENCH_simulator.json at the repo root; smoke skips this)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments import run_transient_faults
+
+    trials = 1 if args.smoke else args.trials
+    start = time.time()
+    report = run_transient_faults(
+        args.n,
+        trials_per_total=trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        probe=not args.no_probe,
+    )
+    elapsed = time.time() - start
+    print(report.render())
+    print(
+        f"\nwith checks: {report.with_checks_correct}/{report.with_checks_total}"
+        f"  without: {report.without_checks_correct}/{report.without_checks_total}"
+        f"  gap: {report.with_checks_rate - report.without_checks_rate:+.3f}"
+    )
+    print(f"error checking helps under transient faults: {report.checks_help}")
+    print(f"done in {elapsed:.1f}s")
+
+    if not args.smoke:
+        out = Path(args.out) if args.out else repo_root / "BENCH_simulator.json"
+        payload = {}
+        if out.exists():
+            try:
+                payload = json.loads(out.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                print(f"chaos: could not parse {out}; rewriting", file=sys.stderr)
+        gauges = payload.setdefault("gauges", {})
+        gauges["chaos.transient.with_checks_rate"] = report.with_checks_rate
+        gauges["chaos.transient.without_checks_rate"] = report.without_checks_rate
+        gauges["chaos.transient.rate_gap"] = (
+            report.with_checks_rate - report.without_checks_rate
+        )
+        out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"merged chaos.* gauges into {out}")
+
+    # Smoke is a health check: insist the resilience signal is present.
+    if report.checks_help or report.with_checks_correct == report.with_checks_total:
+        return 0
+    print("chaos: error-checked variant did not outperform the bare one",
+          file=sys.stderr)
+    return 1
+
+
 def _observe_parser(command: str) -> argparse.ArgumentParser:
     from repro.observability.runners import TARGETS
 
@@ -245,6 +337,14 @@ def _observe_parser(command: str) -> argparse.ArgumentParser:
         help="process-pool width for parallelisable targets (sets "
         "REPRO_JOBS; 0 = all cores, default 1 = sequential)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds per simulation/program run "
+        "(sets REPRO_DEADLINE; runs report deadline_exceeded instead of "
+        "spinning forever)",
+    )
     return parser
 
 
@@ -263,6 +363,8 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
 
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.deadline is not None:
+        os.environ["REPRO_DEADLINE"] = str(args.deadline)
 
     kwargs = {}
     for key in ("n", "total", "seed", "max_steps"):
@@ -301,6 +403,7 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
 BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
     "simulator": ("bench_simulator_performance.py",),
     "parallel": ("bench_parallel_runtime.py",),
+    "chaos": ("bench_transient_faults.py",),
     "core": ("bench_simulator_performance.py", "bench_parallel_runtime.py"),
     "all": (".",),
 }
@@ -395,6 +498,13 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
         help="process-pool width for the parallel-runtime benchmarks "
         "(sets REPRO_JOBS in the pytest subprocess; 0 = all cores)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds per simulation/program run "
+        "(sets REPRO_DEADLINE in the pytest subprocess)",
+    )
     args = parser.parse_args(argv)
 
     baseline = Path(args.baseline) if args.baseline else repo_root / "BENCH_simulator.json"
@@ -418,6 +528,8 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
     env["REPRO_BENCH_OUT"] = str(out)
     if args.jobs is not None:
         env["REPRO_JOBS"] = str(args.jobs)
+    if args.deadline is not None:
+        env["REPRO_DEADLINE"] = str(args.deadline)
     src = str(repo_root / "src")
     env["PYTHONPATH"] = (
         src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
@@ -439,6 +551,8 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
         return _run_observe(argv[0], tuple(argv[1:]))
     if argv and argv[0] == "bench":
         return _run_bench(tuple(argv[1:]))
+    if argv and argv[0] == "chaos":
+        return _run_chaos(tuple(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
@@ -459,10 +573,19 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
         help="process-pool width for parallelisable experiments (sets "
         "REPRO_JOBS; 0 = all cores, default 1 = sequential)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds per simulation/program run "
+        "(sets REPRO_DEADLINE)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.deadline is not None:
+        os.environ["REPRO_DEADLINE"] = str(args.deadline)
 
     if args.experiments:
         unknown = [e for e in args.experiments if e not in FULL]

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import random
 from math import log
+from time import monotonic
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.multiset import Multiset
@@ -567,6 +568,8 @@ def run_fast_simulation(
     obs,
     trace,
     stable_output,
+    injector=None,
+    deadline_at=None,
 ):
     """Run the incremental-index hot loop; returns a ``SimulationResult``.
 
@@ -575,9 +578,31 @@ def run_fast_simulation(
     copy of the configuration; the loops operate on the index's flat count
     array and materialise configurations only at observation points and at
     exit, which is what makes per-step cost O(Δ).
+
+    ``injector`` (a bound :class:`repro.resilience.FaultInjector`) routes
+    the run through the dedicated fault loops — separate functions, so
+    uninjected runs pay nothing and stay bit-identical to previous
+    releases.  ``deadline_at`` is an absolute ``time.monotonic()`` bound;
+    past it the loops return a verdictless result flagged
+    ``deadline_exceeded``.
     """
     if isinstance(scheduler, FastUniformScheduler):
         index = EnabledIndex(protocol, current, mode="uniform")
+        if injector is not None:
+            return _uniform_fault_loop(
+                index,
+                population=population,
+                rng=rng,
+                inj=injector,
+                tie_first=scheduler.tie_break == "first",
+                max_interactions=max_interactions,
+                convergence_window=convergence_window,
+                check_silence_every=check_silence_every,
+                obs=obs,
+                trace=trace,
+                stable_output=stable_output,
+                deadline_at=deadline_at,
+            )
         return _uniform_loop(
             index,
             population=population,
@@ -589,8 +614,22 @@ def run_fast_simulation(
             obs=obs,
             trace=trace,
             stable_output=stable_output,
+            deadline_at=deadline_at,
         )
     index = EnabledIndex(protocol, current, mode="enabled")
+    if injector is not None:
+        return _enabled_fault_loop(
+            index,
+            population=population,
+            rng=rng,
+            inj=injector,
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+            obs=obs,
+            trace=trace,
+            stable_output=stable_output,
+            deadline_at=deadline_at,
+        )
     return _enabled_loop(
         index,
         population=population,
@@ -600,6 +639,7 @@ def run_fast_simulation(
         obs=obs,
         trace=trace,
         stable_output=stable_output,
+        deadline_at=deadline_at,
     )
 
 
@@ -607,7 +647,17 @@ def _snapshot_dict(states, cnt):
     return {states[s]: c for s, c in enumerate(cnt) if c}
 
 
-def _result(index, interactions, productive, population, trace, verdict, silent, obs):
+def _result(
+    index,
+    interactions,
+    productive,
+    population,
+    trace,
+    verdict,
+    silent,
+    obs,
+    deadline_exceeded=False,
+):
     from repro.core.simulation import SimulationResult  # late: avoids cycle
 
     if obs is not None:
@@ -619,6 +669,7 @@ def _result(index, interactions, productive, population, trace, verdict, silent,
             interactions=interactions,
             productive=productive,
             population=population,
+            deadline_exceeded=deadline_exceeded,
         )
     return SimulationResult(
         final=Multiset(_snapshot_dict(index.table.states, index.cnt)),
@@ -628,6 +679,7 @@ def _result(index, interactions, productive, population, trace, verdict, silent,
         productive=productive,
         population=population,
         output_trace=trace,
+        deadline_exceeded=deadline_exceeded,
     )
 
 
@@ -641,6 +693,7 @@ def _enabled_loop(
     obs,
     trace,
     stable_output,
+    deadline_at=None,
 ):
     states = index.table.states
     accepting = index.table.accepting
@@ -669,8 +722,17 @@ def _enabled_loop(
     out = stable_output
     conv_at = stable_since + convergence_window if out is not None else _NEVER
     total = index.total
+    ticks = 0
 
     while interactions < max_interactions:
+        if deadline_at is not None:
+            ticks += 1
+            if not ticks & 255 and monotonic() >= deadline_at:
+                index.total = total
+                return _result(
+                    index, interactions, productive, population, trace,
+                    None, False, obs, deadline_exceeded=True,
+                )
         if total <= 0:
             # No productive transition enabled: provably silent, matching
             # the legacy enabled scheduler's single null step + break.
@@ -863,6 +925,521 @@ def _enabled_loop(
     )
 
 
+def _enabled_fault_loop(
+    index: EnabledIndex,
+    *,
+    population,
+    rng,
+    inj,
+    max_interactions,
+    convergence_window,
+    obs,
+    trace,
+    stable_output,
+    deadline_at=None,
+):
+    """Enabled-mode driver with fault injection.
+
+    A separate function rather than branches in :func:`_enabled_loop`:
+    uninjected runs keep their hot loop byte-for-byte (no perf or golden-
+    trace risk), and this loop can afford clarity over micro-optimisation
+    — it skips batch collapse and always works through ``index.total`` so
+    the :class:`EnabledIndex` invariant (checkable via ``validate``)
+    holds at *every* step boundary, including immediately after a fault.
+
+    Fault semantics (identical in the uniform twin below):
+
+    * due faults fire at the top of the step, through an
+      :class:`~repro.resilience.IndexView` whose ``accept_delta`` keeps
+      the O(Δ) output tracking exact;
+    * a provably silent configuration with pending triggers fast-forwards
+      to the next trigger instead of terminating — a corruption can
+      re-enable transitions, so silence is only final once the plan is
+      drained;
+    * inside an unfair window the sampler is bypassed: the lowest-indexed
+      active key with a configuration-changing candidate (first such
+      candidate) is played deterministically, consuming no randomness —
+      so the window's length never shifts the downstream random stream
+      relative to a run whose window differs only in adversarial choices.
+    """
+    from repro.resilience.faults import IndexView
+
+    states = index.table.states
+    accepting = index.table.accepting
+    cnt = index.cnt
+    w = index.w
+    active = index.active
+    hot = index.hot
+    kcands = tuple(key[4] for key in index.keys)
+    kmult = tuple(key[3] for key in index.keys)
+    changing = index.changing
+    fix_state = index.fix_state
+    rnd = rng.random
+    randrange = rng.randrange
+
+    snapshot_every = obs.snapshot_interval if obs is not None else None
+    interactions = 0
+    productive = 0
+    stable_since = 0
+    accept = sum(cnt[s] for s in range(len(states)) if accepting[s])
+    m = population
+    out = stable_output
+    conv_at = stable_since + convergence_window if out is not None else _NEVER
+    view = IndexView(index)
+    ticks = 0
+
+    while interactions < max_interactions:
+        if deadline_at is not None:
+            ticks += 1
+            if not ticks & 255 and monotonic() >= deadline_at:
+                return _result(
+                    index, interactions, productive, population, trace,
+                    None, False, obs, deadline_exceeded=True,
+                )
+
+        # ---- due faults ----------------------------------------------
+        if interactions >= inj.next_at:
+            view.accept_delta = 0
+            inj.fire(interactions, view, obs)
+            if view.accept_delta:
+                accept += view.accept_delta
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        if index.total <= 0:
+            if inj.next_at <= max_interactions:
+                # Silent *for now*: a pending fault may revive the run.
+                # fire() leaves next_at strictly beyond the fired step, so
+                # the jump always advances.
+                nxt = int(inj.next_at)
+                if obs is not None:
+                    obs.on_batch(nxt, kind="null_skip", count=nxt - interactions)
+                interactions = nxt
+                continue
+            interactions += 1
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="fast_enabled",
+                    null=True,
+                    candidates=0,
+                    weight=0,
+                )
+                obs.on_interaction(interactions, None, None, False)
+                obs.on_silence_check(interactions, True)
+            break
+
+        # ---- one step ------------------------------------------------
+        interactions += 1
+        total = index.total
+        if interactions <= inj.unfair_until:
+            best = -1
+            for i2 in active:
+                if changing[i2] and (best == -1 or i2 < best):
+                    best = i2
+            i = best if best != -1 else min(active)
+            hcands = hot[i]
+            j = 0
+            for j2, c in enumerate(hcands):
+                if c[0]:
+                    j = j2
+                    break
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="unfair",
+                    null=False,
+                    candidates=1,
+                    weight=total,
+                )
+        else:
+            if total <= _FLOAT_SAFE_TOTAL:
+                x = int(rnd() * total)
+                if x >= total:
+                    x = total - 1
+            else:
+                x = randrange(total)
+            acc = 0
+            for i in active:
+                acc += w[i]
+                if acc > x:
+                    break
+            hcands = hot[i]
+            j = 0
+            if len(hcands) > 1:
+                j = int(rnd() * len(hcands))
+            if obs is not None:
+                ncand = 0
+                for k2 in active:
+                    ncand += kmult[k2]
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="fast_enabled",
+                    null=False,
+                    candidates=ncand,
+                    weight=total,
+                )
+        ch, ad, deltas = hcands[j]
+
+        if inj.drop_left and inj.take_drop():
+            if obs is not None:
+                t = kcands[i][j][7]
+                obs.on_fault(
+                    interactions, "drop", LAYER_PROTOCOL, transition=repr(t)
+                )
+                obs.on_interaction(interactions, None, (t.q, t.r), False)
+            continue
+
+        if ch:
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                fix_state(s)
+
+        if obs is not None:
+            t = kcands[i][j][7]
+            obs.on_interaction(interactions, t, (t.q, t.r), bool(ch))
+            if snapshot_every and interactions % snapshot_every == 0:
+                obs.on_snapshot(
+                    interactions, _snapshot_dict(states, cnt), LAYER_PROTOCOL
+                )
+
+        if ad:
+            accept += ad
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        # Re-delivery: apply the same transition once more, when a
+        # duplicate token is armed and the key is still enabled.
+        if ch and inj.duplicate_left and w[i] > 0 and inj.take_duplicate():
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                fix_state(s)
+            if obs is not None:
+                t = kcands[i][j][7]
+                obs.on_fault(
+                    interactions, "duplicate", LAYER_PROTOCOL, transition=repr(t)
+                )
+            if ad:
+                accept += ad
+                new_out = (
+                    True if accept == m else (False if accept == 0 else None)
+                )
+                if new_out != out:
+                    out = new_out
+                    stable_since = productive
+                    conv_at = (
+                        stable_since + convergence_window
+                        if out is not None
+                        else _NEVER
+                    )
+                    trace.append((interactions, out))
+                    if obs is not None:
+                        obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        if productive >= conv_at:
+            return _result(
+                index, interactions, productive, population, trace, out,
+                False, obs,
+            )
+
+    silent = index.is_silent_now()
+    return _result(
+        index, interactions, productive, population, trace,
+        out if silent else None, silent, obs,
+    )
+
+
+def _uniform_fault_loop(
+    index: EnabledIndex,
+    *,
+    population,
+    rng,
+    inj,
+    tie_first,
+    max_interactions,
+    convergence_window,
+    check_silence_every,
+    obs,
+    trace,
+    stable_output,
+    deadline_at=None,
+):
+    """Uniform-mode driver with fault injection — the textbook-semantics
+    twin of :func:`_enabled_fault_loop` (see its docstring for the shared
+    fault semantics).
+
+    The geometric null-step skip-ahead is kept but *capped at the next
+    fault trigger*: a pending fault is a barrier the run may not jump
+    over, so a long null run is split at the barrier and the fault fires
+    on schedule.  Inside an unfair window null steps do not occur at all
+    — the adversary always schedules an interacting pair.
+    """
+    from repro.resilience.faults import IndexView
+
+    states = index.table.states
+    accepting = index.table.accepting
+    cnt = index.cnt
+    w = index.w
+    active = index.active
+    hot = index.hot
+    kcands = tuple(key[4] for key in index.keys)
+    changing = index.changing
+    fix_state = index.fix_state
+    rnd = rng.random
+    randrange = rng.randrange
+
+    snapshot_every = obs.snapshot_interval if obs is not None else None
+    interactions = 0
+    productive = 0
+    stable_since = 0
+    accept = sum(cnt[s] for s in range(len(states)) if accepting[s])
+    m = population
+    out = stable_output
+    conv_at = stable_since + convergence_window if out is not None else _NEVER
+    T = m * (m - 1)
+    cse = check_silence_every
+    view = IndexView(index)
+    ticks = 0
+
+    while interactions < max_interactions:
+        if deadline_at is not None:
+            ticks += 1
+            if not ticks & 255 and monotonic() >= deadline_at:
+                return _result(
+                    index, interactions, productive, population, trace,
+                    None, False, obs, deadline_exceeded=True,
+                )
+
+        # ---- due faults ----------------------------------------------
+        if interactions >= inj.next_at:
+            view.accept_delta = 0
+            inj.fire(interactions, view, obs)
+            if view.accept_delta:
+                accept += view.accept_delta
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        total = index.total
+        remaining = max_interactions - interactions
+
+        if total <= 0:
+            # No matched pair at all — null steps forever unless a
+            # pending fault revives the run.
+            if inj.next_at <= max_interactions:
+                nxt = int(inj.next_at)
+                if obs is not None:
+                    obs.on_batch(nxt, kind="null_skip", count=nxt - interactions)
+                interactions = nxt
+                continue
+            next_check = interactions - interactions % cse + cse
+            if next_check <= max_interactions:
+                count = next_check - interactions
+                interactions = next_check
+                if obs is not None:
+                    obs.on_batch(interactions, kind="null_skip", count=count)
+                    obs.on_silence_check(interactions, True)
+            else:
+                if obs is not None and remaining:
+                    obs.on_batch(
+                        max_interactions, kind="null_skip", count=remaining
+                    )
+                interactions = max_interactions
+            break
+
+        unfair_next = interactions + 1 <= inj.unfair_until
+        if not unfair_next and total < T:
+            # ---- geometric null-step skip-ahead, barrier-capped ------
+            u = 1.0 - rnd()
+            nulls = int(log(u) / log((T - total) / T))
+            if nulls:
+                span = remaining if nulls > remaining else nulls
+                barrier_gap = inj.next_at - interactions  # inf-safe
+                if barrier_gap < span:
+                    span = int(barrier_gap)
+                    interactions += span
+                    if obs is not None:
+                        obs.on_batch(interactions, kind="null_skip", count=span)
+                    continue
+                next_check = interactions - interactions % cse + cse
+                if obs is not None and next_check <= interactions + span:
+                    check = next_check
+                    limit = interactions + span
+                    while check <= limit:
+                        obs.on_silence_check(check, False)
+                        check += cse
+                if nulls >= remaining:
+                    interactions = max_interactions
+                    if obs is not None:
+                        obs.on_batch(
+                            interactions, kind="null_skip", count=remaining
+                        )
+                    break
+                interactions += nulls
+                if obs is not None:
+                    obs.on_batch(interactions, kind="null_skip", count=nulls)
+
+        # ---- one matched step ----------------------------------------
+        interactions += 1
+        if interactions <= inj.unfair_until:
+            best = -1
+            for i2 in active:
+                if changing[i2] and (best == -1 or i2 < best):
+                    best = i2
+            i = best if best != -1 else min(active)
+            hcands = hot[i]
+            j = 0
+            for j2, c in enumerate(hcands):
+                if c[0]:
+                    j = j2
+                    break
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="unfair",
+                    null=False,
+                    candidates=1,
+                    weight=total,
+                )
+        else:
+            if total <= _FLOAT_SAFE_TOTAL:
+                x = int(rnd() * total)
+                if x >= total:
+                    x = total - 1
+            else:
+                x = randrange(total)
+            acc = 0
+            for i in active:
+                acc += w[i]
+                if acc > x:
+                    break
+            hcands = hot[i]
+            j = 0
+            if len(hcands) > 1 and not tie_first:
+                j = int(rnd() * len(hcands))
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="fast_uniform",
+                    null=False,
+                    candidates=len(hcands),
+                    weight=total,
+                )
+        ch, ad, deltas = hcands[j]
+
+        if inj.drop_left and inj.take_drop():
+            if obs is not None:
+                t = kcands[i][j][7]
+                obs.on_fault(
+                    interactions, "drop", LAYER_PROTOCOL, transition=repr(t)
+                )
+                obs.on_interaction(interactions, None, (t.q, t.r), False)
+            continue
+
+        if ch:
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                fix_state(s)
+
+        if obs is not None:
+            t = kcands[i][j][7]
+            obs.on_interaction(interactions, t, (t.q, t.r), bool(ch))
+            if snapshot_every and interactions % snapshot_every == 0:
+                obs.on_snapshot(
+                    interactions, _snapshot_dict(states, cnt), LAYER_PROTOCOL
+                )
+
+        if ad:
+            accept += ad
+            new_out = True if accept == m else (False if accept == 0 else None)
+            if new_out != out:
+                out = new_out
+                stable_since = productive
+                conv_at = (
+                    stable_since + convergence_window
+                    if out is not None
+                    else _NEVER
+                )
+                trace.append((interactions, out))
+                if obs is not None:
+                    obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        if ch and inj.duplicate_left and w[i] > 0 and inj.take_duplicate():
+            productive += 1
+            for s, d in deltas:
+                cnt[s] += d
+            for s, _d in deltas:
+                fix_state(s)
+            if obs is not None:
+                t = kcands[i][j][7]
+                obs.on_fault(
+                    interactions, "duplicate", LAYER_PROTOCOL, transition=repr(t)
+                )
+            if ad:
+                accept += ad
+                new_out = (
+                    True if accept == m else (False if accept == 0 else None)
+                )
+                if new_out != out:
+                    out = new_out
+                    stable_since = productive
+                    conv_at = (
+                        stable_since + convergence_window
+                        if out is not None
+                        else _NEVER
+                    )
+                    trace.append((interactions, out))
+                    if obs is not None:
+                        obs.on_output_flip(interactions, out, LAYER_PROTOCOL)
+
+        if productive >= conv_at:
+            return _result(
+                index, interactions, productive, population, trace, out,
+                False, obs,
+            )
+
+    silent = index.is_silent_now()
+    return _result(
+        index, interactions, productive, population, trace,
+        out if silent else None, silent, obs,
+    )
+
+
 def _uniform_loop(
     index: EnabledIndex,
     *,
@@ -875,6 +1452,7 @@ def _uniform_loop(
     obs,
     trace,
     stable_output,
+    deadline_at=None,
 ):
     states = index.table.states
     accepting = index.table.accepting
@@ -902,8 +1480,17 @@ def _uniform_loop(
     total = index.total
     T = m * (m - 1)
     cse = check_silence_every
+    ticks = 0
 
     while interactions < max_interactions:
+        if deadline_at is not None:
+            ticks += 1
+            if not ticks & 255 and monotonic() >= deadline_at:
+                index.total = total
+                return _result(
+                    index, interactions, productive, population, trace,
+                    None, False, obs, deadline_exceeded=True,
+                )
         if total < T:
             # ---- geometric null-step skip-ahead ----------------------
             # P(null) = 1 − M/T; the null-run length before the next

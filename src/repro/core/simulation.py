@@ -16,7 +16,9 @@ based on two signals:
 from __future__ import annotations
 
 import hashlib
+import os
 import random
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
@@ -31,6 +33,9 @@ from repro.core.protocol import PopulationProtocol
 from repro.core.scheduler import (
     EnabledTransitionScheduler,
     UniformPairScheduler,
+    first_enabled_transition,
+    ordered_pair_weight,
+    SchedulerStep,
 )
 from repro.core.semantics import apply_transition_inplace, is_silent
 from repro.observability.events import LAYER_PROTOCOL
@@ -55,6 +60,9 @@ class SimulationResult:
     productive: int
     population: int
     output_trace: List[Tuple[int, Optional[bool]]] = field(default_factory=list)
+    #: True when the run was cut short by a wall-clock ``deadline`` —
+    #: the verdict is then ``None`` regardless of the trajectory so far.
+    deadline_exceeded: bool = False
 
     @property
     def parallel_time(self) -> float:
@@ -63,6 +71,28 @@ class SimulationResult:
         if self.population == 0:
             return 0.0
         return self.interactions / self.population
+
+
+def resolve_deadline(deadline: float | None) -> float | None:
+    """Normalise a wall-clock ``deadline`` argument (seconds).
+
+    An explicit value wins (and must be positive); ``None`` falls back to
+    the ``REPRO_DEADLINE`` environment variable, so whole experiment
+    sweeps and CI jobs can be time-bounded without touching call sites.
+    Unset/garbage/non-positive env values mean "no deadline".
+    """
+    if deadline is not None:
+        if deadline <= 0:
+            raise ValueError("deadline must be positive (seconds)")
+        return float(deadline)
+    raw = os.environ.get("REPRO_DEADLINE", "").strip()
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def simulate(
@@ -76,6 +106,8 @@ def simulate(
     convergence_window: int = 2_000,
     check_silence_every: int = 512,
     observer: Observer | None = None,
+    faults=None,
+    deadline: float | None = None,
 ) -> SimulationResult:
     """Sample one run of ``protocol`` from ``config``.
 
@@ -89,6 +121,15 @@ def simulate(
     the random stream, so an observed run is bit-identical to an
     unobserved run with the same seed.
 
+    ``faults`` (a :class:`repro.resilience.FaultPlan`, or an already-bound
+    :class:`~repro.resilience.FaultInjector`) injects deterministic mid-run
+    perturbations; a plan is bound to ``seed`` (its fault stream is
+    derived independently of the simulation stream, so an *empty* plan
+    leaves the run bit-identical to an uninjected one).  ``deadline``
+    bounds the run in wall-clock seconds (``REPRO_DEADLINE`` supplies a
+    default); past it the result carries ``verdict=None`` and
+    ``deadline_exceeded=True``.
+
     The default scheduler is :class:`FastEnabledScheduler`, which runs the
     incremental fast path of :mod:`repro.core.fastpath`.  Pass
     ``scheduler=EnabledTransitionScheduler()`` (or ``UniformPairScheduler()``)
@@ -100,6 +141,15 @@ def simulate(
         rng = random.Random(seed)
     if scheduler is None:
         scheduler = FastEnabledScheduler()
+    injector = None
+    if faults is not None:
+        from repro.resilience.faults import resolve_injector
+
+        injector = resolve_injector(faults, seed)
+        if injector is not None and injector.exhausted() and not injector.plan:
+            injector = None  # empty plan: take the uninjected hot path
+    deadline = resolve_deadline(deadline)
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
     obs = live(observer)
     snapshot_every = obs.snapshot_interval if obs is not None else None
     current = config.copy()
@@ -134,9 +184,13 @@ def simulate(
             obs=obs,
             trace=trace,
             stable_output=stable_output,
+            injector=injector,
+            deadline_at=deadline_at,
         )
 
-    def finish(verdict: Optional[bool], silent: bool) -> SimulationResult:
+    def finish(
+        verdict: Optional[bool], silent: bool, deadline_exceeded: bool = False
+    ) -> SimulationResult:
         if obs is not None:
             obs.on_run_end(
                 interactions,
@@ -146,6 +200,7 @@ def simulate(
                 interactions=interactions,
                 productive=productive,
                 population=population,
+                deadline_exceeded=deadline_exceeded,
             )
         return SimulationResult(
             final=current,
@@ -155,10 +210,43 @@ def simulate(
             productive=productive,
             population=population,
             output_trace=trace,
+            deadline_exceeded=deadline_exceeded,
         )
 
+    fault_view = None
+    ticks = 0
     while interactions < max_interactions:
-        if obs is None:
+        if deadline_at is not None:
+            ticks += 1
+            if not ticks & 255 and time.monotonic() >= deadline_at:
+                return finish(None, False, deadline_exceeded=True)
+        if injector is not None and interactions >= injector.next_at:
+            if fault_view is None:
+                from repro.resilience.faults import MultisetView
+
+                fault_view = MultisetView(protocol, current)
+            injector.fire(interactions, fault_view, obs)
+            output = protocol.output(current)
+            if output != stable_output:
+                stable_output = output
+                stable_since = productive
+                trace.append((interactions, output))
+                if obs is not None:
+                    obs.on_output_flip(interactions, output, LAYER_PROTOCOL)
+        unfair = injector is not None and injector.unfair_active(interactions + 1)
+        if unfair:
+            # Adversarial window: play the deterministic lowest-ranked
+            # enabled transition, consuming no randomness.
+            t = first_enabled_transition(protocol, current)
+            step = SchedulerStep(t, (t.q, t.r) if t is not None else None)
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions + 1,
+                    scheduler="unfair",
+                    null=t is None,
+                    candidates=0 if t is None else 1,
+                )
+        elif obs is None:
             step = scheduler.select(protocol, current, rng)
         else:
             step = scheduler.select(
@@ -168,7 +256,20 @@ def simulate(
         if step.transition is None:
             if obs is not None:
                 obs.on_interaction(interactions, None, step.pair, False)
-            if isinstance(scheduler, EnabledTransitionScheduler):
+            # An unfair window's None pick means no productive transition
+            # is enabled at all, exactly like the enabled scheduler's.
+            if unfair or isinstance(scheduler, EnabledTransitionScheduler):
+                if injector is not None and injector.next_at <= max_interactions:
+                    # Silent for now, but a pending fault may revive the
+                    # run: fast-forward the null steps to the trigger.
+                    nxt = int(injector.next_at)
+                    if nxt > interactions:
+                        if obs is not None:
+                            obs.on_batch(
+                                nxt, kind="null_skip", count=nxt - interactions
+                            )
+                        interactions = nxt
+                    continue
                 # No productive transition exists at all: provably silent.
                 if obs is not None:
                     obs.on_silence_check(interactions, True)
@@ -178,7 +279,32 @@ def simulate(
                 if obs is not None:
                     obs.on_silence_check(interactions, silent_now)
                 if silent_now:
+                    if (
+                        injector is not None
+                        and injector.next_at <= max_interactions
+                    ):
+                        nxt = int(injector.next_at)
+                        if nxt > interactions:
+                            if obs is not None:
+                                obs.on_batch(
+                                    nxt,
+                                    kind="null_skip",
+                                    count=nxt - interactions,
+                                )
+                            interactions = nxt
+                        continue
                     break
+            continue
+        if injector is not None and injector.drop_left and injector.take_drop():
+            # Message loss: the step counts, the configuration is frozen.
+            if obs is not None:
+                obs.on_fault(
+                    interactions,
+                    "drop",
+                    LAYER_PROTOCOL,
+                    transition=repr(step.transition),
+                )
+                obs.on_interaction(interactions, None, step.pair, False)
             continue
         before = (
             current[step.transition.q],
@@ -196,6 +322,27 @@ def simulate(
         changed = before != after
         if changed:
             productive += 1
+        if (
+            injector is not None
+            and changed
+            and injector.duplicate_left
+            and ordered_pair_weight(
+                current, step.transition.q, step.transition.r
+            )
+            > 0
+            and injector.take_duplicate()
+        ):
+            # Re-delivery: the interaction is applied a second time (it is
+            # still enabled), counting as productive work, not as a step.
+            apply_transition_inplace(current, step.transition)
+            productive += 1
+            if obs is not None:
+                obs.on_fault(
+                    interactions,
+                    "duplicate",
+                    LAYER_PROTOCOL,
+                    transition=repr(step.transition),
+                )
         if obs is not None:
             obs.on_interaction(interactions, step.transition, step.pair, changed)
             if snapshot_every and interactions % snapshot_every == 0:
@@ -240,6 +387,8 @@ def decide(
     attempts: int = 3,
     observer: Observer | None = None,
     jobs: int | None = None,
+    deadline: float | None = None,
+    timeout: float | None = None,
     **kwargs,
 ) -> bool:
     """Run :func:`simulate` until a verdict is reached, retrying with fresh
@@ -253,11 +402,18 @@ def decide(
     default) runs the sequential loop below, bit-identical to previous
     behaviour; ``jobs=None`` defers to the ``REPRO_JOBS`` environment
     variable.
+
+    ``deadline`` bounds the *whole* call in wall-clock seconds
+    (``REPRO_DEADLINE`` supplies a default); ``timeout`` bounds each
+    attempt.  Hitting either raises :class:`NonConvergenceError` with a
+    "deadline exceeded" message — a time bound is a budget exhaustion,
+    not a verdict.
     """
     base = seed if seed is not None else random.Random().randrange(2**31)
     obs = live(observer)
     from repro.runtime.pool import decide_parallel, resolve_jobs
 
+    deadline = resolve_deadline(deadline)
     n_jobs = resolve_jobs(jobs)
     if n_jobs > 1 and attempts > 1:
         return decide_parallel(
@@ -267,20 +423,50 @@ def decide(
             attempts=attempts,
             jobs=n_jobs,
             observer=obs,
+            deadline=deadline,
+            timeout=timeout,
             **kwargs,
         )
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+    timed_out = 0
     for attempt in range(attempts):
+        budget = timeout
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise NonConvergenceError(
+                    f"protocol {protocol.name!r} did not stabilise on "
+                    f"|C|={config.size}: wall-clock deadline of {deadline:g}s "
+                    f"exceeded after {attempt} of {attempts} attempts"
+                )
+            budget = remaining if budget is None else min(budget, remaining)
         attempt_seed = derive_seed(base, attempt)
         if obs is not None:
             obs.on_attempt(attempt, attempt_seed)
         result = simulate(
-            protocol, config, seed=attempt_seed, observer=obs, **kwargs
+            protocol,
+            config,
+            seed=attempt_seed,
+            observer=obs,
+            deadline=budget,
+            **kwargs,
         )
         if result.verdict is not None:
             return result.verdict
+        if result.deadline_exceeded:
+            timed_out += 1
+            # A per-attempt timeout lets the next attempt (fresh seed)
+            # try again; the overall deadline does not.
+            if deadline_at is not None and time.monotonic() >= deadline_at:
+                raise NonConvergenceError(
+                    f"protocol {protocol.name!r} did not stabilise on "
+                    f"|C|={config.size}: wall-clock deadline exceeded during "
+                    f"attempt {attempt + 1} of {attempts}"
+                )
+    detail = f", {timed_out} timed out" if timed_out else ""
     raise NonConvergenceError(
         f"protocol {protocol.name!r} did not stabilise on |C|={config.size} "
-        f"within the budget ({attempts} attempts)"
+        f"within the budget ({attempts} attempts{detail})"
     )
 
 

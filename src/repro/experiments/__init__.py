@@ -59,6 +59,14 @@ from repro.experiments.theorem5 import (
     lockstep_check,
     render_conversion,
 )
+from repro.experiments.transient_faults import (
+    FaultTrialOutcome,
+    SchedulerProbeRow,
+    TransientFaultReport,
+    run_transient_faults,
+    scheduler_family_probe,
+    transient_fault_trial,
+)
 
 __all__ = [
     "render_table",
@@ -106,4 +114,10 @@ __all__ = [
     "measure_convergence",
     "ConvergenceReport",
     "AblationReport",
+    "run_transient_faults",
+    "transient_fault_trial",
+    "scheduler_family_probe",
+    "TransientFaultReport",
+    "FaultTrialOutcome",
+    "SchedulerProbeRow",
 ]

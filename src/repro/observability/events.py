@@ -36,6 +36,7 @@ LEVEL = "level"  # Lipton level progression (derived from registers)
 HANG = "hang"  # a move from an empty register hung the run
 ATTEMPT = "attempt"  # decide() started a retry attempt
 STAGE = "stage"  # a compilation-pipeline stage completed
+FAULT = "fault"  # an injected fault fired (see repro.resilience)
 
 # Layers, as used in the ``layer`` payload key.
 LAYER_PROTOCOL = "protocol"
@@ -61,6 +62,7 @@ ALL_KINDS = frozenset(
         HANG,
         ATTEMPT,
         STAGE,
+        FAULT,
     }
 )
 

@@ -296,6 +296,10 @@ class MetricsObserver(Observer):
     def on_hang(self, step, layer, register=None) -> None:
         self.metrics.counter("hangs").inc()
 
+    def on_fault(self, step, kind, layer, **data) -> None:
+        self.metrics.counter("faults").inc()
+        self.metrics.counter(f"fault[{kind}]").inc()
+
     # -- shared ---------------------------------------------------------
     def on_output_flip(self, step, output, layer) -> None:
         self.metrics.counter("output_flips").inc()

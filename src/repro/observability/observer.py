@@ -141,6 +141,12 @@ class Observer:
     def on_hang(self, step: int, layer: str, register: Optional[str] = None) -> None:
         self.record(ev.HANG, step, layer=layer, register=register)
 
+    def on_fault(self, step: int, kind: str, layer: str, **data: Any) -> None:
+        """An injected fault (see :mod:`repro.resilience`) fired at the
+        layer's step counter ``step``.  ``kind`` names the fault type
+        (``corrupt``, ``reset``, ``drop``, ``duplicate``, ``unfair``)."""
+        self.record(ev.FAULT, step, layer=layer, fault=kind, **data)
+
     # -- shared ---------------------------------------------------------
     def on_output_flip(self, step: int, output: Any, layer: str) -> None:
         self.record(ev.OUTPUT_FLIP, step, layer=layer, output=output)
@@ -236,6 +242,10 @@ class CompositeObserver(Observer):
     def on_hang(self, step, layer, register=None) -> None:
         for obs in self.observers:
             obs.on_hang(step, layer, register)
+
+    def on_fault(self, step, kind, layer, **data) -> None:
+        for obs in self.observers:
+            obs.on_fault(step, kind, layer, **data)
 
     def on_output_flip(self, step, output, layer) -> None:
         for obs in self.observers:

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import monotonic
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.errors import (
@@ -87,6 +88,8 @@ class RunResult:
     quiet_steps: int
     of_trace: List[Tuple[int, bool]] = field(default_factory=list)
     restart_steps: List[int] = field(default_factory=list)
+    #: True when the run stopped because a wall-clock ``deadline`` passed.
+    deadline_exceeded: bool = False
 
     @property
     def total(self) -> int:
@@ -125,6 +128,8 @@ class ProgramInterpreter:
         max_steps: int = 1_000_000,
         stop_condition: Optional[Callable[["_RunState"], bool]] = None,
         observer: Optional[Observer] = None,
+        faults=None,
+        deadline: Optional[float] = None,
     ) -> RunResult:
         """Execute from the given register configuration (missing registers
         default to 0; per the model they may hold *any* value).
@@ -132,9 +137,25 @@ class ProgramInterpreter:
         ``observer`` receives statement dispatch, detect outcomes,
         restarts, output flips, hangs and sampled register snapshots (see
         :mod:`repro.observability`); it never touches the random stream.
+
+        ``faults`` takes a :class:`~repro.resilience.FaultPlan` (or bound
+        injector) whose corrupt/reset records perturb the register
+        configuration at their trigger steps — transient faults in the
+        self-stabilisation sense.  Interaction-level records (drop,
+        duplicate, unfair) have no program-layer meaning and are inert.
+        ``deadline`` bounds the run in wall-clock seconds
+        (``REPRO_DEADLINE`` supplies a default); an expired run stops with
+        ``deadline_exceeded`` set.
         """
         if rng is None:
             rng = random.Random(seed)
+        from repro.core.simulation import resolve_deadline
+        from repro.resilience.faults import resolve_injector
+
+        injector = resolve_injector(faults, seed)
+        if injector is not None and injector.exhausted() and not injector.plan:
+            injector = None
+        deadline = resolve_deadline(deadline)
         registers = {name: 0 for name in self.program.registers}
         for name, value in initial_registers.items():
             if name not in registers:
@@ -152,6 +173,10 @@ class ProgramInterpreter:
             detect_true_probability=self.detect_true_probability,
             obs=obs,
             obs_snapshot=obs.snapshot_interval if obs is not None else None,
+            faults=injector,
+            deadline_at=(
+                monotonic() + deadline if deadline is not None else None
+            ),
         )
         total = sum(registers.values())
         hung = False
@@ -209,6 +234,7 @@ class ProgramInterpreter:
             quiet_steps=state.steps - state.last_event_step,
             of_trace=state.of_trace,
             restart_steps=state.restart_steps,
+            deadline_exceeded=state.deadline_exceeded,
         )
 
     # ------------------------------------------------------------------
@@ -350,6 +376,9 @@ class _RunState:
     detect_true_probability: float
     obs: Optional[Observer] = None
     obs_snapshot: Optional[int] = None
+    faults: Optional[object] = None
+    deadline_at: Optional[float] = None
+    deadline_exceeded: bool = False
     steps: int = 0
     restarts: int = 0
     output: bool = False
@@ -359,12 +388,30 @@ class _RunState:
 
     def tick(self) -> None:
         self.steps += 1
+        if self.faults is not None and self.steps >= self.faults.next_at:
+            # A fresh view each firing: `registers` is replaced wholesale
+            # on restart, so a cached one could alias a dead dict.
+            from repro.resilience.faults import RegisterView
+
+            self.faults.fire(
+                self.steps, RegisterView(self.registers), self.obs, LAYER_PROGRAM
+            )
+            # A perturbation is an event: the quiet window measures
+            # recovery *after* the fault, not stability before it.
+            self.last_event_step = self.steps
         if (
             self.obs_snapshot is not None
             and self.steps % self.obs_snapshot == 0
         ):
             self.obs.on_snapshot(self.steps, dict(self.registers), LAYER_PROGRAM)
         if self.steps >= self.max_steps:
+            raise _StopSignal()
+        if (
+            self.deadline_at is not None
+            and not self.steps & 255
+            and monotonic() >= self.deadline_at
+        ):
+            self.deadline_exceeded = True
             raise _StopSignal()
         if self.stop_condition is not None and self.stop_condition(self):
             raise _StopSignal()
@@ -461,6 +508,8 @@ def run_program(
     max_steps: int = 1_000_000,
     stop_condition: Optional[Callable] = None,
     observer: Optional[Observer] = None,
+    faults=None,
+    deadline: Optional[float] = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`ProgramInterpreter`."""
     interp = ProgramInterpreter(
@@ -474,6 +523,8 @@ def run_program(
         max_steps=max_steps,
         stop_condition=stop_condition,
         observer=observer,
+        faults=faults,
+        deadline=deadline,
     )
 
 
@@ -488,6 +539,8 @@ def decide_program(
     max_steps: int = 5_000_000,
     strict: bool = True,
     observer: Optional[Observer] = None,
+    faults=None,
+    deadline: Optional[float] = None,
 ) -> bool:
     """Sample a run until it is *quiet* (no restart / output change for
     ``quiet_window`` steps) and return the stabilised output flag.
@@ -496,6 +549,12 @@ def decide_program(
     With ``strict`` (default) a run that exhausts ``max_steps`` without a
     quiet period raises :class:`NonConvergenceError`; otherwise the current
     output flag is returned as a best guess.
+
+    ``faults`` injects transient register perturbations mid-run (each one
+    re-opens the quiet window, so the verdict certifies recovery *after*
+    the last fault); ``deadline`` bounds the call in wall-clock seconds
+    and, with ``strict``, raises a "deadline exceeded"
+    :class:`NonConvergenceError` when it passes first.
     """
 
     def stop(state: _RunState) -> bool:
@@ -510,10 +569,18 @@ def decide_program(
         max_steps=max_steps,
         stop_condition=stop,
         observer=observer,
+        faults=faults,
+        deadline=deadline,
     )
     if result.hung or result.quiet_steps >= quiet_window or result.main_returned:
         return result.output
     if strict:
+        if result.deadline_exceeded:
+            raise NonConvergenceError(
+                f"program did not reach a quiet period before the "
+                f"wall-clock deadline (steps: {result.steps}, "
+                f"restarts: {result.restarts}): deadline exceeded"
+            )
         raise NonConvergenceError(
             f"program did not reach a quiet period within {max_steps} steps "
             f"(restarts: {result.restarts})"

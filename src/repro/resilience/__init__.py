@@ -1,0 +1,47 @@
+"""Resilience layer: deterministic fault injection and recovery tooling.
+
+Public surface:
+
+* :class:`FaultPlan` / fault records — a pure-data schedule of mid-run
+  perturbations (agent corruption, resets, dropped/duplicated
+  interactions, unfair scheduler windows);
+* :class:`FaultInjector` — a plan bound to a seed, consumed by the
+  simulation drivers (``simulate(..., faults=plan)``,
+  ``run_program(..., faults=plan)``);
+* the view classes — the adapters faults use to touch each layer's state
+  representation while preserving its invariants.
+
+The hardened-runtime half of the resilience story (pool retries,
+timeouts, graceful degradation, cache integrity) lives in
+:mod:`repro.runtime`.
+"""
+
+from repro.resilience.faults import (
+    CorruptAgents,
+    DropInteractions,
+    DuplicateInteractions,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    IndexView,
+    MultisetView,
+    RegisterView,
+    ResetAgents,
+    UnfairWindow,
+    resolve_injector,
+)
+
+__all__ = [
+    "CorruptAgents",
+    "DropInteractions",
+    "DuplicateInteractions",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "IndexView",
+    "MultisetView",
+    "RegisterView",
+    "ResetAgents",
+    "UnfairWindow",
+    "resolve_injector",
+]

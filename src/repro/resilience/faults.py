@@ -1,0 +1,446 @@
+"""Deterministic fault injection for simulated populations.
+
+Self-stabilisation (Theorem 2 / Definition 7) promises recovery from
+*transient* faults: an adversary may corrupt the configuration mid-run,
+and a fair continuation still stabilises to the right output.  The
+existing robustness harness (:mod:`repro.analysis.robustness`) only
+exercises adversarial *initial* configurations; this module supplies the
+missing half — scheduled mid-run perturbations — as a first-class,
+reproducible part of the simulator.
+
+Two design commitments shape the API:
+
+* **Determinism.**  A :class:`FaultPlan` is pure data (frozen fault
+  records with explicit trigger steps).  Binding a plan to a base seed
+  yields a :class:`FaultInjector` whose randomness comes from its *own*
+  stream, derived via :func:`repro.runtime.seeds.derive_seed_path` under
+  the label ``"faults"``.  The injector therefore never touches the
+  simulation's random stream: the same ``(seed, plan)`` pair replays
+  bit-identically, and an *empty* plan leaves a seeded run bit-identical
+  to an uninjected one.
+* **Layer independence.**  Faults mutate the simulated system through a
+  small *view* protocol (``states`` / ``count`` / ``move``) with three
+  implementations: :class:`MultisetView` for the legacy scheduler loop,
+  :class:`IndexView` for the fast path (which repairs the
+  :class:`~repro.core.fastpath.EnabledIndex` and accumulates the
+  accepting-count delta so the driver's O(Δ) output tracking stays
+  exact), and :class:`RegisterView` for program-level register
+  corruption.  The injector itself is layer-agnostic.
+
+Fault taxonomy (all population-preserving — the model has no churn):
+
+========================  ==============================================
+:class:`CorruptAgents`    move ``agents`` agents to random *other* states
+:class:`ResetAgents`      move ``agents`` agents onto one target state
+:class:`DropInteractions` silently discard the next ``count`` scheduled
+                          interactions (they consume steps, change nothing)
+:class:`DuplicateInteractions`  re-apply the next ``count`` productive
+                          interactions a second time (if still enabled)
+:class:`UnfairWindow`     for ``length`` steps the scheduler is
+                          adversarial: deterministically pick the
+                          lowest-ranked enabled transition instead of
+                          sampling fairly
+========================  ==============================================
+
+A fault with trigger step ``at`` fires after the ``at``-th interaction
+(program faults: after the ``at``-th primitive step) and before the next
+one; drivers check ``injector.next_at`` at the top of their loops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.observability.events import LAYER_PROTOCOL
+
+_INFINITY = float("inf")
+
+
+# ----------------------------------------------------------------------
+# Fault records (pure data, frozen, orderable by trigger step)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CorruptAgents:
+    """Move ``agents`` agents from their current states to uniformly
+    random *different* states (sources weighted by occupancy) — the
+    generic transient corruption of the self-stabilisation literature."""
+
+    at: int
+    agents: int = 1
+
+
+@dataclass(frozen=True)
+class ResetAgents:
+    """Move ``agents`` agents onto one target state: ``state`` when
+    given (it must exist in the simulated system), else a state drawn
+    from the injector's stream.  Models a batch of agents rebooting into
+    a fixed (possibly wrong) state."""
+
+    at: int
+    agents: int = 1
+    state: Any = None
+
+
+@dataclass(frozen=True)
+class DropInteractions:
+    """The next ``count`` scheduled interactions are lost: the scheduler
+    picks them and the step counter advances, but the configuration does
+    not change (message loss)."""
+
+    at: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class DuplicateInteractions:
+    """The next ``count`` productive interactions are applied *twice*
+    (when still enabled after the first application) — a re-delivery
+    fault.  The duplicate application counts as productive work but not
+    as a scheduler step."""
+
+    at: int
+    count: int = 1
+
+
+@dataclass(frozen=True)
+class UnfairWindow:
+    """For the ``length`` steps after ``at`` the scheduler abandons fair
+    sampling and deterministically plays the lowest-ranked enabled
+    transition — a bounded violation of the fairness assumption every
+    convergence argument leans on."""
+
+    at: int
+    length: int = 100
+
+
+Fault = Union[
+    CorruptAgents, ResetAgents, DropInteractions, DuplicateInteractions, UnfairWindow
+]
+
+_FAULT_KINDS = {
+    CorruptAgents: "corrupt",
+    ResetAgents: "reset",
+    DropInteractions: "drop_scheduled",
+    DuplicateInteractions: "duplicate_scheduled",
+    UnfairWindow: "unfair",
+}
+
+
+class FaultPlan:
+    """An immutable, ordered schedule of faults.
+
+    Plans are pure data: binding one to a seed (:meth:`bind`) produces
+    the stateful :class:`FaultInjector` a driver consumes.  One plan may
+    be bound many times — each binding is independent and deterministic.
+    """
+
+    __slots__ = ("faults",)
+
+    def __init__(self, faults: Sequence[Fault] = ()):
+        for fault in faults:
+            if type(fault) not in _FAULT_KINDS:
+                raise TypeError(f"not a fault record: {fault!r}")
+            if fault.at < 0:
+                raise ValueError(f"fault trigger step must be >= 0: {fault!r}")
+        # Stable sort: faults sharing a trigger step fire in plan order.
+        self.faults: Tuple[Fault, ...] = tuple(
+            sorted(faults, key=lambda f: f.at)
+        )
+
+    @classmethod
+    def periodic_corruption(
+        cls, *, start: int, period: int, count: int, agents: int = 1
+    ) -> "FaultPlan":
+        """``count`` :class:`CorruptAgents` faults of ``agents`` agents
+        each, at ``start, start+period, ...`` — the standard recovering-
+        under-repeated-hits workload."""
+        if period <= 0:
+            raise ValueError("period must be positive")
+        return cls(
+            [CorruptAgents(at=start + i * period, agents=agents) for i in range(count)]
+        )
+
+    def bind(self, seed: int) -> "FaultInjector":
+        """A fresh injector for this plan, with its own random stream
+        derived from ``seed`` (label ``"faults"``, so the stream is
+        independent of every simulation/attempt stream)."""
+        return FaultInjector(self, seed)
+
+    def is_empty(self) -> bool:
+        return not self.faults
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.faults)!r})"
+
+
+# ----------------------------------------------------------------------
+# Views: how faults touch each layer's state representation
+# ----------------------------------------------------------------------
+class MultisetView:
+    """Corruption view over a legacy-loop :class:`Multiset` configuration.
+
+    ``move`` goes through ``inc``/``dec``, so any attached watchers (an
+    :class:`EnabledIndex` observing the multiset) stay exact for free.
+    """
+
+    __slots__ = ("states", "_config", "accept_delta")
+
+    def __init__(self, protocol, config):
+        # Sorted by repr: the injector's choices must not depend on the
+        # process hash salt (same rule as the schedulers).
+        self.states: Tuple[Any, ...] = tuple(sorted(protocol.states, key=repr))
+        self._config = config
+        self.accept_delta = 0  # unused: the legacy loop recomputes output
+
+    def count(self, state) -> int:
+        return self._config[state]
+
+    def move(self, src, dst, k: int = 1) -> None:
+        self._config.dec(src, k)
+        self._config.inc(dst, k)
+
+
+class IndexView:
+    """Corruption view over a fast-path :class:`EnabledIndex`.
+
+    Mutates the flat count array and repairs the index via
+    ``fix_state`` after every move, so the weight/active/total invariant
+    holds at all times.  ``accept_delta`` accumulates the net change in
+    the number of accepting agents; the fast loops fold it into their
+    O(Δ) output tracking instead of rescanning the configuration.
+    """
+
+    __slots__ = ("index", "states", "accept_delta")
+
+    def __init__(self, index):
+        self.index = index
+        self.states: Tuple[Any, ...] = index.table.states
+        self.accept_delta = 0
+
+    def count(self, state) -> int:
+        return self.index.cnt[self.index.table.sid[state]]
+
+    def move(self, src, dst, k: int = 1) -> None:
+        index = self.index
+        sid = index.table.sid
+        a, b = sid[src], sid[dst]
+        index.cnt[a] -= k
+        index.cnt[b] += k
+        index.fix_state(a)
+        index.fix_state(b)
+        accepting = index.table.accepting
+        self.accept_delta += k * (int(accepting[b]) - int(accepting[a]))
+
+
+class RegisterView:
+    """Corruption view over a program interpreter's register dict."""
+
+    __slots__ = ("states", "_registers", "accept_delta")
+
+    def __init__(self, registers: Dict[str, int]):
+        self.states: Tuple[str, ...] = tuple(sorted(registers))
+        self._registers = registers
+        self.accept_delta = 0
+
+    def count(self, state) -> int:
+        return self._registers.get(state, 0)
+
+    def move(self, src, dst, k: int = 1) -> None:
+        self._registers[src] -= k
+        self._registers[dst] = self._registers.get(dst, 0) + k
+
+
+# ----------------------------------------------------------------------
+# The injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Stateful executor of one bound :class:`FaultPlan`.
+
+    Driver contract (both scheduler loops, the fast path, and the
+    program interpreter follow it):
+
+    * at the top of each step, if the layer's step counter has reached
+      :attr:`next_at`, call :meth:`fire` with a view of the current
+      state — this applies every due corruption/reset and arms the
+      drop/duplicate/unfair effects;
+    * after selecting an interaction, consume one drop token via
+      :meth:`take_drop` (a ``True`` return means: count the step, skip
+      the application);
+    * after *applying* a productive interaction that is still enabled,
+      consume one duplicate token via :meth:`take_duplicate`;
+    * when :meth:`unfair_active` holds for the upcoming step, bypass the
+      fair sampler and play the deterministic adversarial choice.
+
+    :attr:`next_at` is ``inf`` once the plan is exhausted, so the hot
+    loops pay a single integer compare per step.
+    """
+
+    def __init__(self, plan: FaultPlan, seed: int):
+        # Late import: runtime.seeds imports core.simulation; keeping the
+        # dependency out of module scope lets core modules import this
+        # one (or vice versa) in any order.
+        from repro.runtime.seeds import derive_seed_path
+
+        self.plan = plan
+        self.seed = seed
+        self.rng = random.Random(derive_seed_path(seed, "faults"))
+        self._queue: Tuple[Fault, ...] = plan.faults
+        self._pos = 0
+        self.fired = 0
+        self.drop_left = 0
+        self.duplicate_left = 0
+        self.unfair_until = -1  # inclusive: steps <= this are adversarial
+        self.next_at: float = (
+            self._queue[0].at if self._queue else _INFINITY
+        )
+
+    # -- scheduling ------------------------------------------------------
+    def unfair_active(self, step: int) -> bool:
+        """Whether step number ``step`` falls inside an armed unfair
+        window (windows cover the ``length`` steps after their trigger)."""
+        return step <= self.unfair_until
+
+    def take_drop(self) -> bool:
+        if self.drop_left > 0:
+            self.drop_left -= 1
+            return True
+        return False
+
+    def take_duplicate(self) -> bool:
+        if self.duplicate_left > 0:
+            self.duplicate_left -= 1
+            return True
+        return False
+
+    # -- firing ----------------------------------------------------------
+    def fire(self, step: int, view, obs=None, layer: str = LAYER_PROTOCOL) -> None:
+        """Apply every fault whose trigger step is ≤ ``step``.
+
+        ``view`` is one of the view classes above; ``obs`` (a live
+        observer or ``None``) receives one ``fault`` event per applied
+        fault.  Updates :attr:`next_at` to the next pending trigger.
+        """
+        queue = self._queue
+        while self._pos < len(queue) and queue[self._pos].at <= step:
+            fault = queue[self._pos]
+            self._pos += 1
+            self.fired += 1
+            kind = _FAULT_KINDS[type(fault)]
+            data: Dict[str, Any] = {"at": fault.at}
+            if isinstance(fault, CorruptAgents):
+                kind = "corrupt"
+                data["moves"] = self._corrupt(view, fault.agents)
+            elif isinstance(fault, ResetAgents):
+                kind = "reset"
+                target, moved = self._reset(view, fault.agents, fault.state)
+                data["state"] = repr(target)
+                data["moves"] = moved
+            elif isinstance(fault, DropInteractions):
+                kind = "drop_scheduled"
+                self.drop_left += fault.count
+                data["count"] = fault.count
+            elif isinstance(fault, DuplicateInteractions):
+                kind = "duplicate_scheduled"
+                self.duplicate_left += fault.count
+                data["count"] = fault.count
+            else:  # UnfairWindow
+                kind = "unfair"
+                until = step + fault.length
+                if until > self.unfair_until:
+                    self.unfair_until = until
+                data["length"] = fault.length
+            if obs is not None:
+                obs.on_fault(step, kind, layer, **data)
+        self.next_at = queue[self._pos].at if self._pos < len(queue) else _INFINITY
+
+    # -- corruption mechanics -------------------------------------------
+    def _occupied(self, view, exclude=None) -> Tuple[List[Any], List[int]]:
+        states, weights = [], []
+        for state in view.states:
+            if exclude is not None and state == exclude:
+                continue
+            count = view.count(state)
+            if count > 0:
+                states.append(state)
+                weights.append(count)
+        return states, weights
+
+    def _corrupt(self, view, agents: int) -> List[Tuple[str, str]]:
+        """Move ``agents`` units, one at a time: source weighted by
+        occupancy, destination uniform over the *other* states.  Returns
+        the applied ``(src, dst)`` moves (repr'd, for the trace)."""
+        moves: List[Tuple[str, str]] = []
+        if len(view.states) < 2:
+            return moves  # nowhere to move to: corruption degenerates
+        for _ in range(agents):
+            occupied, weights = self._occupied(view)
+            if not occupied:
+                break
+            src = self.rng.choices(occupied, weights=weights)[0]
+            others = [s for s in view.states if s != src]
+            dst = self.rng.choice(others)
+            view.move(src, dst, 1)
+            moves.append((repr(src), repr(dst)))
+        return moves
+
+    def _reset(self, view, agents: int, state) -> Tuple[Any, int]:
+        """Move ``agents`` units onto one target state; returns the
+        target and how many actually moved."""
+        if state is not None:
+            if state not in view.states:
+                raise ValueError(
+                    f"ResetAgents target {state!r} is not a state of the "
+                    f"simulated system"
+                )
+            target = state
+        else:
+            target = self.rng.choice(list(view.states))
+        moved = 0
+        for _ in range(agents):
+            occupied, weights = self._occupied(view, exclude=target)
+            if not occupied:
+                break
+            src = self.rng.choices(occupied, weights=weights)[0]
+            view.move(src, target, 1)
+            moved += 1
+        return target, moved
+
+    def exhausted(self) -> bool:
+        """No pending triggers *and* no armed drop/duplicate tokens.
+        (An open unfair window with no pending faults cannot make a
+        silent configuration active again, so it is ignored here.)"""
+        return (
+            self._pos >= len(self._queue)
+            and self.drop_left == 0
+            and self.duplicate_left == 0
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(fired={self.fired}/{len(self._queue)}, "
+            f"next_at={self.next_at})"
+        )
+
+
+def resolve_injector(faults, seed: Optional[int]) -> Optional[FaultInjector]:
+    """Normalise a driver's ``faults=`` argument: ``None`` passes
+    through, a :class:`FaultPlan` is bound to ``seed`` (0 when the driver
+    was given only an ``rng``), an already-bound injector is used as-is
+    (callers doing multi-segment runs can thread one injector through)."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return faults.bind(seed if seed is not None else 0)
+    raise TypeError(
+        f"faults must be a FaultPlan or FaultInjector, got {type(faults).__name__}"
+    )

@@ -38,8 +38,15 @@ from repro.core.protocol import PopulationProtocol
 
 #: Bumped whenever the pickled artifact layout changes incompatibly
 #: (e.g. a TransitionTable slot is added): old disk entries then simply
-#: miss instead of deserialising garbage.
-SCHEMA_VERSION = 1
+#: miss instead of deserialising garbage.  v2: checksummed disk format.
+SCHEMA_VERSION = 2
+
+#: Disk entry layout: magic, 16-byte blake2b of the payload, payload.
+#: The checksum catches torn writes and bit rot *before* ``pickle.load``
+#: ever sees the bytes — unpickling attacker-grade garbage is a crash (or
+#: worse), a checksum mismatch is just a quarantined miss.
+_MAGIC = b"RPRC2\x00"
+_DIGEST_SIZE = 16
 
 _MISS = object()
 
@@ -96,26 +103,58 @@ class ArtifactCache:
         self.hits = 0
         self.disk_hits = 0
         self.misses = 0
+        self.corrupt_entries = 0
 
     # -- core protocol --------------------------------------------------
     def _path(self, key: str) -> Path:
         assert self.directory is not None
         return self.directory / f"{key}.pkl"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a failed-integrity entry aside (``<name>.corrupt``) so it
+        never poisons another read, while staying on disk for forensics."""
+        self.corrupt_entries += 1
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass  # someone else quarantined or removed it first
+
     def get(self, key: str) -> Any:
         """The cached value, or ``None`` on a miss (cached values are
-        compiled artifacts, never ``None``)."""
+        compiled artifacts, never ``None``).  A disk entry whose checksum
+        or framing fails verification is quarantined and counts as a miss,
+        never an error."""
         value = self.memory.get(key, _MISS)
         if value is not _MISS:
             self.hits += 1
             return value
         if self.directory is not None:
             path = self._path(key)
+            blob = None
             try:
                 with open(path, "rb") as fh:
-                    value = pickle.load(fh)
-            except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-                value = _MISS  # absent or corrupt: treat as a miss
+                    blob = fh.read()
+            except OSError:
+                blob = None  # absent or unreadable: a plain miss
+            if blob is not None:
+                header = len(_MAGIC) + _DIGEST_SIZE
+                digest = hashlib.blake2b(
+                    blob[header:], digest_size=_DIGEST_SIZE
+                ).digest()
+                if (
+                    len(blob) <= header
+                    or not blob.startswith(_MAGIC)
+                    or blob[len(_MAGIC) : header] != digest
+                ):
+                    self._quarantine(path)
+                else:
+                    try:
+                        value = pickle.loads(blob[header:])
+                    except Exception:
+                        # Checksum held but the payload predates a code
+                        # change (e.g. a renamed class): same treatment.
+                        self._quarantine(path)
+                        value = _MISS
             if value is not _MISS:
                 self.memory[key] = value
                 self.disk_hits += 1
@@ -129,10 +168,14 @@ class ArtifactCache:
             # Atomic publish: concurrent workers may race on the same key;
             # both write the same content, and os.replace makes whichever
             # lands last the (identical) winner with no torn reads.
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            digest = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
             fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(_MAGIC)
+                    fh.write(digest)
+                    fh.write(payload)
                 os.replace(tmp, self._path(key))
             except BaseException:
                 try:
@@ -151,7 +194,9 @@ class ArtifactCache:
     def clear(self) -> None:
         self.memory.clear()
         if self.directory is not None:
-            for path in self.directory.glob("*.pkl"):
+            for path in list(self.directory.glob("*.pkl")) + list(
+                self.directory.glob("*.pkl.corrupt")
+            ):
                 try:
                     path.unlink()
                 except OSError:
@@ -163,6 +208,7 @@ class ArtifactCache:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "entries": len(self.memory),
+            "corrupt_entries": self.corrupt_entries,
         }
 
 

@@ -26,6 +26,14 @@ parent merges it into any :class:`MetricsObserver` reachable from the
 caller's observer, so ``python -m repro stats`` and the benchmark JSON
 report the work that actually happened, wherever it happened.
 
+The pool is *hardened* (see :mod:`repro.resilience` for the fault side
+of the story): crashed workers trigger bounded retries with exponential
+backoff and deterministic jitter, hung workers are SIGTERM'd after a
+caller-chosen ``timeout``, and when the pool cannot be trusted at all
+execution degrades to the sequential in-process path — identical seeds,
+identical verdict, just slower.  A wall-clock ``deadline`` bounds whole
+calls; crossing it raises :class:`~repro.core.errors.NonConvergenceError`.
+
 Start method: ``fork`` where the platform offers it (workers inherit the
 parent's warmed :mod:`~repro.runtime.cache` for free), else the platform
 default; override with ``REPRO_START_METHOD``.  Workers pin their own
@@ -37,7 +45,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import random
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import NonConvergenceError
@@ -46,6 +58,7 @@ from repro.core.protocol import PopulationProtocol
 from repro.core.simulation import derive_seed, simulate
 from repro.observability.observer import CompositeObserver, Observer, live
 from repro.runtime.cache import cached_transition_table
+from repro.runtime.seeds import derive_child
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -84,25 +97,89 @@ def _executor(jobs: int, tasks: int) -> ProcessPoolExecutor:
     )
 
 
+def _terminate_pool(executor: ProcessPoolExecutor) -> None:
+    """Abandon a pool whose workers can no longer be trusted (crashed or
+    hung): cancel everything pending without waiting, then SIGTERM any
+    worker still alive so a wedged child cannot outlive the call."""
+    # Snapshot the workers first: shutdown() nulls out ``_processes`` even
+    # with ``wait=False`` (and a broken pool may have nulled it already).
+    procs = list((getattr(executor, "_processes", None) or {}).values())
+    executor.shutdown(wait=False, cancel_futures=True)
+    for proc in procs:
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(timeout=1.0)
+        except Exception:
+            pass
+    # SIGTERM may be masked or ignored (dispositions survive fork); a
+    # worker that shrugged it off gets the non-negotiable SIGKILL.
+    for proc in procs:
+        try:
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        except Exception:
+            pass
+
+
+_UNSET = object()
+
+
 def parallel_map(
     fn: Callable[..., Any],
     tasks: Iterable[Sequence[Any]],
     *,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
 ) -> List[Any]:
     """``[fn(*t) for t in tasks]``, fanned across a process pool.
 
     ``fn`` must be a module-level callable and every task argument (and
     result) picklable.  With ``jobs=1`` (or a single task) no pool is
     created and the comprehension runs verbatim in-process.
+
+    The fan-out degrades rather than fails: if the pool breaks (a worker
+    crashed) or a task exceeds ``timeout`` seconds, surviving results are
+    harvested, the pool is torn down, and every unfinished task runs
+    sequentially in-process — same results, just slower.  Exceptions
+    *raised by* ``fn`` are not failures of the pool and propagate as
+    usual.
     """
     tasks = [tuple(t) for t in tasks]
     jobs = resolve_jobs(jobs)
     if jobs <= 1 or len(tasks) <= 1:
         return [fn(*t) for t in tasks]
-    with _executor(jobs, len(tasks)) as executor:
+    results: List[Any] = [_UNSET] * len(tasks)
+    executor = _executor(jobs, len(tasks))
+    degraded = False
+    try:
         futures = [executor.submit(fn, *t) for t in tasks]
-        return [future.result() for future in futures]
+        for i, future in enumerate(futures):
+            try:
+                results[i] = future.result(timeout=timeout)
+            except (BrokenProcessPool, FuturesTimeout):
+                degraded = True
+                break
+        if degraded:
+            _terminate_pool(executor)
+            for i, future in enumerate(futures):
+                if results[i] is _UNSET and future.done() and not future.cancelled():
+                    try:
+                        if future.exception(timeout=0) is None:
+                            results[i] = future.result()
+                    except Exception:
+                        pass
+            for i in range(len(tasks)):
+                if results[i] is _UNSET:
+                    results[i] = fn(*tasks[i])
+    finally:
+        if not degraded:
+            executor.shutdown()
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -133,6 +210,12 @@ def merge_worker_metrics(observer: Optional[Observer], payload: Dict[str, Any]) 
         registry.merge(payload)
 
 
+def _bump(observer: Optional[Observer], name: str, amount: int = 1) -> None:
+    """Increment a counter on every metrics registry behind ``observer``."""
+    for registry in _metrics_registries(observer):
+        registry.counter(name).inc(amount)
+
+
 # ----------------------------------------------------------------------
 # Parallel decide
 # ----------------------------------------------------------------------
@@ -158,6 +241,7 @@ def _decide_attempt_worker(
         "silent": result.silent,
         "interactions": result.interactions,
         "productive": result.productive,
+        "deadline_exceeded": result.deadline_exceeded,
         "metrics": metrics.metrics.to_dict(),
     }
 
@@ -171,6 +255,10 @@ def decide_parallel(
     jobs: int,
     observer: Optional[Observer] = None,
     stats: Optional[Dict[str, int]] = None,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = None,
+    max_retries: int = 2,
+    backoff_base: float = 0.05,
     **sim_kwargs: Any,
 ) -> bool:
     """Run all decide attempts concurrently; first verdict (in attempt
@@ -184,8 +272,30 @@ def decide_parallel(
     metrics still merge: the registry reports work actually done); pending
     ones are cancelled before they consume a core.
 
+    Hardening (the resilience contract — same verdict, degraded speed):
+
+    * a *crashed* worker (``BrokenProcessPool``) triggers up to
+      ``max_retries`` pool rebuilds with exponential backoff
+      (``backoff_base · 2^i`` plus a deterministic seed-derived jitter);
+      results that survived the crash are harvested first, so only
+      unfinished attempts rerun — on identical seeds, so the verdict is
+      unchanged;
+    * a *hung* worker (``timeout`` seconds without a result) gets its
+      pool torn down — SIGTERM, no waiting — and execution degrades to
+      the sequential path in-process;
+    * once retries are exhausted the same sequential degradation applies,
+      so a persistently broken pool yields exactly the ``jobs=1`` answer;
+    * ``deadline`` bounds the whole call in wall-clock seconds; crossing
+      it raises :class:`NonConvergenceError` (unless a verdict is already
+      in hand, which is returned).
+
     ``stats``, when passed, receives ``launched`` / ``completed`` /
-    ``cancelled`` counts (test and CLI hook).
+    ``cancelled`` / ``failed`` counts (every launched attempt lands in
+    exactly one of the latter three) plus ``retries`` (pool rebuilds) and
+    ``degraded`` (attempts that fell back to in-process execution).
+    Matching ``pool.worker_failures`` / ``pool.retries`` /
+    ``pool.degraded`` counters land on any metrics registry behind
+    ``observer``.
 
     Raises :class:`NonConvergenceError` when no attempt stabilises, like
     the sequential path.
@@ -195,51 +305,217 @@ def decide_parallel(
     # Warm the compile caches *before* the pool exists so fork-started
     # workers inherit the table instead of recompiling it per attempt.
     cached_transition_table(protocol)
-    launched = completed = cancelled = 0
+    deadline_at = time.monotonic() + deadline if deadline is not None else None
+
+    launched = attempts
+    completed = cancelled = failed = retries = degraded = timed_out = 0
+    seq_mode = False
+    pool_alive = True
     verdict: Optional[bool] = None
-    with _executor(jobs, attempts) as executor:
-        futures = [
-            executor.submit(
+
+    def _budget() -> Optional[float]:
+        """Seconds this attempt may wait (``None`` = unbounded); raises
+        once the overall deadline has passed."""
+        b = timeout
+        if deadline_at is not None:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise NonConvergenceError(
+                    f"protocol {protocol.name!r} did not stabilise on "
+                    f"|C|={config.size}: wall-clock deadline of {deadline:g}s "
+                    f"exceeded"
+                )
+            b = remaining if b is None else min(b, remaining)
+        return b
+
+    def _sequential_attempt(attempt: int) -> Dict[str, Any]:
+        """Degraded mode: the attempt runs in-process on its own seed —
+        identical verdict semantics, bounded by the remaining budget."""
+        from repro.observability.metrics import MetricsObserver
+
+        kwargs = dict(sim_kwargs)
+        b = _budget()
+        if b is not None:
+            kwargs["deadline"] = b
+        metrics = MetricsObserver()
+        result = simulate(
+            protocol, config, seed=seeds[attempt], observer=metrics, **kwargs
+        )
+        return {
+            "verdict": result.verdict,
+            "silent": result.silent,
+            "interactions": result.interactions,
+            "productive": result.productive,
+            "deadline_exceeded": result.deadline_exceeded,
+            "metrics": metrics.metrics.to_dict(),
+        }
+
+    executor = _executor(jobs, attempts)
+    futures: Dict[int, Any] = {}
+    payloads: Dict[int, Dict[str, Any]] = {}  # harvested ahead of their turn
+
+    def _harvest(start: int) -> None:
+        """Salvage results that finished before the pool broke so retries
+        only redo genuinely unfinished attempts."""
+        for b_, fut in futures.items():
+            if b_ >= start and b_ not in payloads and fut.done() and not fut.cancelled():
+                try:
+                    if fut.exception(timeout=0) is None:
+                        payloads[b_] = fut.result()
+                except Exception:
+                    continue
+
+    try:
+        futures = {
+            a: executor.submit(
                 _decide_attempt_worker, protocol, config, seeds[a], sim_kwargs
             )
             for a in range(attempts)
-        ]
-        launched = attempts
-        try:
-            for attempt, future in enumerate(futures):
-                payload = future.result()
-                completed += 1
-                if obs is not None:
-                    obs.on_attempt(attempt, seeds[attempt])
-                merge_worker_metrics(obs, payload["metrics"])
-                if payload["verdict"] is not None:
-                    verdict = payload["verdict"]
-                    break
-        finally:
-            # First verdict wins: pending attempts are cancelled; already
-            # running ones finish (the executor's shutdown on __exit__
-            # waits for them, so no worker outlives this call) and their
-            # metrics are merged below for a truthful work count.
+        }
+        a = 0
+        while a < attempts:
+            if a in payloads:
+                payload = payloads.pop(a)
+            elif seq_mode:
+                degraded += 1
+                payload = _sequential_attempt(a)
+            else:
+                try:
+                    payload = futures[a].result(timeout=_budget())
+                except FuturesTimeout:
+                    # Hung worker: the pool cannot be waited on safely.
+                    _bump(obs, "pool.worker_failures")
+                    _harvest(a)
+                    _terminate_pool(executor)
+                    pool_alive = False
+                    seq_mode = True
+                    _bump(obs, "pool.degraded")
+                    continue  # rerun attempt `a` in-process
+                except BrokenProcessPool:
+                    _bump(obs, "pool.worker_failures")
+                    _harvest(a)
+                    _terminate_pool(executor)
+                    pool_alive = False
+                    if retries < max_retries:
+                        retries += 1
+                        _bump(obs, "pool.retries")
+                        delay = backoff_base * (2 ** (retries - 1))
+                        delay += random.Random(
+                            derive_child(base, f"pool-retry-{retries}")
+                        ).uniform(0.0, backoff_base)
+                        if deadline_at is not None:
+                            delay = min(
+                                delay, max(0.0, deadline_at - time.monotonic())
+                            )
+                        time.sleep(delay)
+                        executor = _executor(jobs, attempts - a)
+                        pool_alive = True
+                        for b_ in range(a, attempts):
+                            if b_ not in payloads:
+                                futures[b_] = executor.submit(
+                                    _decide_attempt_worker,
+                                    protocol,
+                                    config,
+                                    seeds[b_],
+                                    sim_kwargs,
+                                )
+                        continue  # retry attempt `a` on the fresh pool
+                    seq_mode = True
+                    _bump(obs, "pool.degraded")
+                    continue
+                except NonConvergenceError:
+                    raise
+                except Exception:
+                    # The attempt itself raised (bad kwargs, protocol bug):
+                    # that is the caller's exception, not a pool fault.
+                    failed += 1
+                    _terminate_pool(executor)
+                    pool_alive = False
+                    raise
+            completed += 1
+            if obs is not None:
+                obs.on_attempt(a, seeds[a])
+            merge_worker_metrics(obs, payload["metrics"])
+            if payload["verdict"] is not None:
+                verdict = payload["verdict"]
+                a += 1
+                break
+            if payload.get("deadline_exceeded"):
+                timed_out += 1
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    raise NonConvergenceError(
+                        f"protocol {protocol.name!r} did not stabilise on "
+                        f"|C|={config.size}: wall-clock deadline exceeded "
+                        f"during attempt {a + 1} of {attempts}"
+                    )
+            a += 1
+
+        if verdict is not None:
+            # First verdict wins: sweep-cancel everything still pending in
+            # one fast pass *before* any blocking drain — waiting first
+            # would let pending attempts start and dodge their cancel.
             draining = []
-            for future in futures[completed:]:
-                if future.cancel():
+            for b_ in range(a, attempts):
+                if b_ in payloads:
+                    completed += 1
+                    merge_worker_metrics(obs, payloads.pop(b_)["metrics"])
+                elif seq_mode or b_ not in futures:
+                    cancelled += 1
+                elif futures[b_].cancel():
                     cancelled += 1
                 else:
-                    draining.append(future)
-            for future in draining:
+                    draining.append(futures[b_])
+            # Then drain the stragglers (bounded — a hung one cannot hold
+            # the verdict hostage) and merge their metrics truthfully.
+            broken = False
+            for fut in draining:
+                if broken:
+                    if fut.cancelled() or fut.cancel():
+                        cancelled += 1
+                    else:
+                        failed += 1
+                    continue
+                drain_budget = timeout
+                if deadline_at is not None:
+                    remaining = max(0.0, deadline_at - time.monotonic())
+                    drain_budget = (
+                        remaining
+                        if drain_budget is None
+                        else min(drain_budget, remaining)
+                    )
                 try:
-                    payload = future.result()
+                    payload = fut.result(timeout=drain_budget)
                 except BaseException:
-                    continue  # a drained attempt's failure cannot unwind a verdict
-                completed += 1
-                merge_worker_metrics(obs, payload["metrics"])
-    if stats is not None:
-        stats.update(
-            launched=launched, completed=completed, cancelled=cancelled
-        )
+                    # A drained attempt's failure cannot unwind a verdict.
+                    failed += 1
+                    _bump(obs, "pool.worker_failures")
+                    _terminate_pool(executor)
+                    pool_alive = False
+                    broken = True
+                else:
+                    completed += 1
+                    merge_worker_metrics(obs, payload["metrics"])
+    finally:
+        if pool_alive:
+            executor.shutdown()
+        if stats is not None:
+            # Attempts abandoned by an exception unwind never got a
+            # disposition; they were implicitly cancelled with the pool.
+            accounted = completed + cancelled + failed
+            if accounted < launched:
+                cancelled += launched - accounted
+            stats.update(
+                launched=launched,
+                completed=completed,
+                cancelled=cancelled,
+                failed=failed,
+                retries=retries,
+                degraded=degraded,
+            )
     if verdict is None:
+        detail = f", {timed_out} timed out" if timed_out else ""
         raise NonConvergenceError(
             f"protocol {protocol.name!r} did not stabilise on |C|={config.size} "
-            f"within the budget ({attempts} attempts)"
+            f"within the budget ({attempts} attempts{detail})"
         )
     return verdict

@@ -1,0 +1,139 @@
+"""Restart machinery under degenerate inputs: zero totals, single
+registers, restart storms, and the shape of non-convergence errors."""
+
+import random
+
+import pytest
+
+from repro.core import NonConvergenceError
+from repro.programs import (
+    AdversarialRestart,
+    CanonicalRestart,
+    MixtureRestart,
+    Move,
+    Restart,
+    SetOutput,
+    UniformRestart,
+    decide_program,
+    procedure,
+    program,
+    run_program,
+    while_true,
+)
+
+
+def looped(*body):
+    return procedure("Main", *body, while_true())
+
+
+class TestDegenerateTotals:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            UniformRestart(),
+            CanonicalRestart(lambda total: {"x": total}),
+            MixtureRestart(
+                UniformRestart(), CanonicalRestart(lambda t: {"x": t}), 0.5
+            ),
+        ],
+        ids=["uniform", "canonical", "mixture"],
+    )
+    def test_restart_with_total_zero(self, policy):
+        # An empty population restarts to the all-zero configuration —
+        # there is exactly one composition of 0 — and must not crash.
+        prog = program(["x", "y"], [looped(Restart())])
+        result = run_program(
+            prog, {"x": 0, "y": 0}, seed=1, restart_policy=policy, max_steps=200
+        )
+        assert result.registers == {"x": 0, "y": 0}
+        assert result.restarts >= 1
+
+    def test_restart_single_register(self):
+        # One register admits a single composition: the total itself.
+        prog = program(["x"], [looped(Restart())])
+        result = run_program(prog, {"x": 7}, seed=0, max_steps=200)
+        assert result.registers == {"x": 7}
+        assert result.restarts >= 1
+
+    def test_sample_policies_preserve_total(self):
+        rng = random.Random(0)
+        for policy in (UniformRestart(), CanonicalRestart(lambda t: {"a": t})):
+            for total in (0, 1, 13):
+                config = policy.sample(total, ("a", "b"), rng)
+                assert sum(config.values()) == total
+                assert all(v >= 0 for v in config.values())
+
+    def test_decide_on_empty_population(self):
+        # total 0: Move hangs immediately (source always empty), the hung
+        # run still yields its current output flag as the verdict.
+        prog = program(["x", "y"], [looped(SetOutput(False), Move("x", "y"))])
+        assert decide_program(prog, {"x": 0}, seed=0, max_steps=10_000) is False
+
+
+class TestRestartStorm:
+    def _storm(self):
+        # Main restarts on every iteration: the run is all restarts, so
+        # it can never be quiet and the interpreter must neither wedge
+        # nor let register totals drift.
+        return program(["x", "y"], [procedure("Main", while_true(Restart()))])
+
+    def test_storm_preserves_total_and_counts_restarts(self):
+        result = run_program(self._storm(), {"x": 5}, seed=3, max_steps=5_000)
+        assert sum(result.registers.values()) == 5
+        assert result.restarts > 100
+        assert result.restart_steps == sorted(result.restart_steps)
+
+    def test_storm_never_goes_quiet(self):
+        with pytest.raises(NonConvergenceError, match="quiet period"):
+            decide_program(
+                self._storm(), {"x": 5}, seed=3,
+                quiet_window=1_000, max_steps=20_000,
+            )
+
+    def test_nonconvergence_message_carries_restart_count(self):
+        with pytest.raises(NonConvergenceError, match=r"restarts: \d+"):
+            decide_program(
+                self._storm(), {"x": 5}, seed=3,
+                quiet_window=1_000, max_steps=20_000,
+            )
+
+    def test_adversarial_restart_cycles_configurations(self):
+        policy = AdversarialRestart([{"x": 5, "y": 0}, {"x": 0, "y": 5}])
+        result = run_program(
+            self._storm(), {"x": 5}, seed=0,
+            restart_policy=policy, max_steps=3_000,
+        )
+        assert sum(result.registers.values()) == 5
+        assert result.restarts > 10
+
+    def test_non_strict_storm_returns_best_guess(self):
+        got = decide_program(
+            self._storm(), {"x": 5}, seed=3,
+            quiet_window=1_000, max_steps=20_000, strict=False,
+        )
+        assert got in (True, False)
+
+
+class TestNonConvergenceMessages:
+    def test_protocol_decide_message_names_protocol_and_size(self):
+        from repro.baselines import binary_threshold_protocol
+        from repro.core import Multiset, decide
+
+        with pytest.raises(
+            NonConvergenceError, match=r"binary-threshold\(k=5\).*\|C\|=9"
+        ):
+            decide(
+                binary_threshold_protocol(5),
+                Multiset({"p0": 9}),
+                seed=0,
+                attempts=2,
+                max_interactions=10,
+                convergence_window=1_000_000,
+            )
+
+    def test_program_decide_message_names_budget(self):
+        prog = program(["x", "y"], [procedure("Main", while_true(Restart()))])
+        with pytest.raises(NonConvergenceError, match="20000 steps"):
+            decide_program(
+                prog, {"x": 5}, seed=3, quiet_window=1_000, max_steps=20_000
+            )

@@ -67,6 +67,7 @@ class TestArtifactCache:
             "disk_hits": 0,
             "misses": 1,
             "entries": 1,
+            "corrupt_entries": 0,
         }
 
     def test_get_or_build_builds_once(self):
@@ -86,12 +87,37 @@ class TestArtifactCache:
         assert reader.get("k") == {"compiled": True}  # now a memory hit
         assert reader.hits == 1
 
-    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+    def test_corrupt_disk_entry_is_quarantined(self, tmp_path):
         cache = ArtifactCache(tmp_path)
         (tmp_path / "bad.pkl").write_bytes(b"not a pickle")
         assert cache.get("bad") is None
-        cache.put("bad", "rebuilt")  # overwrites the corrupt entry
+        assert cache.stats()["corrupt_entries"] == 1
+        # Quarantined aside, not deleted: forensics keep the bytes.
+        assert (tmp_path / "bad.pkl.corrupt").exists()
+        assert not (tmp_path / "bad.pkl").exists()
+        cache.put("bad", "rebuilt")  # republishes a good entry
         assert ArtifactCache(tmp_path).get("bad") == "rebuilt"
+
+    def test_flipped_bit_fails_checksum(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", {"compiled": True})
+        path = tmp_path / "k.pkl"
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # single corrupted byte in the payload
+        path.write_bytes(bytes(blob))
+        reader = ArtifactCache(tmp_path)
+        assert reader.get("k") is None
+        assert reader.stats()["corrupt_entries"] == 1
+        assert (tmp_path / "k.pkl.corrupt").exists()
+
+    def test_truncated_entry_fails_framing(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("k", list(range(100)))
+        path = tmp_path / "k.pkl"
+        path.write_bytes(path.read_bytes()[:10])  # torn write
+        reader = ArtifactCache(tmp_path)
+        assert reader.get("k") is None
+        assert reader.stats()["corrupt_entries"] == 1
 
     def test_clear_empties_both_layers(self, tmp_path):
         cache = ArtifactCache(tmp_path)

@@ -104,7 +104,11 @@ class TestDecideParallelCancellation:
         assert stats["completed"] >= 1
         # Every launched attempt is accounted for: no orphaned workers
         # (the executor shutdown inside decide_parallel waits on the rest).
-        assert stats["completed"] + stats["cancelled"] == stats["launched"]
+        assert (
+            stats["completed"] + stats["cancelled"] + stats["failed"]
+            == stats["launched"]
+        )
+        assert stats["failed"] == 0
 
 
 class TestMetricsMerge:
