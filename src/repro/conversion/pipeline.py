@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.predicates import Predicate, ShiftedThreshold
+from repro.observability import spans as _spans
 from repro.observability.observer import Observer, live
 from repro.core.protocol import PopulationProtocol
 from repro.machines.lowering import lower_program
@@ -74,13 +75,15 @@ def compile_program(
     """
     obs = live(observer)
     start = time.perf_counter()
-    machine = lower_program(program, name=f"{name}-machine")
+    with _spans.span("stage:lower"):
+        machine = lower_program(program, name=f"{name}-machine")
     if obs is not None:
         obs.on_stage(
             "lower", time.perf_counter() - start, machine_size=machine.size()
         )
         start = time.perf_counter()
-    conversion = convert_machine(machine, name=f"{name}-inner")
+    with _spans.span("stage:convert"):
+        conversion = convert_machine(machine, name=f"{name}-inner")
     if obs is not None:
         obs.on_stage(
             "convert",
@@ -89,7 +92,8 @@ def compile_program(
             shift=conversion.shift,
         )
         start = time.perf_counter()
-    protocol = with_output_broadcast(conversion.protocol, name=f"{name}-protocol")
+    with _spans.span("stage:broadcast"):
+        protocol = with_output_broadcast(conversion.protocol, name=f"{name}-protocol")
     if obs is not None:
         obs.on_stage(
             "broadcast", time.perf_counter() - start, states=protocol.state_count

@@ -254,6 +254,7 @@ class EnabledIndex:
         "active",
         "activepos",
         "total",
+        "churn",
         "_watched",
     )
 
@@ -280,6 +281,7 @@ class EnabledIndex:
         self.active: List[int] = []
         self.activepos: Dict[int, int] = {}
         self.total = 0
+        self.churn = 0
         self._watched: Optional[Multiset] = None
         if config is not None:
             self.rebuild(config)
@@ -327,6 +329,13 @@ class EnabledIndex:
         Idempotent and correct regardless of how ``cnt[s]`` got to its
         current value, so it serves the watcher path and the bulk count
         updates of the batch mode alike.
+
+        ``churn`` counts active-set membership changes made here (batch
+        apply, fault repair, attach/rebuild).  The single-step loops keep
+        their own inlined copy of this repair and deliberately do *not*
+        count — the hot path stays branch-free for the null-observer
+        overhead budget — so the counter measures index turnover on the
+        repair path, not per-interaction flips.
         """
         cnt = self.cnt
         w = self.w
@@ -342,12 +351,14 @@ class EnabledIndex:
                 if not old:
                     activepos[i] = len(active)
                     active.append(i)
+                    self.churn += 1
                 elif not v:
                     pos = activepos.pop(i)
                     last = active.pop()
                     if last != i:
                         active[pos] = last
                         activepos[last] = pos
+                    self.churn += 1
 
     # -- queries --------------------------------------------------------
     def weight(self, q, r) -> int:
@@ -670,6 +681,8 @@ def _result(
             productive=productive,
             population=population,
             deadline_exceeded=deadline_exceeded,
+            enabled_keys=len(index.active),
+            index_churn=index.churn,
         )
     return SimulationResult(
         final=Multiset(_snapshot_dict(index.table.states, index.cnt)),

@@ -40,6 +40,7 @@ from repro.core.scheduler import (
 from repro.core.semantics import apply_transition_inplace, is_silent
 from repro.observability.events import LAYER_PROTOCOL
 from repro.observability.observer import Observer, live
+from repro.observability import spans as _spans
 
 
 @dataclass
@@ -96,6 +97,63 @@ def resolve_deadline(deadline: float | None) -> float | None:
 
 
 def simulate(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+    scheduler=None,
+    max_interactions: int = 1_000_000,
+    convergence_window: int = 2_000,
+    check_silence_every: int = 512,
+    observer: Observer | None = None,
+    faults=None,
+    deadline: float | None = None,
+) -> SimulationResult:
+    """Sample one run of ``protocol`` from ``config``.
+
+    When a span tracer is active (:func:`repro.observability.spans.activate`)
+    the whole run is wrapped in a ``simulate`` span; without one the only
+    cost is a single contextvar read.  See :func:`_simulate` for the full
+    contract — this wrapper forwards every argument verbatim.
+    """
+    tracer = _spans.current()
+    if tracer is None:
+        return _simulate(
+            protocol,
+            config,
+            seed=seed,
+            rng=rng,
+            scheduler=scheduler,
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+            check_silence_every=check_silence_every,
+            observer=observer,
+            faults=faults,
+            deadline=deadline,
+        )
+    with tracer.span(
+        "simulate", protocol=protocol.name, population=config.size, seed=seed
+    ) as sp:
+        result = _simulate(
+            protocol,
+            config,
+            seed=seed,
+            rng=rng,
+            scheduler=scheduler,
+            max_interactions=max_interactions,
+            convergence_window=convergence_window,
+            check_silence_every=check_silence_every,
+            observer=observer,
+            faults=faults,
+            deadline=deadline,
+        )
+        sp.attrs["verdict"] = result.verdict
+        sp.attrs["interactions"] = result.interactions
+        return result
+
+
+def _simulate(
     protocol: PopulationProtocol,
     config: Multiset,
     *,
@@ -392,6 +450,69 @@ def decide(
     **kwargs,
 ) -> bool:
     """Run :func:`simulate` until a verdict is reached, retrying with fresh
+    seeds up to ``attempts`` times (see :func:`_decide` for the full
+    contract; this wrapper forwards every argument verbatim).
+
+    When a span tracer is active the call is wrapped in a ``decide`` span
+    with one ``attempt:<i>`` child per attempt — and the transition table
+    is warmed through :func:`~repro.runtime.cache.cached_transition_table`
+    up front (compilation touches no randomness, so warmed and unwarmed
+    runs sample identically), which makes the compile/cache cost a visible
+    child span instead of latency silently folded into the first attempt.
+    """
+    tracer = _spans.current()
+    if tracer is None:
+        return _decide(
+            protocol,
+            config,
+            seed=seed,
+            attempts=attempts,
+            observer=observer,
+            jobs=jobs,
+            deadline=deadline,
+            timeout=timeout,
+            **kwargs,
+        )
+    with tracer.span(
+        "decide",
+        protocol=protocol.name,
+        population=config.size,
+        seed=seed,
+        attempts=attempts,
+    ):
+        scheduler = kwargs.get("scheduler")
+        if scheduler is None or isinstance(
+            scheduler, (FastEnabledScheduler, FastUniformScheduler)
+        ):
+            from repro.runtime.cache import cached_transition_table
+
+            cached_transition_table(protocol)
+        return _decide(
+            protocol,
+            config,
+            seed=seed,
+            attempts=attempts,
+            observer=observer,
+            jobs=jobs,
+            deadline=deadline,
+            timeout=timeout,
+            **kwargs,
+        )
+
+
+def _decide(
+    protocol: PopulationProtocol,
+    config: Multiset,
+    *,
+    seed: int | None = None,
+    attempts: int = 3,
+    observer: Observer | None = None,
+    jobs: int | None = None,
+    deadline: float | None = None,
+    timeout: float | None = None,
+    **kwargs,
+) -> bool:
+    """Run :func:`simulate` until a verdict is reached, retrying with fresh
     seeds up to ``attempts`` times.  Raises :class:`NonConvergenceError` if
     no attempt stabilises.
 
@@ -443,14 +564,15 @@ def decide(
         attempt_seed = derive_seed(base, attempt)
         if obs is not None:
             obs.on_attempt(attempt, attempt_seed)
-        result = simulate(
-            protocol,
-            config,
-            seed=attempt_seed,
-            observer=obs,
-            deadline=budget,
-            **kwargs,
-        )
+        with _spans.span(f"attempt:{attempt}", seed=attempt_seed):
+            result = simulate(
+                protocol,
+                config,
+                seed=attempt_seed,
+                observer=obs,
+                deadline=budget,
+                **kwargs,
+            )
         if result.verdict is not None:
             return result.verdict
         if result.deadline_exceeded:

@@ -14,6 +14,7 @@ from typing import Dict, Iterator, List, Optional
 
 from repro.core.simulation import derive_seed
 from repro.experiments.report import render_table
+from repro.observability import spans as _spans
 from repro.lipton.classify import MainBehaviour, classify
 from repro.lipton.construction import build_threshold_program
 from repro.lipton.levels import all_registers
@@ -194,7 +195,13 @@ def run_lemma4(
         )
         for index, config in enumerate(configs)
     ]
-    trials = parallel_map(check_lemma4_task, tasks, jobs=jobs)
+    with _spans.span("lemma4", n=n, total=total, configs=len(configs)):
+        trials = parallel_map(
+            check_lemma4_task,
+            tasks,
+            jobs=jobs,
+            span_labels=[f"config:{index}" for index in range(len(configs))],
+        )
     return Lemma4Report(n=n, total=total, trials=trials)
 
 

@@ -68,11 +68,16 @@ def run_table1(max_n: int = 6, *, jobs: int | None = None) -> Table1Report:
     process pool.  Rows are deterministic, so parallel output is
     identical to sequential."""
     from repro.analysis.state_complexity import table1_row
+    from repro.observability import spans as _spans
     from repro.runtime.pool import parallel_map
 
-    rows = parallel_map(
-        table1_row, [(n,) for n in range(1, max_n + 1)], jobs=jobs
-    )
+    with _spans.span("table1", max_n=max_n):
+        rows = parallel_map(
+            table1_row,
+            [(n,) for n in range(1, max_n + 1)],
+            jobs=jobs,
+            span_labels=[f"row:n{n}" for n in range(1, max_n + 1)],
+        )
     return Table1Report(rows=rows)
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.errors import InvalidMachineError, NonConvergenceError
+from repro.observability import spans as _spans
 from repro.observability.events import LAYER_MACHINE
 from repro.observability.observer import Observer, live
 from repro.machines.machine import (
@@ -152,6 +153,38 @@ class MachineRunResult:
 
 
 def run_machine(
+    machine: PopulationMachine,
+    register_values: Mapping[str, int],
+    *,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    detect_true_probability: float = 0.75,
+    max_steps: int = 1_000_000,
+    quiet_window: Optional[int] = None,
+    initial: Optional[MachineConfiguration] = None,
+    observer: Optional[Observer] = None,
+) -> MachineRunResult:
+    """Sample a run from an initial configuration (or ``initial``).
+
+    When a span tracer is active the run is wrapped in a ``machine`` span
+    (a single contextvar read otherwise); see :func:`_run_machine` for
+    the full contract — every argument is forwarded verbatim.
+    """
+    with _spans.span("machine", machine=machine.name, seed=seed):
+        return _run_machine(
+            machine,
+            register_values,
+            seed=seed,
+            rng=rng,
+            detect_true_probability=detect_true_probability,
+            max_steps=max_steps,
+            quiet_window=quiet_window,
+            initial=initial,
+            observer=observer,
+        )
+
+
+def _run_machine(
     machine: PopulationMachine,
     register_values: Mapping[str, int],
     *,

@@ -15,6 +15,18 @@ The instrumentation layer for the whole simulator stack:
   (counters / gauges / histograms / timers) and :class:`MetricsObserver`;
 * :mod:`~repro.observability.report` — :func:`summarize`, the
   human-readable run digest;
+* :mod:`~repro.observability.spans` — hierarchical :class:`Span` /
+  :class:`SpanTracer` timing with cross-process merge and an ambient
+  (contextvar) tracer every layer can reach without plumbing;
+* :mod:`~repro.observability.profile` — :class:`ProfilingObserver`,
+  engine-level ``sim.*`` throughput/churn metrics;
+* :mod:`~repro.observability.export` — Prometheus text exposition and
+  per-run provenance manifests (:class:`RunManifest`);
+* :mod:`~repro.observability.live` — event bus, HTTP/SSE telemetry
+  server and the ``repro top`` renderer (import the submodule
+  explicitly: ``from repro.observability.live import TelemetryServer``;
+  the package attribute ``live`` stays the observer-normalising
+  *function*);
 * :mod:`~repro.observability.runners` — observed reference workloads
   behind ``python -m repro trace`` / ``python -m repro stats``
   (imported lazily: ``from repro.observability import runners``).
@@ -32,6 +44,12 @@ from repro.observability.events import (
     events_to_jsonl,
     lipton_level,
 )
+from repro.observability.export import (
+    RunManifest,
+    build_manifest,
+    fault_plan_digest,
+    metrics_to_prometheus,
+)
 from repro.observability.metrics import (
     Counter,
     Gauge,
@@ -47,8 +65,26 @@ from repro.observability.observer import (
     Observer,
     live,
 )
+from repro.observability.profile import ProfilingObserver
 from repro.observability.report import summarize
+from repro.observability.spans import (
+    Span,
+    SpanTracer,
+    activate,
+    current,
+    span,
+)
 from repro.observability.trace import TraceRecorder
+
+# ``live`` names both the observer-normalising function and the streaming
+# submodule.  Importing the submodule binds it over the function on the
+# package, so do that eagerly and rebind the function afterwards: the
+# package attribute is then stably the function, while
+# ``sys.modules["repro.observability.live"]`` (and explicit
+# ``from repro.observability.live import ...``) reach the submodule.
+import repro.observability.live  # noqa: E402,F401  (eager: see above)
+
+from repro.observability.observer import live  # noqa: E402,F811
 
 __all__ = [
     "ALL_KINDS",
@@ -56,6 +92,10 @@ __all__ = [
     "TraceEvent",
     "events_to_jsonl",
     "lipton_level",
+    "RunManifest",
+    "build_manifest",
+    "fault_plan_digest",
+    "metrics_to_prometheus",
     "Counter",
     "Gauge",
     "Histogram",
@@ -67,6 +107,12 @@ __all__ = [
     "NullObserver",
     "Observer",
     "live",
+    "ProfilingObserver",
     "summarize",
+    "Span",
+    "SpanTracer",
+    "activate",
+    "current",
+    "span",
     "TraceRecorder",
 ]

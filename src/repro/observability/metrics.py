@@ -11,6 +11,7 @@ renders it for humans.
 from __future__ import annotations
 
 import json
+import math
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -43,13 +44,41 @@ class Gauge:
         self.value = value
 
 
+#: Bucket key for non-positive observations (below every power of two).
+_NONPOS_BUCKET = -1075  # one below the smallest subnormal's exponent
+
+
+def bucket_key(value: float) -> int:
+    """The power-of-two bucket index of ``value``: the binary exponent
+    ``e`` with ``2**(e-1) <= value < 2**e`` (``frexp``'s exponent), or
+    :data:`_NONPOS_BUCKET` for values ≤ 0.  Exponent buckets need no
+    preconfigured boundaries, so one scheme serves layers whose step costs
+    differ by orders of magnitude — and two histograms always share bucket
+    edges, which is what makes the merge lossless."""
+    if value <= 0 or math.isnan(value):
+        return _NONPOS_BUCKET
+    if math.isinf(value):
+        return 1025  # one above the largest finite exponent
+    return math.frexp(value)[1]
+
+
+def bucket_bound(key: int) -> float:
+    """The inclusive upper bound of bucket ``key`` (``2**key``)."""
+    if key <= _NONPOS_BUCKET:
+        return 0.0
+    if key >= 1025:
+        return math.inf
+    return math.ldexp(1.0, key)
+
+
 @dataclass
 class Histogram:
-    """Streaming summary statistics (count/total/min/max/mean) of a series.
+    """Streaming summary statistics of a series, plus power-of-two buckets.
 
-    No buckets — the consumers here want means and extremes, and bucket
-    boundaries would be arbitrary across layers whose step costs differ by
-    orders of magnitude.
+    ``count``/``total``/``min``/``max``/``mean`` are exact; ``buckets``
+    maps binary-exponent keys (see :func:`bucket_key`) to observation
+    counts, giving an order-of-magnitude distribution that merges
+    losslessly across processes and exports as Prometheus ``le`` buckets.
     """
 
     name: str
@@ -57,6 +86,7 @@ class Histogram:
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    buckets: Dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -65,6 +95,8 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        key = bucket_key(value)
+        self.buckets[key] = self.buckets.get(key, 0) + 1
 
     @property
     def mean(self) -> Optional[float]:
@@ -79,6 +111,8 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
+            # JSON keys must be strings; merge() converts them back.
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
         }
 
 
@@ -122,8 +156,10 @@ class Metrics:
     def merge(self, payload: Dict[str, Any]) -> None:
         """Fold an exported registry (the :meth:`to_dict` of another
         ``Metrics``, e.g. one shipped back from a pool worker) into this
-        one: counters add, histograms combine their summary statistics,
-        gauges are last-write-wins (matching their in-process semantics).
+        one: counters add, histograms combine their summary statistics
+        *and* their bucket contents (exponent buckets share edges by
+        construction, so the fold is lossless), gauges are last-write-wins
+        (matching their in-process semantics).
         """
         for name, value in payload.get("counters", {}).items():
             self.counter(name).inc(value)
@@ -144,6 +180,9 @@ class Metrics:
                     bound,
                     incoming if current is None else better(current, incoming),
                 )
+            for key, count in (data.get("buckets") or {}).items():
+                key = int(key)
+                histogram.buckets[key] = histogram.buckets.get(key, 0) + count
 
     # -- export ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -154,6 +193,13 @@ class Metrics:
                 name: h.to_dict() for name, h in sorted(self.histograms.items())
             },
         }
+
+    def to_prometheus(self, *, namespace: str = "repro") -> str:
+        """The registry in Prometheus text exposition format (see
+        :func:`repro.observability.export.metrics_to_prometheus`)."""
+        from repro.observability.export import metrics_to_prometheus
+
+        return metrics_to_prometheus(self, namespace=namespace)
 
     def write_json(self, path, extra: Optional[Dict[str, Any]] = None) -> Path:
         path = Path(path)

@@ -90,6 +90,24 @@ def summarize(
             lines.append("  step breakdown:")
             for value, name in breakdowns:
                 lines.append(f"    {_fmt(value):>12}  {name}")
+        # Subsystem counter groups: pool fan-out, artifact cache, span
+        # completions, engine profiling.  Grouped so a parallel or traced
+        # run's digest shows where the runtime spent its effort.
+        for prefix, title in (
+            ("pool.", "pool"),
+            ("cache.", "cache"),
+            ("span.", "spans"),
+            ("sim.", "engine"),
+        ):
+            grouped = [
+                (name, counter.value)
+                for name, counter in sorted(metrics.counters.items())
+                if name.startswith(prefix) and counter.value
+            ]
+            if grouped:
+                lines.append(f"  {title}:")
+                for name, value in grouped:
+                    lines.append(f"    {_fmt(value):>12}  {name[len(prefix):]}")
 
     if trace is not None:
         counts = trace.kind_counts()

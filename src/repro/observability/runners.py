@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
+from repro.observability.export import RunManifest, build_manifest
 from repro.observability.metrics import MetricsObserver
 from repro.observability.observer import CompositeObserver
 from repro.observability.report import summarize
@@ -29,6 +30,7 @@ class ObservedRun:
     recorder: Optional[TraceRecorder]
     metrics: MetricsObserver
     outcome: str  # one-line description of what the workload returned
+    manifest: Optional[RunManifest] = None  # provenance (inputs + cache stats)
 
     def digest(self) -> str:
         return summarize(self.metrics, self.recorder)
@@ -75,7 +77,16 @@ def run_theorem3(
         f"theorem3 n={n} total={total} (k={threshold(n)}): output={result.output} "
         f"steps={result.steps} restarts={result.restarts} hung={result.hung}"
     )
-    return ObservedRun("theorem3", recorder, metrics, outcome)
+    manifest = build_manifest(
+        "theorem3",
+        seed=seed,
+        program=program,
+        outcome=outcome,
+        n=n,
+        total=total,
+        max_steps=max_steps,
+    )
+    return ObservedRun("theorem3", recorder, metrics, outcome, manifest)
 
 
 def run_protocol(
@@ -94,8 +105,9 @@ def run_protocol(
     from repro.core.simulation import simulate
 
     metrics = metrics or MetricsObserver()
+    protocol = binary_threshold_protocol(n)
     result = simulate(
-        binary_threshold_protocol(n),
+        protocol,
         Multiset({"p0": total}),
         seed=seed,
         max_interactions=max_steps,
@@ -106,7 +118,16 @@ def run_protocol(
         f"silent={result.silent} interactions={result.interactions} "
         f"productive={result.productive}"
     )
-    return ObservedRun("protocol", recorder, metrics, outcome)
+    manifest = build_manifest(
+        "protocol",
+        seed=seed,
+        protocol=protocol,
+        outcome=outcome,
+        n=n,
+        total=total,
+        max_steps=max_steps,
+    )
+    return ObservedRun("protocol", recorder, metrics, outcome, manifest)
 
 
 def run_machine_target(
@@ -137,7 +158,16 @@ def run_machine_target(
         f"machine lipton{n} total={total}: output={result.output} "
         f"steps={result.steps} restarts={result.restarts} hung={result.hung}"
     )
-    return ObservedRun("machine", recorder, metrics, outcome)
+    manifest = build_manifest(
+        "machine",
+        seed=seed,
+        outcome=outcome,
+        machine=machine.name,
+        n=n,
+        total=total,
+        max_steps=max_steps,
+    )
+    return ObservedRun("machine", recorder, metrics, outcome, manifest)
 
 
 def run_decide(
@@ -165,8 +195,9 @@ def run_decide(
 
     metrics = metrics or MetricsObserver()
     jobs = resolve_jobs(None)
+    protocol = binary_threshold_protocol(n)
     verdict = decide(
-        binary_threshold_protocol(n),
+        protocol,
         Multiset({"p0": total}),
         seed=seed,
         attempts=4,
@@ -177,7 +208,18 @@ def run_decide(
         f"decide x>={n} m={total} jobs={jobs}: verdict={verdict} "
         f"(4 attempts, first stabilising wins)"
     )
-    return ObservedRun("decide", recorder, metrics, outcome)
+    manifest = build_manifest(
+        "decide",
+        seed=seed,
+        protocol=protocol,
+        jobs=jobs,
+        outcome=outcome,
+        n=n,
+        total=total,
+        attempts=4,
+        max_steps=max_steps,
+    )
+    return ObservedRun("decide", recorder, metrics, outcome, manifest)
 
 
 def run_pipeline(
@@ -197,7 +239,15 @@ def run_pipeline(
         f"inner-states={result.inner_state_count} states={result.state_count} "
         f"(bound {result.state_bound})"
     )
-    return ObservedRun("pipeline", recorder, metrics, outcome)
+    manifest = build_manifest(
+        "pipeline",
+        program=result.program,
+        protocol=result.protocol,
+        outcome=outcome,
+        n=n,
+        states=result.state_count,
+    )
+    return ObservedRun("pipeline", recorder, metrics, outcome, manifest)
 
 
 TARGETS: Dict[str, Callable[..., ObservedRun]] = {

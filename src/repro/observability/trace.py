@@ -15,7 +15,7 @@ one JSON object per line.  It also
 
 from __future__ import annotations
 
-from collections import Counter as _Counter
+from collections import Counter as _Counter, deque
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional
 
@@ -37,8 +37,17 @@ class TraceRecorder(Observer):
         ``ALL_KINDS - HOT_KINDS`` to skip the per-step firehose while
         keeping the diagnostic events.
     max_events:
-        Hard cap on stored events; further events are counted in
-        :attr:`dropped` but not stored (the trace never exhausts memory).
+        Bound on stored events.  What happens past the bound is chosen by
+        ``overflow``; either way :attr:`dropped` counts the events that
+        are no longer stored, a single ``truncated`` marker event is
+        recorded the first time the bound trips, and :attr:`truncated`
+        flips to ``True`` — so a bounded trace is self-describing.
+    overflow:
+        ``"drop"`` (default) keeps the *oldest* ``max_events`` events and
+        discards new arrivals — the cheap mode, and the PR-4 behaviour.
+        ``"ring"`` keeps the *newest* ``max_events`` events in a
+        ``deque(maxlen=...)`` ring buffer, evicting the oldest — the mode
+        for long lemma4 sweeps where the interesting events are recent.
     """
 
     def __init__(
@@ -47,13 +56,21 @@ class TraceRecorder(Observer):
         snapshot_every: Optional[int] = None,
         kinds: Optional[Iterable[str]] = None,
         max_events: Optional[int] = None,
+        overflow: str = "drop",
         track_levels: bool = True,
     ):
-        self.events: List[TraceEvent] = []
+        if overflow not in ("drop", "ring"):
+            raise ValueError(f"overflow must be 'drop' or 'ring', got {overflow!r}")
+        if overflow == "ring" and max_events is not None:
+            self.events: Any = deque(maxlen=max_events)
+        else:
+            self.events = []
         self.snapshot_interval = snapshot_every
         self.kinds = frozenset(kinds) if kinds is not None else None
         self.max_events = max_events
+        self.overflow = overflow
         self.dropped = 0
+        self.truncated = False
         self.track_levels = track_levels
         self._level: Optional[int] = None
 
@@ -66,7 +83,28 @@ class TraceRecorder(Observer):
         if self.kinds is not None and kind not in self.kinds:
             return
         if self.max_events is not None and len(self.events) >= self.max_events:
-            self.dropped += 1
+            if not self.truncated:
+                self.truncated = True
+                marker = TraceEvent(
+                    ev.TRUNCATED,
+                    step,
+                    {"max_events": self.max_events, "overflow": self.overflow},
+                )
+                # In ring mode the marker joins the buffer (evicting one
+                # event); in drop mode nothing more will be stored, so it
+                # takes the place of the last stored event.
+                if self.overflow == "ring":
+                    if self.max_events > 0:
+                        self.dropped += 1  # the event the marker evicts
+                    self.events.append(marker)
+                elif self.events:
+                    self.events[-1] = marker
+                    self.dropped += 1
+            if self.overflow == "ring":
+                self.dropped += 1  # the evicted oldest event
+                self.events.append(TraceEvent(kind, step, data))
+            else:
+                self.dropped += 1
             return
         self.events.append(TraceEvent(kind, step, data))
 

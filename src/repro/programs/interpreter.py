@@ -53,6 +53,7 @@ from repro.programs.ast import (
     Swap,
     While,
 )
+from repro.observability import spans as _spans
 from repro.observability.events import LAYER_PROGRAM
 from repro.observability.observer import Observer, live
 from repro.programs.restart import RestartPolicy, UniformRestart
@@ -511,21 +512,26 @@ def run_program(
     faults=None,
     deadline: Optional[float] = None,
 ) -> RunResult:
-    """One-shot convenience wrapper around :class:`ProgramInterpreter`."""
+    """One-shot convenience wrapper around :class:`ProgramInterpreter`.
+
+    When a span tracer is active the run is wrapped in a ``program`` span
+    (a single contextvar read otherwise).
+    """
     interp = ProgramInterpreter(
         program,
         detect_true_probability=detect_true_probability,
         restart_policy=restart_policy,
     )
-    return interp.run(
-        initial_registers,
-        seed=seed,
-        max_steps=max_steps,
-        stop_condition=stop_condition,
-        observer=observer,
-        faults=faults,
-        deadline=deadline,
-    )
+    with _spans.span("program", seed=seed):
+        return interp.run(
+            initial_registers,
+            seed=seed,
+            max_steps=max_steps,
+            stop_condition=stop_condition,
+            observer=observer,
+            faults=faults,
+            deadline=deadline,
+        )
 
 
 def decide_program(

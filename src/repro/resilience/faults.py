@@ -53,6 +53,7 @@ import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.observability import spans as _spans
 from repro.observability.events import LAYER_PROTOCOL
 
 _INFINITY = float("inf")
@@ -359,6 +360,9 @@ class FaultInjector:
                 data["length"] = fault.length
             if obs is not None:
                 obs.on_fault(step, kind, layer, **data)
+            # Instant span so injected faults show up in the span tree
+            # (no-op unless a tracer is active in this process).
+            _spans.mark(f"fault:{kind}", step=step, at=fault.at)
         self.next_at = queue[self._pos].at if self._pos < len(queue) else _INFINITY
 
     # -- corruption mechanics -------------------------------------------

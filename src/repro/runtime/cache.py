@@ -245,12 +245,22 @@ def cached_transition_table(
     (:func:`repro.core.fastpath.get_table`) stays a plain attribute read.
     """
     from repro.core.fastpath import TransitionTable
+    from repro.observability import spans as _spans
 
     table = getattr(protocol, "_fastpath_table", None)
     if table is None:
         cache = cache if cache is not None else artifact_cache()
         key = f"table-{protocol_fingerprint(protocol)}"
-        table = cache.get_or_build(key, lambda: TransitionTable(protocol))
+        sp = _spans.begin("cache:table", protocol=protocol.name)
+        misses_before = cache.misses
+        try:
+            table = cache.get_or_build(key, lambda: TransitionTable(protocol))
+        except BaseException:
+            _spans.finish(sp, "error")
+            raise
+        if sp is not None:
+            sp.attrs["hit"] = cache.misses == misses_before
+        _spans.finish(sp)
         protocol._fastpath_table = table
     return table
 
@@ -270,12 +280,23 @@ def cached_compile_program(
     does no observable work.
     """
     from repro.conversion.pipeline import compile_program
+    from repro.observability import spans as _spans
 
     cache = cache if cache is not None else artifact_cache()
     key = f"pipeline-{name}-{program_fingerprint(program)}"
-    return cache.get_or_build(
-        key, lambda: compile_program(program, name, observer=observer)
-    )
+    sp = _spans.begin("cache:pipeline", name=name)
+    misses_before = cache.misses
+    try:
+        result = cache.get_or_build(
+            key, lambda: compile_program(program, name, observer=observer)
+        )
+    except BaseException:
+        _spans.finish(sp, "error")
+        raise
+    if sp is not None:
+        sp.attrs["hit"] = cache.misses == misses_before
+    _spans.finish(sp)
+    return result
 
 
 def cached_compile_threshold_protocol(

@@ -56,8 +56,9 @@ from repro.core.errors import NonConvergenceError
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol
 from repro.core.simulation import derive_seed, simulate
+from repro.observability import spans as _spans
 from repro.observability.observer import CompositeObserver, Observer, live
-from repro.runtime.cache import cached_transition_table
+from repro.runtime.cache import artifact_cache, cached_transition_table
 from repro.runtime.seeds import derive_child
 
 
@@ -129,18 +130,36 @@ def _terminate_pool(executor: ProcessPoolExecutor) -> None:
 _UNSET = object()
 
 
+def _traced_task(fn: Callable[..., Any], label: str, args: Tuple[Any, ...]) -> Dict[str, Any]:
+    """Run one task under a fresh span tracer and ship the spans with the
+    result.  Module-level so it is picklable; also used for the in-process
+    degraded rerun so every traced result has the same envelope."""
+    tracer = _spans.SpanTracer()
+    with _spans.activate(tracer):
+        with tracer.span(label):
+            result = fn(*args)
+    return {"__spans__": tracer.to_payload(), "result": result}
+
+
 def parallel_map(
     fn: Callable[..., Any],
     tasks: Iterable[Sequence[Any]],
     *,
     jobs: Optional[int] = None,
     timeout: Optional[float] = None,
+    span_labels: Optional[Sequence[str]] = None,
 ) -> List[Any]:
     """``[fn(*t) for t in tasks]``, fanned across a process pool.
 
     ``fn`` must be a module-level callable and every task argument (and
     result) picklable.  With ``jobs=1`` (or a single task) no pool is
     created and the comprehension runs verbatim in-process.
+
+    When a span tracer is active in the caller, every task runs under its
+    own span — ``span_labels[i]`` or ``task:<i>`` — and spans created in
+    workers are shipped back and adopted in task order, so the merged
+    span tree is identical for ``jobs=1`` and ``jobs=N``.  Without an
+    active tracer nothing changes (workers run ``fn`` directly).
 
     The fan-out degrades rather than fails: if the pool breaks (a worker
     crashed) or a task exceeds ``timeout`` seconds, surviving results are
@@ -151,13 +170,41 @@ def parallel_map(
     """
     tasks = [tuple(t) for t in tasks]
     jobs = resolve_jobs(jobs)
+    tracer = _spans.current()
+    labels = None
+    if tracer is not None:
+        labels = (
+            [str(l) for l in span_labels]
+            if span_labels is not None
+            else [f"task:{i}" for i in range(len(tasks))]
+        )
+        if len(labels) != len(tasks):
+            raise ValueError("span_labels must match tasks in length")
     if jobs <= 1 or len(tasks) <= 1:
-        return [fn(*t) for t in tasks]
+        if labels is None:
+            return [fn(*t) for t in tasks]
+        out: List[Any] = []
+        for label, t in zip(labels, tasks):
+            with tracer.span(label):
+                out.append(fn(*t))
+        return out
+
+    def _run(i: int) -> Any:
+        """In-process execution of task ``i`` (sequential / degraded)."""
+        if labels is None:
+            return fn(*tasks[i])
+        return _traced_task(fn, labels[i], tasks[i])
+
+    def _submit(executor: ProcessPoolExecutor, i: int) -> Any:
+        if labels is None:
+            return executor.submit(fn, *tasks[i])
+        return executor.submit(_traced_task, fn, labels[i], tasks[i])
+
     results: List[Any] = [_UNSET] * len(tasks)
     executor = _executor(jobs, len(tasks))
     degraded = False
     try:
-        futures = [executor.submit(fn, *t) for t in tasks]
+        futures = [_submit(executor, i) for i in range(len(tasks))]
         for i, future in enumerate(futures):
             try:
                 results[i] = future.result(timeout=timeout)
@@ -175,10 +222,17 @@ def parallel_map(
                         pass
             for i in range(len(tasks)):
                 if results[i] is _UNSET:
-                    results[i] = fn(*tasks[i])
+                    results[i] = _run(i)
     finally:
         if not degraded:
             executor.shutdown()
+    if labels is not None:
+        # Unwrap the traced envelopes in task order, adopting each task's
+        # spans under the caller's current span path — deterministic
+        # regardless of which worker ran what, when.
+        for i, envelope in enumerate(results):
+            tracer.adopt(envelope["__spans__"])
+            results[i] = envelope["result"]
     return results
 
 
@@ -224,18 +278,28 @@ def _decide_attempt_worker(
     config: Multiset,
     seed: int,
     sim_kwargs: Dict[str, Any],
+    attempt: int = 0,
 ) -> Dict[str, Any]:
     """One decide attempt, run inside a worker process.
 
-    Collects the attempt's metrics locally and returns them with the
-    verdict; observation never touches the random stream, so the sampled
-    run is identical to an unobserved sequential attempt with this seed.
+    Collects the attempt's metrics — and its span subtree, rooted at
+    ``attempt:<i>`` to mirror the sequential path — locally and returns
+    them with the verdict; observation never touches the random stream, so
+    the sampled run is identical to an unobserved sequential attempt with
+    this seed.  The cache warm-up runs *before* the tracer is installed:
+    under ``fork`` it is an attribute-read no-op, and either way the
+    coordinator (which warmed the cache up front) owns the cache span.
     """
     from repro.observability.metrics import MetricsObserver
 
     cached_transition_table(protocol)  # fork-inherited or disk cache hit
     metrics = MetricsObserver()
-    result = simulate(protocol, config, seed=seed, observer=metrics, **sim_kwargs)
+    tracer = _spans.SpanTracer()
+    with _spans.activate(tracer):
+        with tracer.span(f"attempt:{attempt}", seed=seed):
+            result = simulate(
+                protocol, config, seed=seed, observer=metrics, **sim_kwargs
+            )
     return {
         "verdict": result.verdict,
         "silent": result.silent,
@@ -243,6 +307,7 @@ def _decide_attempt_worker(
         "productive": result.productive,
         "deadline_exceeded": result.deadline_exceeded,
         "metrics": metrics.metrics.to_dict(),
+        "spans": tracer.to_payload(),
     }
 
 
@@ -338,9 +403,13 @@ def decide_parallel(
         if b is not None:
             kwargs["deadline"] = b
         metrics = MetricsObserver()
-        result = simulate(
-            protocol, config, seed=seeds[attempt], observer=metrics, **kwargs
-        )
+        # Runs in the coordinator, where any span tracer is ambient: the
+        # attempt span records directly, so no "spans" payload (adoption
+        # would double-count it).
+        with _spans.span(f"attempt:{attempt}", seed=seeds[attempt]):
+            result = simulate(
+                protocol, config, seed=seeds[attempt], observer=metrics, **kwargs
+            )
         return {
             "verdict": result.verdict,
             "silent": result.silent,
@@ -368,7 +437,7 @@ def decide_parallel(
     try:
         futures = {
             a: executor.submit(
-                _decide_attempt_worker, protocol, config, seeds[a], sim_kwargs
+                _decide_attempt_worker, protocol, config, seeds[a], sim_kwargs, a
             )
             for a in range(attempts)
         }
@@ -418,6 +487,7 @@ def decide_parallel(
                                     config,
                                     seeds[b_],
                                     sim_kwargs,
+                                    b_,
                                 )
                         continue  # retry attempt `a` on the fresh pool
                     seq_mode = True
@@ -436,6 +506,12 @@ def decide_parallel(
             if obs is not None:
                 obs.on_attempt(a, seeds[a])
             merge_worker_metrics(obs, payload["metrics"])
+            # Adopt the attempt's span subtree in attempt order — but only
+            # for attempts the sequential path would also have run (up to
+            # and including the verdict attempt).  Drained stragglers
+            # below merge metrics, never spans, so the jobs=N span tree
+            # structurally equals the jobs=1 tree.
+            _spans.adopt(payload.get("spans"))
             if payload["verdict"] is not None:
                 verdict = payload["verdict"]
                 a += 1
@@ -498,6 +574,12 @@ def decide_parallel(
     finally:
         if pool_alive:
             executor.shutdown()
+        # Snapshot the coordinator's artifact-cache counters as gauges so
+        # a parallel run's digest (and its provenance manifest) shows how
+        # much compilation the cache absorbed.
+        for registry in _metrics_registries(obs):
+            for key, value in artifact_cache().stats().items():
+                registry.gauge(f"cache.{key}").set(value)
         if stats is not None:
             # Attempts abandoned by an exception unwind never got a
             # disposition; they were implicitly cancelled with the pool.

@@ -53,6 +53,28 @@ class TestTraceCommand:
         for target in TARGETS:
             assert target in printed
 
+    def test_trace_writes_spans_and_manifest_sidecars(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        code = main(
+            (
+                "trace",
+                "protocol",
+                "--total",
+                "12",
+                "--max-steps",
+                "5000",
+                "--out",
+                str(out),
+            )
+        )
+        assert code == 0
+        spans = json.loads((tmp_path / "run.spans.json").read_text())
+        assert [c["name"] for c in spans["children"]] == ["simulate"]
+        manifest = json.loads((tmp_path / "run.manifest.json").read_text())
+        assert manifest["target"] == "protocol"
+        assert manifest["protocol_fingerprint"]
+        assert manifest["extra"]["total"] == 12
+
 
 class TestStatsCommand:
     def test_stats_protocol_writes_metrics_json(self, tmp_path, capsys):
@@ -84,3 +106,51 @@ class TestStatsCommand:
         # The legacy experiment path must be untouched by the new parsing.
         assert main(("figures-lowering",)) == 0
         assert "figures-lowering" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_smoke_probes_every_endpoint(self, capsys):
+        code = main(
+            (
+                "serve",
+                "protocol",
+                "--total",
+                "12",
+                "--max-steps",
+                "5000",
+                "--smoke",
+            )
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "serving telemetry at http://127.0.0.1:" in printed
+        assert "serve smoke ok" in printed
+        assert "repro top —" in printed  # one rendered frame
+
+    def test_serve_smoke_parallel_decide(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        code = main(
+            (
+                "serve",
+                "decide",
+                "--n",
+                "4",
+                "--total",
+                "10",
+                "--max-steps",
+                "20000",
+                "--jobs",
+                "2",
+                "--smoke",
+            )
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "serve smoke ok" in printed
+        assert "attempt:0" in printed
+
+
+class TestTopCommand:
+    def test_top_against_dead_server_fails_cleanly(self, capsys):
+        assert main(("top", "http://127.0.0.1:1", "--frames", "1")) == 1
+        assert "cannot reach" in capsys.readouterr().out

@@ -1,0 +1,149 @@
+"""The live telemetry stack: event bus, HTTP/SSE server, top renderer."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.baselines import binary_threshold_protocol
+from repro.core.multiset import Multiset
+from repro.core.simulation import simulate
+from repro.observability.events import SPAN
+from repro.observability.live import (
+    EventBus,
+    LiveObserver,
+    TelemetryServer,
+    fetch_json,
+    fetch_text,
+    run_top,
+)
+from repro.observability.metrics import Metrics, MetricsObserver
+from repro.observability.observer import CompositeObserver
+from repro.observability.spans import SpanTracer, activate
+
+
+class TestEventBus:
+    def test_publish_fans_out_to_all_subscribers(self):
+        bus = EventBus()
+        q1, q2 = bus.subscribe(), bus.subscribe()
+        bus.publish({"kind": "x"})
+        assert q1.get_nowait() == {"kind": "x"}
+        assert q2.get_nowait() == {"kind": "x"}
+
+    def test_slow_subscriber_drops_oldest(self):
+        bus = EventBus(maxsize=2)
+        q = bus.subscribe()
+        for i in range(5):
+            bus.publish({"i": i})
+        drained = []
+        while not q.empty():
+            drained.append(q.get_nowait()["i"])
+        assert drained == [3, 4]  # freshest survive
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        q = bus.subscribe()
+        bus.unsubscribe(q)
+        bus.publish({"kind": "x"})
+        assert q.empty()
+
+    def test_publish_span_adapter(self):
+        bus = EventBus()
+        q = bus.subscribe()
+        tracer = SpanTracer(listener=bus.publish_span)
+        with tracer.span("work"):
+            pass
+        payload = q.get_nowait()
+        assert payload["kind"] == SPAN
+        assert payload["name"] == "work"
+
+
+class TestLiveObserver:
+    def test_hot_kinds_dropped_cold_kinds_published(self):
+        bus = EventBus()
+        q = bus.subscribe()
+        obs = LiveObserver(bus)
+        obs.on_interaction(1, None, None, True)  # hot: dropped
+        obs.on_run_end(50, "protocol", verdict=True)
+        (payload,) = [q.get_nowait() for _ in range(q.qsize())]
+        assert payload["kind"] == "run_end"
+        assert payload["verdict"] is True
+
+
+@pytest.fixture()
+def live_run():
+    """A finished observed run behind a running telemetry server."""
+    metrics = MetricsObserver()
+    bus = EventBus()
+    tracer = SpanTracer(metrics=metrics.metrics, listener=bus.publish_span)
+    server = TelemetryServer(metrics=metrics.metrics, tracer=tracer, bus=bus)
+    observer = CompositeObserver(metrics, LiveObserver(bus))
+    with server:
+        with activate(tracer):
+            simulate(
+                binary_threshold_protocol(4),
+                Multiset({"p0": 10}),
+                seed=2,
+                max_interactions=10_000,
+                observer=observer,
+            )
+        yield server
+
+
+class TestTelemetryServer:
+    def test_healthz(self, live_run):
+        assert fetch_text(f"{live_run.url}/healthz").strip() == "ok"
+
+    def test_metrics_exposition(self, live_run):
+        text = fetch_text(f"{live_run.url}/metrics")
+        assert "repro_interactions_total" in text
+        assert "repro_span_simulate_total 1" in text
+
+    def test_spans_tree(self, live_run):
+        tree = fetch_json(f"{live_run.url}/spans")
+        names = [child["name"] for child in tree["children"]]
+        assert names == ["simulate"]
+
+    def test_manifest_404_when_absent(self, live_run):
+        with pytest.raises(urllib.request.HTTPError):
+            fetch_text(f"{live_run.url}/manifest")
+
+    def test_unknown_path_404(self, live_run):
+        with pytest.raises(urllib.request.HTTPError):
+            fetch_text(f"{live_run.url}/nope")
+
+    def test_events_stream_delivers_published_frames(self, live_run):
+        request = urllib.request.urlopen(f"{live_run.url}/events", timeout=5.0)
+        live_run.bus.publish({"kind": "probe", "step": 1})
+        for _ in range(10):
+            line = request.readline().decode("utf-8").strip()
+            if line.startswith("data: "):
+                payload = json.loads(line[len("data: "):])
+                break
+        else:  # pragma: no cover - would mean only keepalives arrived
+            pytest.fail("no data frame within 10 lines")
+        request.close()
+        assert payload == {"kind": "probe", "step": 1}
+
+    def test_stop_is_idempotent(self, live_run):
+        live_run.stop()
+        live_run.stop()
+
+
+class TestTop:
+    def test_renders_span_tree_frames(self, live_run):
+        lines = []
+        rendered = run_top(
+            live_run.url, frames=2, interval=0.01, plain=True, out=lines.append
+        )
+        assert rendered == 2
+        assert "simulate" in "\n".join(lines)
+        assert "interactions=" in lines[0]
+
+    def test_unreachable_server_reports_and_returns_zero(self):
+        lines = []
+        rendered = run_top(
+            "http://127.0.0.1:1", frames=1, plain=True, out=lines.append
+        )
+        assert rendered == 0
+        assert "cannot reach" in lines[0]

@@ -1,0 +1,74 @@
+"""The fastpath profiling hooks: engine counters and histograms."""
+
+from repro.baselines import binary_threshold_protocol
+from repro.core.multiset import Multiset
+from repro.core.simulation import simulate
+from repro.observability.metrics import Metrics
+from repro.observability.profile import ProfilingObserver
+
+
+def _profiled_run(**kwargs):
+    metrics = Metrics()
+    obs = ProfilingObserver(metrics)
+    result = simulate(
+        binary_threshold_protocol(4),
+        Multiset({"p0": 10}),
+        seed=2,
+        max_interactions=10_000,
+        observer=obs,
+        **kwargs,
+    )
+    return result, metrics, obs
+
+
+class TestProfilingObserver:
+    def test_interactions_and_rate(self):
+        result, metrics, _ = _profiled_run()
+        assert metrics.counter("sim.interactions").value == result.interactions
+        assert metrics.histogram("sim.steps_per_second").count == 1
+        assert metrics.histogram("sim.steps_per_second").max > 0
+
+    def test_enabled_candidates_histogram(self):
+        _, metrics, _ = _profiled_run()
+        assert metrics.histogram("sim.enabled_candidates").count > 0
+
+    def test_index_stats_from_run_end(self):
+        _, metrics, _ = _profiled_run()
+        # The fastpath engine reports its EnabledIndex stats on run_end.
+        assert metrics.histogram("sim.enabled_keys").count == 1
+        assert metrics.histogram("sim.index_churn").count == 1
+
+    def test_batch_and_null_skip_counters(self):
+        # The uniform scheduler's geometric null-step skip-ahead reports
+        # skipped runs as batch events with no transition.
+        from repro.baselines import majority_protocol
+        from repro.core import FastUniformScheduler
+
+        metrics = Metrics()
+        obs = ProfilingObserver(metrics)
+        simulate(
+            majority_protocol(),
+            Multiset({"X": 60, "Y": 40}),
+            seed=1,
+            scheduler=FastUniformScheduler(),
+            max_interactions=50_000,
+            convergence_window=10**9,
+            observer=obs,
+        )
+        assert metrics.counter("sim.batches").value > 0
+        assert metrics.counter("sim.collapsed").value > 0
+        assert metrics.counter("sim.null_skipped").value > 0
+        assert metrics.histogram("sim.batch_size").count > 0
+
+    def test_summary_lists_headline_numbers(self):
+        _, metrics, obs = _profiled_run()
+        summary = obs.summary()
+        assert (
+            summary["sim.interactions"]
+            == metrics.counter("sim.interactions").value
+        )
+        assert "sim.steps_per_second.mean" in summary
+
+    def test_owns_registry_when_none_given(self):
+        obs = ProfilingObserver()
+        assert isinstance(obs.metrics, Metrics)

@@ -19,12 +19,12 @@ from repro.runtime.pool import decide_parallel, parallel_map
 PARENT_PID = os.getpid()
 
 
-def _suicidal_worker(protocol, config, seed, sim_kwargs):
+def _suicidal_worker(protocol, config, seed, sim_kwargs, attempt=0):
     """Every pool attempt dies instantly: the BrokenProcessPool path."""
     os.kill(os.getpid(), signal.SIGKILL)
 
 
-def _sleeping_worker(protocol, config, seed, sim_kwargs):
+def _sleeping_worker(protocol, config, seed, sim_kwargs, attempt=0):
     """Every pool attempt hangs: the per-attempt timeout path."""
     time.sleep(120)
 
