@@ -9,10 +9,12 @@ in ``BENCH_simulator.json``:
   — simulation runs per second, gated by ``bench --check``;
 * ``multi_run.speedup`` / ``multi_run.scaling_efficiency`` /
   ``multi_run.cpu_count`` — plain gauges recording how well the pool
-  scales *on the machine that ran the suite*.  On a single-core box the
-  pool cannot beat the sequential loop (the speedup gauge honestly
-  records ≈ 1 or below); the scaling numbers are meaningful on multicore
-  CI runners.
+  scales *on the machine that ran the suite*.  On a single-core box a
+  "speedup" is vacuous (four workers time-slicing one core measure
+  scheduler overhead, not scaling), so the suite *skips* the scaling
+  gauges there and records ``multi_run.skipped_reason`` instead of
+  publishing a meaningless number; the scaling gauges appear only when
+  ``cpu_count >= 2``.
 * ``compile_cache.*`` — the cost of a cold Theorem 1 pipeline
   compilation vs a content-addressed cache hit.
 """
@@ -89,6 +91,16 @@ def test_multi_run_throughput_jobs4(benchmark, bench_metrics):
 
     cores = os.cpu_count() or 1
     bench_metrics.gauge("multi_run.cpu_count").set(cores)
+    if cores < 2:
+        # A single-core box cannot measure pool scaling: four workers
+        # time-slice one core and the ratio reads ≈ 1 regardless of how
+        # well the pool works.  Record *why* the gauges are absent (the
+        # string gauge only ever lands in the bench JSON, which is not
+        # exported to Prometheus) rather than a vacuous speedup.
+        bench_metrics.gauge("multi_run.skipped_reason").set(
+            f"speedup/scaling_efficiency skipped: cpu_count={cores} < 2"
+        )
+        return
     ops1 = bench_metrics.gauge("multi_run.jobs1.ops_per_second").value
     ops4 = bench_metrics.gauge("multi_run.jobs4.ops_per_second").value
     if ops1 and ops4:  # absent under --benchmark-disable

@@ -15,6 +15,10 @@ Usage::
     python -m repro bench                      # run the simulator bench suite
     python -m repro bench --out BENCH.json     # write the metrics elsewhere
     python -m repro bench --check              # fail on throughput regression
+    python -m repro bench --suite batched      # batched-engine throughput
+
+    python -m repro --engine batched ...       # bulk multinomial engine
+    python -m repro trace protocol --engine legacy  # bit-exact replay engine
 
     python -m repro chaos                      # X4 transient-fault experiment
     python -m repro chaos --smoke              # quick resilience smoke check
@@ -354,6 +358,13 @@ def _observe_parser(command: str) -> argparse.ArgumentParser:
         "(sets REPRO_DEADLINE; runs report deadline_exceeded instead of "
         "spinning forever)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("legacy", "fast", "batched"),
+        default=None,
+        help="simulation engine family for protocol-level runs (sets "
+        "REPRO_ENGINE; default: fast)",
+    )
     return parser
 
 
@@ -376,6 +387,8 @@ def _run_observe(command: str, argv: Tuple[str, ...]) -> int:
         os.environ["REPRO_JOBS"] = str(args.jobs)
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
 
     kwargs = {}
     for key in ("n", "total", "seed", "max_steps"):
@@ -599,7 +612,12 @@ BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
     "parallel": ("bench_parallel_runtime.py",),
     "chaos": ("bench_transient_faults.py",),
     "observability": ("bench_observability.py",),
-    "core": ("bench_simulator_performance.py", "bench_parallel_runtime.py"),
+    "batched": ("bench_batched_engine.py",),
+    "core": (
+        "bench_simulator_performance.py",
+        "bench_parallel_runtime.py",
+        "bench_batched_engine.py",
+    ),
     "all": (".",),
 }
 
@@ -700,6 +718,13 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
         help="wall-clock budget in seconds per simulation/program run "
         "(sets REPRO_DEADLINE in the pytest subprocess)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("legacy", "fast", "batched"),
+        default=None,
+        help="simulation engine family for protocol-level runs (sets "
+        "REPRO_ENGINE in the pytest subprocess)",
+    )
     args = parser.parse_args(argv)
 
     baseline = Path(args.baseline) if args.baseline else repo_root / "BENCH_simulator.json"
@@ -723,6 +748,8 @@ def _run_bench(argv: Tuple[str, ...]) -> int:
     env["REPRO_BENCH_OUT"] = str(out)
     if args.jobs is not None:
         env["REPRO_JOBS"] = str(args.jobs)
+    if args.engine is not None:
+        env["REPRO_ENGINE"] = args.engine
     if args.deadline is not None:
         env["REPRO_DEADLINE"] = str(args.deadline)
     src = str(repo_root / "src")
@@ -779,10 +806,19 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
         help="wall-clock budget in seconds per simulation/program run "
         "(sets REPRO_DEADLINE)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("legacy", "fast", "batched"),
+        default=None,
+        help="simulation engine family for protocol-level runs (sets "
+        "REPRO_ENGINE; default: fast)",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs is not None:
         os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
     if args.deadline is not None:
         os.environ["REPRO_DEADLINE"] = str(args.deadline)
 

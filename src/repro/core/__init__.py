@@ -21,6 +21,7 @@ from repro.core.composition import (
     negate,
     product,
 )
+from repro.core.batched import BatchedScheduler, DenseConfig, numpy_available
 from repro.core.fastpath import (
     EnabledIndex,
     FastEnabledScheduler,
@@ -52,7 +53,15 @@ from repro.core.semantics import (
     successors,
     transition_enabled,
 )
-from repro.core.simulation import SimulationResult, decide, derive_seed, simulate
+from repro.core.simulation import (
+    SimulationResult,
+    decide,
+    derive_seed,
+    engine_label,
+    resolve_engine,
+    scheduler_for_engine,
+    simulate,
+)
 from repro.core.stability import (
     initial_configurations,
     stabilisation_verdict,
@@ -81,11 +90,17 @@ __all__ = [
     "EnabledTransitionScheduler",
     "FastEnabledScheduler",
     "FastUniformScheduler",
+    "BatchedScheduler",
+    "DenseConfig",
+    "numpy_available",
     "EnabledIndex",
     "SchedulerStep",
     "simulate",
     "decide",
     "derive_seed",
+    "engine_label",
+    "resolve_engine",
+    "scheduler_for_engine",
     "SimulationResult",
     "stabilisation_verdict",
     "verify_decides",

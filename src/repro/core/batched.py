@@ -1,0 +1,781 @@
+"""Batched multinomial simulation engine: bulk interactions for huge n.
+
+The fast path of :mod:`repro.core.fastpath` executes one interaction at a
+time (plus geometric null-run skip-ahead).  That caps practical runs
+around ``n ≈ 10^5`` agents — far below the regime the paper's
+double-exponential thresholds are about, where the population is
+astronomically larger than the reachable state set.  This module adopts
+the ppsim batching algorithm (Berenbrink, Hammer, Kaaser, Meyer,
+Penschuck, Tran — arXiv:2005.03584): instead of stepping agents, sample
+how an entire *batch* of interactions decomposes over ordered state
+pairs, and apply the whole batch as one set of count deltas.
+
+The batch law, exactly
+----------------------
+
+Run the textbook uniform-pair scheduler and mark the first interaction in
+which an agent participates for the *second* time (the "collision").  The
+number ``L`` of interactions strictly before the collision satisfies::
+
+    P(L >= l) = n! / (n - 2l)!  /  (n(n-1))^l          (l >= 1)
+
+because the first ``l`` interactions involve ``2l`` distinct agents.
+Conditioned on ``L = l``, those ``2l`` agents are a uniform ordered
+sample without replacement from the population, so the initiator/responder
+*state* counts of the batch follow nested multivariate hypergeometrics of
+the configuration, and pairing is a uniform random matching between them.
+Agents are exchangeable and the process is Markov in the configuration,
+so after applying the batch (and the one collision interaction, which
+reuses exactly one of the ``2l`` touched agents) the engine simply starts
+a fresh batch.  Every distributional statement above is exact — the
+batched engine samples the *same* law over configuration trajectories as
+the per-step uniform scheduler, only aggregated.
+
+Three details worth pinning down:
+
+* **Null interactions consume agents.**  The batch decomposition is by
+  agent identity, not by whether a transition exists for a state pair, so
+  pairs with no transition still occupy their two slots in the batch (and
+  still count as interactions, matching the uniform model).
+* **Budget truncation is exact.**  If the sampled ``L`` meets or exceeds
+  the remaining interaction budget ``r``, the first ``r`` interactions of
+  the batch are ``r`` all-distinct pairs — conditioned on ``L >= r`` they
+  are exchangeable — so the engine applies exactly ``r`` of them and
+  stops, with no collision step.
+* **Bulk application cannot go negative.**  A batch consumes at most the
+  sampled initiator+responder counts, which are drawn without replacement
+  from the configuration, so intermediate orderings never matter:
+  ``DenseConfig`` applies the net deltas in one pass.
+
+Engine selection and fidelity
+-----------------------------
+
+:class:`BatchedScheduler` joins the ``Fast*``/legacy scheduler families;
+``simulate(..., engine="batched")`` (or ``REPRO_ENGINE=batched``) selects
+it.  Per-step engines remain the bit-exact reference: the batched engine
+is *distribution*-equivalent (pinned by chi-square tests in
+``tests/core/test_batched.py``), not stream-identical.  Output tracking
+is batch-granular: the accepting-agent count is updated per batch, so an
+output flip that both appears and disappears strictly inside one batch is
+not observed — the same character of heuristic as the convergence window
+itself.  Silence, by contrast, stays exact and is checked every batch.
+
+numpy is optional (the ``repro[batch]`` extra).  With it, batches are
+sampled via ``Generator.multivariate_hypergeometric`` and paired with a
+single permutation; without it (or with ``REPRO_NO_NUMPY=1``) a pure
+stdlib sampler draws the ``2l`` agents sequentially — same law, lower
+throughput.  Both backends layer on the run's ``random.Random`` stream:
+the Python rng drives batch lengths and collision draws, and the numpy
+generator (when present) is seeded once per run from that stream, so
+runs are deterministic per (seed, backend).
+"""
+
+from __future__ import annotations
+
+import os
+from math import lgamma, log
+from time import monotonic
+from typing import Dict, List, Optional
+
+from repro.core.errors import InvalidConfigurationError
+from repro.core.fastpath import _FLOAT_SAFE_TOTAL, _NEVER, get_table
+from repro.core.multiset import Multiset
+from repro.core.protocol import PopulationProtocol
+from repro.core.scheduler import UniformPairScheduler
+from repro.observability import events as ev
+from repro.observability.events import LAYER_PROTOCOL
+
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """Import numpy on first use (so ``import repro.core`` stays cheap and
+    dependency-free); returns the module or ``None``."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:  # pragma: no cover - exercised via both CI environments
+            import numpy
+
+            _np = numpy
+        except ImportError:  # pragma: no cover
+            _np = None
+    return _np
+
+
+def numpy_available() -> bool:
+    """True when the numpy acceleration path is importable *and* not
+    disabled via ``REPRO_NO_NUMPY`` (any non-empty value).  Checked per
+    run, so tests can pin the pure fallback with ``monkeypatch.setenv``."""
+    return _numpy() is not None and not os.environ.get("REPRO_NO_NUMPY")
+
+
+class BatchedScheduler(UniformPairScheduler):
+    """Scheduler marker selecting the batched multinomial engine.
+
+    Semantics are those of :class:`UniformPairScheduler` (null steps
+    counted, parallel time unchanged) executed in bulk;
+    ``tie_break`` keeps its meaning for multi-candidate pairs.  The
+    inherited per-step ``select`` remains as a fallback for ``n < 2``
+    populations and for fault-injected runs, which need per-interaction
+    granularity and therefore degrade to the per-step fast uniform loop.
+    """
+
+
+# ----------------------------------------------------------------------
+# Dense configuration
+# ----------------------------------------------------------------------
+class DenseConfig(Multiset):
+    """Array-backed configuration over a fixed state universe.
+
+    Behaves exactly like :class:`Multiset` (same equality, iteration,
+    watchers, pickling) but additionally maintains ``cnt`` — a dense
+    integer vector indexed by ``sid[state]`` — so the batched engine can
+    read counts and apply whole batches of deltas without hashing states.
+    The universe is fixed at construction: mutating a state outside it is
+    an :class:`InvalidConfigurationError` (a plain ``Multiset`` would
+    silently grow).
+    """
+
+    __slots__ = ("states", "sid", "cnt")
+
+    def __init__(self, states, counts=None):
+        self.states = tuple(states)
+        self.sid: Dict[object, int] = {s: i for i, s in enumerate(self.states)}
+        if len(self.sid) != len(self.states):
+            raise InvalidConfigurationError("duplicate states in universe")
+        super().__init__(counts)
+        self.cnt: List[int] = [0] * len(self.states)
+        for state, count in self._counts.items():
+            idx = self.sid.get(state)
+            if idx is None:
+                raise InvalidConfigurationError(
+                    f"state {state!r} is not in this DenseConfig's universe"
+                )
+            self.cnt[idx] = count
+
+    def inc(self, state, amount: int = 1) -> None:
+        idx = self.sid.get(state)
+        if idx is None:
+            raise InvalidConfigurationError(
+                f"state {state!r} is not in this DenseConfig's universe"
+            )
+        super().inc(state, amount)  # validates non-negativity first
+        self.cnt[idx] += amount
+
+    def apply_sid_deltas(self, deltas) -> None:
+        """Apply ``(state_id, delta)`` pairs as one bulk update.
+
+        Each touched state's watchers fire once with its final count —
+        the contract bulk mutation adds over per-step ``inc`` calls.
+        Raises (before mutating anything) if any count would go negative.
+        """
+        counts = self._counts
+        cnt = self.cnt
+        states = self.states
+        for idx, delta in deltas:
+            if cnt[idx] + delta < 0:
+                raise InvalidConfigurationError(
+                    f"count of {states[idx]!r} would become negative"
+                )
+        for idx, delta in deltas:
+            if not delta:
+                continue
+            state = states[idx]
+            new = cnt[idx] + delta
+            cnt[idx] = new
+            if new:
+                counts[state] = new
+            else:
+                counts.pop(state, None)
+            self._size += delta
+            if self._watchers:
+                for callback in self._watchers:
+                    callback(state, new)
+
+    def apply_deltas(self, deltas: Dict[object, int]) -> None:
+        """State-keyed convenience wrapper over :meth:`apply_sid_deltas`."""
+        sid = self.sid
+        try:
+            pairs = [(sid[state], delta) for state, delta in deltas.items()]
+        except KeyError as exc:
+            raise InvalidConfigurationError(
+                f"state {exc.args[0]!r} is not in this DenseConfig's universe"
+            ) from None
+        self.apply_sid_deltas(pairs)
+
+    def copy(self) -> "DenseConfig":
+        fresh = DenseConfig.__new__(DenseConfig)
+        fresh.states = self.states
+        fresh.sid = self.sid
+        fresh.cnt = list(self.cnt)
+        fresh._counts = dict(self._counts)
+        fresh._size = self._size
+        fresh._watchers = None
+        return fresh
+
+    def __getstate__(self):
+        return {"states": self.states, "counts": dict(self._counts)}
+
+    def __setstate__(self, state):
+        self.__init__(state["states"], state["counts"])
+
+    def __reduce__(self):
+        return (DenseConfig, (self.states, dict(self._counts)))
+
+
+# ----------------------------------------------------------------------
+# Batch samplers
+# ----------------------------------------------------------------------
+class _SamplerBase:
+    """Shared draws that always come from the Python ``random.Random``
+    stream, so switching the pairing backend only reorders *backend*
+    randomness, never the batch-length/collision stream."""
+
+    def __init__(self, rng, n_states: int, population: int):
+        self.rng = rng
+        self.S = n_states
+        self.m = population
+        if population < 2:
+            raise ValueError("batched sampling needs population >= 2")
+        if population <= _FLOAT_SAFE_TOTAL:
+            # Constants of log P(L >= l); see module docstring.
+            self._lgn1 = lgamma(population + 1)
+            self._lognn = log(population) + log(population - 1)
+        else:  # astronomically large n: collisions are unobservable
+            self._lgn1 = None
+            self._lognn = None
+
+    # -- batch length --------------------------------------------------
+    def batch_length(self) -> int:
+        """One draw of ``L`` by inverse transform over the exact tail
+        ``P(L >= l)``, via binary search on its (decreasing) logarithm.
+        ``L >= 1`` always; the cost is ~``log2(n/2)`` lgamma pairs."""
+        m = self.m
+        if self._lgn1 is None:
+            # P(L >= l) ~ 1 for every l within any realistic budget; the
+            # caller's budget-truncation rule does the rest, exactly.
+            return m // 2
+        u = 1.0 - self.rng.random()  # (0, 1]
+        logu = log(u)
+        lgn1 = self._lgn1
+        lognn = self._lognn
+        hi = m // 2
+        if lgn1 - lgamma(m - 2 * hi + 1) - hi * lognn >= logu:
+            return hi
+        lo = 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if lgn1 - lgamma(m - 2 * mid + 1) - mid * lognn >= logu:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    # -- small weighted draws (collision step, pure sampler) -----------
+    def _randbelow(self, total: int) -> int:
+        if total <= _FLOAT_SAFE_TOTAL:
+            x = int(self.rng.random() * total)
+            return total - 1 if x >= total else x
+        return self.rng.randrange(total)
+
+    def _draw_state(self, vec, total: int) -> int:
+        """One state id weighted by the count vector ``vec`` (sum = total)."""
+        x = self._randbelow(total)
+        acc = 0
+        for s, c in enumerate(vec):
+            if c:
+                acc += c
+                if acc > x:
+                    return s
+        raise AssertionError("weighted draw overran its total")
+
+    def sample_collision(self, upost, fresh, used: int, untouched: int):
+        """The collision interaction's ordered state pair.
+
+        The initiator/responder are a uniform ordered agent pair among
+        ``(used, used)``, ``(used, fresh)`` and ``(fresh, used)`` —
+        weights ``u(u-1)``, ``u·f``, ``f·u`` — i.e. every ordered pair
+        except two untouched agents (that would extend the batch).
+        ``upost`` holds the post-batch states of the ``used`` agents.
+        """
+        u, f = used, untouched
+        uu = u * (u - 1)
+        uf = u * f
+        x = self._randbelow(uu + 2 * uf)
+        if x < uu:
+            a = self._draw_state(upost, u)
+            upost[a] -= 1
+            b = self._draw_state(upost, u - 1)
+            upost[a] += 1
+        elif x < uu + uf:
+            a = self._draw_state(upost, u)
+            b = self._draw_state(fresh, f)
+        else:
+            a = self._draw_state(fresh, f)
+            b = self._draw_state(upost, u)
+        return a, b
+
+
+class _PureSampler(_SamplerBase):
+    """Stdlib-only batch sampler: the ``2l`` batch agents are drawn
+    sequentially without replacement, pair by pair.  Same law as the
+    numpy path, linear in ``l·|support|`` instead of vectorised."""
+
+    backend = "pure"
+
+    def sample_pairs(self, cnt, length: int):
+        """Returns ``(pairs, fresh)``: ``pairs`` maps the encoded ordered
+        state pair ``a*S + b`` to its interaction count; ``fresh`` is the
+        count vector of agents not touched by the batch."""
+        S = self.S
+        avail = list(cnt)
+        rem = self.m
+        pairs: Dict[int, int] = {}
+        support = [s for s in range(S) if avail[s]]
+        rng_random = self.rng.random
+        randrange = self.rng.randrange
+        float_safe = _FLOAT_SAFE_TOTAL
+        for _ in range(length):
+            code = 0
+            for _side in (0, 1):
+                if rem <= float_safe:
+                    x = int(rng_random() * rem)
+                    if x >= rem:
+                        x = rem - 1
+                else:
+                    x = randrange(rem)
+                acc = 0
+                for s in support:
+                    acc += avail[s]
+                    if acc > x:
+                        break
+                avail[s] -= 1
+                rem -= 1
+                code = code * S + s
+            pairs[code] = pairs.get(code, 0) + 1
+        return list(pairs.items()), avail
+
+    def split(self, k: int, ncands: int):
+        """Uniform multinomial split of ``k`` tied interactions over
+        ``ncands`` candidates."""
+        out = [0] * ncands
+        rng_random = self.rng.random
+        for _ in range(k):
+            out[int(rng_random() * ncands)] += 1
+        return out
+
+
+class _NumpySampler(_SamplerBase):
+    """numpy batch sampler.
+
+    Initiator counts ``I ~ MVH(C, l)`` and responder counts
+    ``R ~ MVH(C - I, l)`` are nested multivariate hypergeometrics over
+    the *occupied* states; pairing the two sides is a uniform random
+    matching, realised by permuting the responder sequence once and
+    bucketing the encoded ``(initiator, responder)`` codes.
+    """
+
+    backend = "numpy"
+
+    def __init__(self, rng, n_states: int, population: int):
+        super().__init__(rng, n_states, population)
+        # One Python-stream draw seeds the backend generator, keeping the
+        # run a pure function of (seed, backend).
+        self.np_rng = _np.random.default_rng(rng.getrandbits(64))
+
+    def sample_pairs(self, cnt, length: int):
+        np_rng = self.np_rng
+        colors_full = _np.asarray(cnt, dtype=_np.int64)
+        occ = _np.nonzero(colors_full)[0]
+        colors = colors_full[occ]
+        initiators = np_rng.multivariate_hypergeometric(colors, length)
+        responders = np_rng.multivariate_hypergeometric(
+            colors - initiators, length
+        )
+        init_seq = _np.repeat(occ, initiators)
+        resp_seq = np_rng.permutation(_np.repeat(occ, responders))
+        codes = init_seq * self.S + resp_seq
+        uniq, counts = _np.unique(codes, return_counts=True)
+        fresh = [0] * self.S
+        fresh_occ = (colors - initiators - responders).tolist()
+        for pos, s in enumerate(occ.tolist()):
+            fresh[s] = fresh_occ[pos]
+        return list(zip(uniq.tolist(), counts.tolist())), fresh
+
+    def split(self, k: int, ncands: int):
+        return self.np_rng.multinomial(
+            k, [1.0 / ncands] * ncands
+        ).tolist()
+
+
+# ----------------------------------------------------------------------
+# Vectorised batch application (numpy backend, unobserved runs)
+# ----------------------------------------------------------------------
+class _VecTables:
+    """Per-run dense tables turning a batch's ``(code, count)`` chunks
+    into array arithmetic: row ``i`` of ``deltas``/``upost`` holds the
+    net configuration deltas and post-state increments of *candidate 0*
+    of uniform key ``i``.  Only single-candidate keys (or any key under
+    ``tie_break="first"``) take this path; multi-candidate keys and
+    transitionless pairs fall back to the scalar loop, as do observed
+    runs (event emission is per chunk anyway)."""
+
+    def __init__(self, table, tie_first: bool):
+        S = len(table.states)
+        keys = table.uniform.keys
+        nk = len(keys)
+        self.code2key = _np.full(S * S, -1, dtype=_np.int64)
+        self.ncand = _np.zeros(nk, dtype=_np.int64)
+        self.deltas = _np.zeros((nk, S), dtype=_np.int64)
+        self.upost = _np.zeros((nk, S), dtype=_np.int64)
+        self.changes = _np.zeros(nk, dtype=_np.int64)
+        self.accept_delta = _np.zeros(nk, dtype=_np.int64)
+        for i, (a, b, _off, _mult, cands) in enumerate(keys):
+            self.code2key[a * S + b] = i
+            self.ncand[i] = 1 if tie_first else len(cands)
+            _q, _r, q2, r2, ch, ad, deltas, _t = cands[0]
+            self.upost[i, q2] += 1
+            self.upost[i, r2] += 1
+            for s, d in deltas:
+                self.deltas[i, s] = d
+            self.changes[i] = 1 if ch else 0
+            self.accept_delta[i] = ad
+
+
+#: Above this ``keys × states`` product the dense vectorised tables cost
+#: more memory than they are worth; the scalar chunk loop handles it.
+_VEC_TABLE_LIMIT = 8_000_000
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def _per_interaction_recorders(obs):
+    """TraceRecorders in the observer tree that would record
+    per-interaction events — the granularity a batched run never emits."""
+    from repro.observability.observer import CompositeObserver
+    from repro.observability.trace import TraceRecorder
+
+    found = []
+
+    def walk(node):
+        if node is None:
+            return
+        if isinstance(node, CompositeObserver):
+            for child in node.observers:
+                walk(child)
+            return
+        if isinstance(node, TraceRecorder):
+            if node.kinds is None or ev.INTERACTION in node.kinds:
+                found.append(node)
+
+    walk(obs)
+    return found
+
+
+def run_batched_simulation(
+    protocol: PopulationProtocol,
+    current: Multiset,
+    *,
+    population: int,
+    rng,
+    scheduler: BatchedScheduler,
+    max_interactions: int,
+    convergence_window: int,
+    check_silence_every: int,  # accepted for signature parity; silence is per batch
+    obs,
+    trace,
+    stable_output: Optional[bool],
+    deadline_at=None,
+):
+    """Drop-in driver used by :func:`repro.core.simulate` for
+    :class:`BatchedScheduler` — same contract as
+    :func:`repro.core.fastpath.run_fast_simulation`, batch-granular
+    events (``on_batch`` with kinds ``"multinomial"``/``"collision"``),
+    and exact silence checked every batch."""
+    del check_silence_every  # silence is exact and per-batch here
+    from repro.core.simulation import SimulationResult  # late: avoids cycle
+
+    table = get_table(protocol)
+    states = table.states
+    S = len(states)
+    dense = DenseConfig(states, current.to_dict())
+    cnt = dense.cnt
+    accepting = table.accepting
+    tie_first = scheduler.tie_break == "first"
+
+    # Ordered-pair candidate map over the *uniform* mode table (it keys
+    # every matched pair, no-ops included — exactly a batch's universe).
+    pair_cands: Dict[int, tuple] = {}
+    for a, b, _off, _mult, cands in table.uniform.keys:
+        pair_cands[a * S + b] = cands
+    # Exact silence predicate: silent iff no configuration-changing key
+    # has positive ordered-pair weight.  Two equivalent ways to decide
+    # that, picked per check by whichever scans less: all changing keys
+    # (early-exits fast on dense configurations), or all ordered pairs of
+    # *occupied* states against a code set (fast when few states are
+    # occupied — e.g. small populations under a protocol with hundreds of
+    # thousands of transitions, where the key scan is ruinous per batch).
+    changing_keys = [
+        (key[0], key[1], key[2])
+        for key, ch in zip(table.enabled.keys, table.enabled.changing)
+        if ch
+    ]
+    changing_codes = frozenset(a * S + b for a, b, _off in changing_keys)
+
+    use_numpy = numpy_available() and population <= (1 << 62)
+    sampler_cls = _NumpySampler if use_numpy else _PureSampler
+    sampler = sampler_cls(rng, S, population)
+    vec = None
+    if use_numpy and len(table.uniform.keys) * S <= _VEC_TABLE_LIMIT:
+        vec = _VecTables(table, tie_first)
+
+    if obs is not None:
+        for recorder in _per_interaction_recorders(obs):
+            recorder.record(
+                ev.TRUNCATED,
+                0,
+                layer=LAYER_PROTOCOL,
+                reason=(
+                    "batched engine emits batch-granularity events only; "
+                    "per-interaction events are not recorded"
+                ),
+                engine="batched",
+            )
+
+    snapshot_every = obs.snapshot_interval if obs is not None else None
+    next_snapshot = snapshot_every if snapshot_every else None
+    interactions = 0
+    productive = 0
+    stable_since = 0
+    accept = sum(cnt[s] for s in range(S) if accepting[s])
+    m = population
+    out = stable_output
+    conv_at = stable_since + convergence_window if out is not None else _NEVER
+    batches = 0
+    collisions = 0
+
+    def finish(verdict, silent, deadline_exceeded=False):
+        if obs is not None:
+            obs.on_run_end(
+                interactions,
+                LAYER_PROTOCOL,
+                verdict=verdict,
+                silent=silent,
+                interactions=interactions,
+                productive=productive,
+                population=population,
+                deadline_exceeded=deadline_exceeded,
+                engine="batched",
+                batches=batches,
+                collisions=collisions,
+            )
+        return SimulationResult(
+            final=dense,
+            verdict=verdict,
+            silent=silent,
+            interactions=interactions,
+            productive=productive,
+            population=population,
+            output_trace=trace,
+            deadline_exceeded=deadline_exceeded,
+        )
+
+    def flip_check(step):
+        nonlocal out, stable_since, conv_at
+        new_out = True if accept == m else (False if accept == 0 else None)
+        if new_out != out:
+            out = new_out
+            stable_since = productive
+            conv_at = (
+                stable_since + convergence_window if out is not None else _NEVER
+            )
+            trace.append((step, out))
+            if obs is not None:
+                obs.on_output_flip(step, out, LAYER_PROTOCOL)
+
+    def silent_now():
+        # The key scan early-exits on the first enabled changing key —
+        # usually instant on dense configurations — so the exhaustive
+        # occupied-pair scan must be *much* smaller to be worth it.
+        occupied = [s for s in range(S) if cnt[s]]
+        occ_sq = len(occupied) * len(occupied)
+        if occ_sq <= 4096 or occ_sq * 16 <= len(changing_keys):
+            for a in occupied:
+                solo = cnt[a] < 2
+                base = a * S
+                for b in occupied:
+                    if a == b and solo:
+                        continue
+                    if base + b in changing_codes:
+                        return False
+            return True
+        for a, b, off in changing_keys:
+            if cnt[a] * (cnt[b] - off) > 0:
+                return False
+        return True
+
+    while interactions < max_interactions:
+        if deadline_at is not None and monotonic() >= deadline_at:
+            return finish(None, False, deadline_exceeded=True)
+        if silent_now():
+            if obs is not None:
+                obs.on_silence_check(interactions, True)
+            return finish(out, True)
+
+        # ---- one batch ----------------------------------------------
+        remaining = max_interactions - interactions
+        length = sampler.batch_length()
+        # A collision interaction follows the batch only if it fits the
+        # budget; otherwise truncate the (all-distinct) batch exactly.
+        collide = length < remaining
+        if not collide:
+            length = remaining
+        pairs, fresh = sampler.sample_pairs(cnt, length)
+        end_step = interactions + length
+
+        delta_acc = [0] * S
+        upost = [0] * S
+        nulls = 0
+        batch_productive = 0
+        accept_acc = 0
+
+        if vec is not None and obs is None:
+            codes = _np.fromiter(
+                (code for code, _k in pairs), dtype=_np.int64, count=len(pairs)
+            )
+            counts = _np.fromiter(
+                (k for _code, k in pairs), dtype=_np.int64, count=len(pairs)
+            )
+            kidx = vec.code2key[codes]
+            matched = kidx >= 0
+            if not matched.all():
+                null_codes = codes[~matched]
+                null_counts = counts[~matched]
+                nulls = int(null_counts.sum())
+                upost_arr = _np.zeros(S, dtype=_np.int64)
+                _np.add.at(upost_arr, null_codes // S, null_counts)
+                _np.add.at(upost_arr, null_codes % S, null_counts)
+                upost = upost_arr.tolist()
+            single = matched & (vec.ncand[_np.where(matched, kidx, 0)] == 1)
+            rows = kidx[single]
+            if rows.size:
+                kc = counts[single]
+                delta_acc = (vec.deltas[rows] * kc[:, None]).sum(axis=0).tolist()
+                upost_vec = (vec.upost[rows] * kc[:, None]).sum(axis=0).tolist()
+                upost = [u + v for u, v in zip(upost, upost_vec)]
+                batch_productive = int(vec.changes[rows] @ kc)
+                accept_acc = int(vec.accept_delta[rows] @ kc)
+            multi = matched & ~single
+            if multi.any():
+                for code, k in zip(
+                    codes[multi].tolist(), counts[multi].tolist()
+                ):
+                    cands = pair_cands[code]
+                    for cand, kc in zip(cands, sampler.split(k, len(cands))):
+                        if not kc:
+                            continue
+                        _q, _r, q2, r2, ch, ad, cdeltas, _t = cand
+                        upost[q2] += kc
+                        upost[r2] += kc
+                        for s, d in cdeltas:
+                            delta_acc[s] += d * kc
+                        if ch:
+                            batch_productive += kc
+                        accept_acc += ad * kc
+        else:
+            for code, k in pairs:
+                cands = pair_cands.get(code)
+                if cands is None:
+                    # Null interactions: no transition, but the agents
+                    # are still consumed by the batch.
+                    a, b = divmod(code, S)
+                    upost[a] += k
+                    upost[b] += k
+                    nulls += k
+                    continue
+                if len(cands) == 1 or tie_first:
+                    chunks = ((cands[0], k),)
+                else:
+                    chunks = zip(cands, sampler.split(k, len(cands)))
+                for cand, kc in chunks:
+                    if not kc:
+                        continue
+                    _q, _r, q2, r2, ch, ad, cdeltas, t = cand
+                    upost[q2] += kc
+                    upost[r2] += kc
+                    for s, d in cdeltas:
+                        delta_acc[s] += d * kc
+                    if ch:
+                        batch_productive += kc
+                    accept_acc += ad * kc
+                    if obs is not None:
+                        obs.on_batch(
+                            end_step,
+                            kind="multinomial",
+                            count=kc,
+                            transition=t,
+                            productive=kc if ch else 0,
+                        )
+            if nulls and obs is not None:
+                obs.on_batch(
+                    end_step, kind="multinomial", count=nulls, transition=None
+                )
+
+        dense.apply_sid_deltas(
+            [(s, d) for s, d in enumerate(delta_acc) if d]
+        )
+        interactions = end_step
+        productive += batch_productive
+        accept += accept_acc
+        batches += 1
+        flip_check(interactions)
+        if obs is not None and next_snapshot and interactions >= next_snapshot:
+            obs.on_snapshot(interactions, dense.to_dict(), LAYER_PROTOCOL)
+            next_snapshot = (
+                interactions - interactions % snapshot_every + snapshot_every
+            )
+        if productive >= conv_at:
+            return finish(out, False)
+
+        # ---- the collision interaction ------------------------------
+        if collide:
+            interactions += 1
+            collisions += 1
+            a, b = sampler.sample_collision(
+                upost, fresh, 2 * length, m - 2 * length
+            )
+            cands = pair_cands.get(a * S + b)
+            if cands is None:
+                if obs is not None:
+                    obs.on_batch(interactions, kind="collision", count=1)
+            else:
+                if len(cands) == 1 or tie_first:
+                    cand = cands[0]
+                else:
+                    cand = cands[int(rng.random() * len(cands))]
+                _q, _r, _q2, _r2, ch, ad, cdeltas, t = cand
+                if cdeltas:
+                    dense.apply_sid_deltas(cdeltas)
+                if ch:
+                    productive += 1
+                accept += ad
+                if obs is not None:
+                    obs.on_batch(
+                        interactions,
+                        kind="collision",
+                        count=1,
+                        transition=t,
+                        productive=1 if ch else 0,
+                    )
+                if ad:
+                    flip_check(interactions)
+                if productive >= conv_at:
+                    return finish(out, False)
+
+    silent = silent_now()
+    if obs is not None:
+        obs.on_silence_check(interactions, silent)
+    return finish(out if silent else None, silent)

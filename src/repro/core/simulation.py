@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from repro.core.batched import BatchedScheduler, run_batched_simulation
 from repro.core.errors import NonConvergenceError
 from repro.core.fastpath import (
     FastEnabledScheduler,
@@ -96,6 +97,54 @@ def resolve_deadline(deadline: float | None) -> float | None:
     return value if value > 0 else None
 
 
+#: The selectable engine families, in increasing order of throughput (and
+#: decreasing granularity): per-step legacy schedulers (bit-exact archive
+#: replay), the incremental fast path, and the batched multinomial engine.
+_ENGINES = ("legacy", "fast", "batched")
+
+
+def resolve_engine(engine: str | None) -> str | None:
+    """Normalise an ``engine`` argument (``"legacy"``/``"fast"``/``"batched"``).
+
+    An explicit value wins and must be one of the known names; ``None``
+    falls back to the ``REPRO_ENGINE`` environment variable (so whole
+    experiment sweeps and CI jobs can switch engines without touching
+    call sites).  Unset/garbage env values mean "no preference" —
+    returned as ``None``, which downstream treats as the fast default.
+    """
+    if engine is not None:
+        name = engine.strip().lower()
+        if name not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
+        return name
+    raw = os.environ.get("REPRO_ENGINE", "").strip().lower()
+    return raw if raw in _ENGINES else None
+
+
+def scheduler_for_engine(engine: str | None):
+    """The default scheduler of an engine family (``None`` → fast)."""
+    if engine == "batched":
+        return BatchedScheduler()
+    if engine == "legacy":
+        return EnabledTransitionScheduler()
+    return FastEnabledScheduler()
+
+
+def engine_label(scheduler, engine: str | None = None) -> str:
+    """The engine family a run will execute under — for span attributes
+    and provenance manifests.  An explicit scheduler decides; otherwise
+    the resolved ``engine`` preference does (default: ``"fast"``)."""
+    if scheduler is None:
+        return resolve_engine(engine) or "fast"
+    if isinstance(scheduler, BatchedScheduler):
+        return "batched"
+    if isinstance(scheduler, (FastEnabledScheduler, FastUniformScheduler)):
+        return "fast"
+    return "legacy"
+
+
 def simulate(
     protocol: PopulationProtocol,
     config: Multiset,
@@ -103,6 +152,7 @@ def simulate(
     seed: int | None = None,
     rng: random.Random | None = None,
     scheduler=None,
+    engine: str | None = None,
     max_interactions: int = 1_000_000,
     convergence_window: int = 2_000,
     check_silence_every: int = 512,
@@ -113,9 +163,10 @@ def simulate(
     """Sample one run of ``protocol`` from ``config``.
 
     When a span tracer is active (:func:`repro.observability.spans.activate`)
-    the whole run is wrapped in a ``simulate`` span; without one the only
-    cost is a single contextvar read.  See :func:`_simulate` for the full
-    contract — this wrapper forwards every argument verbatim.
+    the whole run is wrapped in a ``simulate`` span (annotated with the
+    engine family); without one the only cost is a single contextvar
+    read.  See :func:`_simulate` for the full contract — this wrapper
+    forwards every argument verbatim.
     """
     tracer = _spans.current()
     if tracer is None:
@@ -125,6 +176,7 @@ def simulate(
             seed=seed,
             rng=rng,
             scheduler=scheduler,
+            engine=engine,
             max_interactions=max_interactions,
             convergence_window=convergence_window,
             check_silence_every=check_silence_every,
@@ -133,7 +185,11 @@ def simulate(
             deadline=deadline,
         )
     with tracer.span(
-        "simulate", protocol=protocol.name, population=config.size, seed=seed
+        "simulate",
+        protocol=protocol.name,
+        population=config.size,
+        seed=seed,
+        engine=engine_label(scheduler, engine),
     ) as sp:
         result = _simulate(
             protocol,
@@ -141,6 +197,7 @@ def simulate(
             seed=seed,
             rng=rng,
             scheduler=scheduler,
+            engine=engine,
             max_interactions=max_interactions,
             convergence_window=convergence_window,
             check_silence_every=check_silence_every,
@@ -160,6 +217,7 @@ def _simulate(
     seed: int | None = None,
     rng: random.Random | None = None,
     scheduler=None,
+    engine: str | None = None,
     max_interactions: int = 1_000_000,
     convergence_window: int = 2_000,
     check_silence_every: int = 512,
@@ -188,17 +246,21 @@ def _simulate(
     default); past it the result carries ``verdict=None`` and
     ``deadline_exceeded=True``.
 
-    The default scheduler is :class:`FastEnabledScheduler`, which runs the
-    incremental fast path of :mod:`repro.core.fastpath`.  Pass
-    ``scheduler=EnabledTransitionScheduler()`` (or ``UniformPairScheduler()``)
-    to reproduce runs recorded with the legacy per-step schedulers
-    bit-exactly under the same seed.
+    ``engine`` selects the execution family when no explicit scheduler is
+    given: ``"legacy"`` (per-step reference schedulers, bit-exact
+    archive replay), ``"fast"`` (the incremental fast path — the
+    default) or ``"batched"`` (the bulk multinomial engine of
+    :mod:`repro.core.batched`, for very large populations).  ``None``
+    defers to ``REPRO_ENGINE``; an explicit ``scheduler`` always wins.
+    Pass ``scheduler=EnabledTransitionScheduler()`` (or
+    ``UniformPairScheduler()``) to reproduce runs recorded with the
+    legacy per-step schedulers bit-exactly under the same seed.
     """
     protocol.check_configuration(config)
     if rng is None:
         rng = random.Random(seed)
     if scheduler is None:
-        scheduler = FastEnabledScheduler()
+        scheduler = scheduler_for_engine(resolve_engine(engine))
     injector = None
     if faults is not None:
         from repro.resilience.faults import resolve_injector
@@ -225,6 +287,27 @@ def _simulate(
             states=protocol.state_count,
             scheduler=type(scheduler).__name__,
         )
+
+    if isinstance(scheduler, BatchedScheduler) and population >= 2:
+        if injector is None:
+            return run_batched_simulation(
+                protocol,
+                current,
+                population=population,
+                rng=rng,
+                scheduler=scheduler,
+                max_interactions=max_interactions,
+                convergence_window=convergence_window,
+                check_silence_every=check_silence_every,
+                obs=obs,
+                trace=trace,
+                stable_output=stable_output,
+                deadline_at=deadline_at,
+            )
+        # Fault injection is defined per interaction, which a batched run
+        # never materialises — degrade to the per-step fast uniform loop
+        # (identical uniform-pair semantics, full fault support).
+        scheduler = FastUniformScheduler(tie_break=scheduler.tie_break)
 
     if (
         isinstance(scheduler, (FastEnabledScheduler, FastUniformScheduler))
@@ -482,7 +565,8 @@ def decide(
     ):
         scheduler = kwargs.get("scheduler")
         if scheduler is None or isinstance(
-            scheduler, (FastEnabledScheduler, FastUniformScheduler)
+            scheduler,
+            (FastEnabledScheduler, FastUniformScheduler, BatchedScheduler),
         ):
             from repro.runtime.cache import cached_transition_table
 

@@ -188,6 +188,9 @@ class RunManifest:
     program_fingerprint: Optional[str] = None
     fault_plan: Optional[str] = None
     scheduler: Optional[str] = None
+    #: Engine family the run executed under ("legacy"/"fast"/"batched");
+    #: ``None`` when the target has no protocol-level simulation.
+    engine: Optional[str] = None
     jobs: Optional[int] = None
     cache: Dict[str, int] = field(default_factory=dict)
     outcome: Optional[str] = None
@@ -214,6 +217,16 @@ class RunManifest:
         return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
 
 
+#: Scheduler class → engine family, for manifest derivation.
+_SCHEDULER_ENGINES = {
+    "BatchedScheduler": "batched",
+    "FastEnabledScheduler": "fast",
+    "FastUniformScheduler": "fast",
+    "EnabledTransitionScheduler": "legacy",
+    "UniformPairScheduler": "legacy",
+}
+
+
 def build_manifest(
     target: str,
     *,
@@ -222,6 +235,7 @@ def build_manifest(
     program: Any = None,
     fault_plan: Any = None,
     scheduler: Any = None,
+    engine: Optional[str] = None,
     jobs: Optional[int] = None,
     cache: Any = None,
     outcome: Optional[str] = None,
@@ -231,7 +245,13 @@ def build_manifest(
     provided (``protocol``/``program`` objects are hashed via
     :mod:`repro.runtime.cache`; ``cache`` is a stats mapping or any
     object with a ``stats()`` method, defaulting to the process-wide
-    artifact cache)."""
+    artifact cache).
+
+    ``engine`` defaults from the scheduler's family when one is given,
+    else — for protocol targets that ran the default scheduler — from the
+    resolved ``REPRO_ENGINE`` preference; targets with no protocol-level
+    simulation leave it ``None``.
+    """
     import repro
     from repro.runtime.cache import (
         artifact_cache,
@@ -246,6 +266,13 @@ def build_manifest(
         scheduler_name = (
             scheduler if isinstance(scheduler, str) else type(scheduler).__name__
         )
+    if engine is None:
+        if scheduler_name is not None:
+            engine = _SCHEDULER_ENGINES.get(scheduler_name)
+        elif protocol is not None:
+            from repro.core.simulation import resolve_engine
+
+            engine = resolve_engine(None) or "fast"
     return RunManifest(
         target=target,
         seed=seed,
@@ -258,6 +285,7 @@ def build_manifest(
         ),
         fault_plan=fault_plan_digest(fault_plan),
         scheduler=scheduler_name,
+        engine=engine,
         jobs=jobs,
         cache=dict(cache.stats() if hasattr(cache, "stats") else cache),
         outcome=outcome,

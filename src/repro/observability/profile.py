@@ -62,14 +62,25 @@ class ProfilingObserver(Observer):
         if index_churn is not None:
             self.metrics.histogram("sim.index_churn").observe(index_churn)
             self.metrics.counter("sim.index_churn_total").inc(index_churn)
+        engine = data.get("engine")
+        if engine:
+            self.metrics.counter(f"sim.engine[{engine}]").inc()
+        batches = data.get("batches")
+        if batches is not None:
+            self.metrics.histogram("sim.batch.batches_per_run").observe(batches)
+        collisions = data.get("collisions")
+        if collisions is not None:
+            self.metrics.counter("sim.batch.collisions").inc(collisions)
 
     # -- engine events --------------------------------------------------
     def on_batch(self, step, *, kind, count, transition=None, productive=0) -> None:
         self.metrics.counter("sim.batches").inc()
+        self.metrics.counter(f"sim.batch.{kind}").inc()
         self.metrics.counter("sim.collapsed").inc(count)
         self.metrics.histogram("sim.batch_size").observe(count)
         if transition is None:
-            # Geometric skip-ahead: these null steps were never simulated.
+            # Geometric skip-ahead / batched null chunks: null steps that
+            # were accounted without being individually simulated.
             self.metrics.counter("sim.null_skipped").inc(count)
 
     def on_interaction(self, step, transition, pair, productive) -> None:
