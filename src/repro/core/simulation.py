@@ -100,17 +100,39 @@ def resolve_deadline(deadline: float | None) -> float | None:
 #: The selectable engine families, in increasing order of throughput (and
 #: decreasing granularity): per-step legacy schedulers (bit-exact archive
 #: replay), the incremental fast path, and the batched multinomial engine.
-_ENGINES = ("legacy", "fast", "batched")
+#: ``auto`` — the default — picks fast below the population-size
+#: crossover and batched above it.
+_ENGINES = ("auto", "legacy", "fast", "batched")
+
+#: Default population-size crossover for ``engine="auto"``.  BENCH shows
+#: the batched engine's per-batch setup makes it ~14× *slower* than the
+#: fastpath at n = 10³ (``batched.crossover.smalln_ratio``) while being
+#: ≥ 50× faster at n = 10⁶ — the crossover sits between; 50k keeps every
+#: interactive-scale run on the fastpath and every bulk run batched.
+AUTO_CROSSOVER_DEFAULT = 50_000
+
+
+def auto_crossover() -> int:
+    """The ``engine="auto"`` population crossover (``REPRO_AUTO_CROSSOVER``
+    overrides the default — unset/garbage/non-positive means default)."""
+    raw = os.environ.get("REPRO_AUTO_CROSSOVER", "").strip()
+    try:
+        value = int(raw) if raw else AUTO_CROSSOVER_DEFAULT
+    except ValueError:
+        return AUTO_CROSSOVER_DEFAULT
+    return value if value > 0 else AUTO_CROSSOVER_DEFAULT
 
 
 def resolve_engine(engine: str | None) -> str | None:
-    """Normalise an ``engine`` argument (``"legacy"``/``"fast"``/``"batched"``).
+    """Normalise an ``engine`` argument
+    (``"auto"``/``"legacy"``/``"fast"``/``"batched"``).
 
     An explicit value wins and must be one of the known names; ``None``
     falls back to the ``REPRO_ENGINE`` environment variable (so whole
     experiment sweeps and CI jobs can switch engines without touching
     call sites).  Unset/garbage env values mean "no preference" —
-    returned as ``None``, which downstream treats as the fast default.
+    returned as ``None``, which downstream treats exactly like
+    ``"auto"``: fastpath below the population crossover, batched above.
     """
     if engine is not None:
         name = engine.strip().lower()
@@ -123,21 +145,37 @@ def resolve_engine(engine: str | None) -> str | None:
     return raw if raw in _ENGINES else None
 
 
-def scheduler_for_engine(engine: str | None):
-    """The default scheduler of an engine family (``None`` → fast)."""
+def scheduler_for_engine(engine: str | None, population: int | None = None):
+    """The default scheduler of an engine family.
+
+    ``None``/``"auto"`` select by population size: the batched
+    multinomial engine at or above :func:`auto_crossover` agents, the
+    incremental fastpath below (and whenever the population is unknown).
+    """
     if engine == "batched":
         return BatchedScheduler()
     if engine == "legacy":
         return EnabledTransitionScheduler()
+    if engine in (None, "auto") and population is not None:
+        if population >= auto_crossover():
+            return BatchedScheduler()
     return FastEnabledScheduler()
 
 
-def engine_label(scheduler, engine: str | None = None) -> str:
+def engine_label(
+    scheduler, engine: str | None = None, population: int | None = None
+) -> str:
     """The engine family a run will execute under — for span attributes
     and provenance manifests.  An explicit scheduler decides; otherwise
-    the resolved ``engine`` preference does (default: ``"fast"``)."""
+    the resolved ``engine`` preference does (``auto``/default resolving
+    by ``population`` like :func:`scheduler_for_engine`)."""
     if scheduler is None:
-        return resolve_engine(engine) or "fast"
+        resolved = resolve_engine(engine)
+        if resolved in (None, "auto"):
+            if population is not None and population >= auto_crossover():
+                return "batched"
+            return "fast"
+        return resolved
     if isinstance(scheduler, BatchedScheduler):
         return "batched"
     if isinstance(scheduler, (FastEnabledScheduler, FastUniformScheduler)):
@@ -189,7 +227,7 @@ def simulate(
         protocol=protocol.name,
         population=config.size,
         seed=seed,
-        engine=engine_label(scheduler, engine),
+        engine=engine_label(scheduler, engine, config.size),
     ) as sp:
         result = _simulate(
             protocol,
@@ -248,10 +286,13 @@ def _simulate(
 
     ``engine`` selects the execution family when no explicit scheduler is
     given: ``"legacy"`` (per-step reference schedulers, bit-exact
-    archive replay), ``"fast"`` (the incremental fast path — the
-    default) or ``"batched"`` (the bulk multinomial engine of
-    :mod:`repro.core.batched`, for very large populations).  ``None``
-    defers to ``REPRO_ENGINE``; an explicit ``scheduler`` always wins.
+    archive replay), ``"fast"`` (the incremental fast path),
+    ``"batched"`` (the bulk multinomial engine of
+    :mod:`repro.core.batched`, for very large populations) or ``"auto"``
+    — the default — which picks fast below the
+    :func:`auto_crossover` population size and batched at or above it.
+    ``None`` defers to ``REPRO_ENGINE``, then behaves like ``"auto"``;
+    an explicit ``scheduler`` always wins.
     Pass ``scheduler=EnabledTransitionScheduler()`` (or
     ``UniformPairScheduler()``) to reproduce runs recorded with the
     legacy per-step schedulers bit-exactly under the same seed.
@@ -260,7 +301,7 @@ def _simulate(
     if rng is None:
         rng = random.Random(seed)
     if scheduler is None:
-        scheduler = scheduler_for_engine(resolve_engine(engine))
+        scheduler = scheduler_for_engine(resolve_engine(engine), config.size)
     injector = None
     if faults is not None:
         from repro.resilience.faults import resolve_injector
@@ -527,7 +568,7 @@ def decide(
     seed: int | None = None,
     attempts: int = 3,
     observer: Observer | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     deadline: float | None = None,
     timeout: float | None = None,
     **kwargs,
@@ -591,7 +632,7 @@ def _decide(
     seed: int | None = None,
     attempts: int = 3,
     observer: Observer | None = None,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
     deadline: float | None = None,
     timeout: float | None = None,
     **kwargs,
@@ -606,7 +647,10 @@ def _decide(
     identical to sequential execution for every seed.  ``jobs=1`` (the
     default) runs the sequential loop below, bit-identical to previous
     behaviour; ``jobs=None`` defers to the ``REPRO_JOBS`` environment
-    variable.
+    variable.  A ``"host:port"`` string (argument or environment) shards
+    the attempts across the distributed cluster at that address instead
+    (:func:`repro.runtime.distributed.decide_distributed`) — same seeds,
+    same verdict.
 
     ``deadline`` bounds the *whole* call in wall-clock seconds
     (``REPRO_DEADLINE`` supplies a default); ``timeout`` bounds each
@@ -616,10 +660,25 @@ def _decide(
     """
     base = seed if seed is not None else random.Random().randrange(2**31)
     obs = live(observer)
-    from repro.runtime.pool import decide_parallel, resolve_jobs
+    from repro.runtime.pool import decide_parallel, resolve_dispatch
 
     deadline = resolve_deadline(deadline)
-    n_jobs = resolve_jobs(jobs)
+    mode, target = resolve_dispatch(jobs)
+    if mode == "distributed" and attempts > 1:
+        from repro.runtime.distributed import decide_distributed
+
+        return decide_distributed(
+            protocol,
+            config,
+            base=base,
+            attempts=attempts,
+            addr=target,
+            observer=obs,
+            deadline=deadline,
+            timeout=timeout,
+            **kwargs,
+        )
+    n_jobs = target if mode == "local" else 1
     if n_jobs > 1 and attempts > 1:
         return decide_parallel(
             protocol,

@@ -106,7 +106,7 @@ def run_convergence(
     trials: int = 3,
     seed: int = 0,
     max_steps: int = 20_000_000,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> ConvergenceReport:
     """Sweep (n, m, trial); ``jobs`` fans the samples across a process
     pool (identical results to sequential for the same seed — each
@@ -117,14 +117,21 @@ def run_convergence(
     and every (n, m) pair at the same n shared them); seeds now come
     from the :mod:`repro.runtime.seeds` tree.
     """
-    tasks = [
-        (n, m, derive_seed_path(seed, "convergence", n, m, trial), max_steps)
+    grid = [
+        (n, m, trial)
         for n in range(1, max_n + 1)
         for m in ((threshold(n) - 1), threshold(n), threshold(n) + 3)
         for trial in range(trials)
     ]
+    tasks = [
+        (n, m, derive_seed_path(seed, "convergence", n, m, trial), max_steps)
+        for n, m, trial in grid
+    ]
     samples: List[ConvergenceSample] = parallel_map(
-        measure_convergence_task, tasks, jobs=jobs
+        measure_convergence_task,
+        tasks,
+        jobs=jobs,
+        paths=[("convergence", n, m, trial) for n, m, trial in grid],
     )
     return ConvergenceReport(samples)
 

@@ -92,7 +92,7 @@ def run_theorem3_decisions(
     seed: int = 0,
     quiet_window: int | None = None,
     max_steps: int = 50_000_000,
-    jobs: int | None = None,
+    jobs: int | str | None = None,
 ) -> List[DecisionTrial]:
     """Sample program decisions around the threshold boundary.
 
@@ -119,7 +119,12 @@ def run_theorem3_decisions(
         )
         for total in totals
     ]
-    return parallel_map(decide_threshold_task, tasks, jobs=jobs)
+    return parallel_map(
+        decide_threshold_task,
+        tasks,
+        jobs=jobs,
+        paths=[("theorem3", n, total) for total in totals],
+    )
 
 
 def decide_threshold_task(

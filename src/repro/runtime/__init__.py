@@ -19,12 +19,23 @@ reproducibility:
   :func:`~repro.runtime.pool.parallel_map` for deterministic fan-out,
   :func:`~repro.runtime.pool.decide_parallel` with first-verdict early
   cancellation, and per-worker :class:`~repro.observability.metrics.Metrics`
-  aggregation back into the parent registry.
+  aggregation back into the parent registry;
+* :mod:`repro.runtime.distributed` — the multi-host extension of the
+  same contract: a TCP work-stealing coordinator
+  (:func:`~repro.runtime.distributed.distributed_map` /
+  :func:`~repro.runtime.distributed.decide_distributed`), workers
+  (``python -m repro worker``), heartbeats/leases/re-dispatch, and
+  graceful degradation back to the in-process pool;
+* :mod:`repro.runtime.ledger` — the resumable on-disk journal of
+  completed ``(task_path, result)`` pairs, keyed by provenance
+  fingerprint, that lets an interrupted grid restart without redoing
+  finished work.
 
 ``jobs`` semantics everywhere: ``jobs=1`` (the default) runs the exact
 sequential code path, bit-identical to the pre-parallel behaviour;
 ``jobs=None`` consults the ``REPRO_JOBS`` environment variable (default
-1); ``jobs=0`` means "all cores".
+1); ``jobs=0`` means "all cores"; a ``"host:port"`` string (argument or
+``REPRO_JOBS``) dispatches to the distributed cluster at that address.
 """
 
 from repro.runtime.cache import (
@@ -36,10 +47,21 @@ from repro.runtime.cache import (
     program_fingerprint,
     protocol_fingerprint,
 )
+from repro.runtime.distributed import (
+    Coordinator,
+    NoWorkersError,
+    decide_distributed,
+    distributed_map,
+    get_cluster,
+    run_worker,
+    spawn_loopback_worker,
+)
+from repro.runtime.ledger import TaskLedger, job_fingerprint, resolve_ledger, task_key
 from repro.runtime.pool import (
     decide_parallel,
     merge_worker_metrics,
     parallel_map,
+    resolve_dispatch,
     resolve_jobs,
 )
 from repro.runtime.seeds import SeedTree, derive_child, derive_seed_path
@@ -59,4 +81,16 @@ __all__ = [
     "decide_parallel",
     "merge_worker_metrics",
     "resolve_jobs",
+    "resolve_dispatch",
+    "Coordinator",
+    "NoWorkersError",
+    "distributed_map",
+    "decide_distributed",
+    "get_cluster",
+    "run_worker",
+    "spawn_loopback_worker",
+    "TaskLedger",
+    "task_key",
+    "job_fingerprint",
+    "resolve_ledger",
 ]

@@ -233,6 +233,39 @@ def reset_artifact_cache() -> None:
 # ----------------------------------------------------------------------
 # Cached compilations
 # ----------------------------------------------------------------------
+_LAYER_COUNTERS = {
+    "memory": "cache.memory_hit",
+    "disk": "cache.disk_hit",
+    "miss": "cache.miss",
+}
+
+
+def _note_layer(sp, cache: ArtifactCache, hits_before: int, disk_before: int) -> str:
+    """Record *which* cache layer answered a lookup.
+
+    Sets the span's ``layer`` attribute and bumps a matching
+    ``cache.memory_hit`` / ``cache.disk_hit`` / ``cache.miss`` counter on
+    the ambient tracer's metrics registry — the disk counter is what lets
+    a cross-process warm start (second process, shared ``REPRO_CACHE_DIR``)
+    be asserted distinctly from an in-memory hit, instead of a silent
+    cold recompile hiding behind the same "hit" flag.
+    """
+    from repro.observability import spans as _spans
+
+    if cache.hits > hits_before:
+        layer = "memory"
+    elif cache.disk_hits > disk_before:
+        layer = "disk"
+    else:
+        layer = "miss"
+    if sp is not None:
+        sp.attrs["layer"] = layer
+    tracer = _spans.current()
+    if tracer is not None and tracer.metrics is not None:
+        tracer.metrics.counter(_LAYER_COUNTERS[layer]).inc()
+    return layer
+
+
 def cached_transition_table(
     protocol: PopulationProtocol, cache: Optional[ArtifactCache] = None
 ):
@@ -253,6 +286,7 @@ def cached_transition_table(
         key = f"table-{protocol_fingerprint(protocol)}"
         sp = _spans.begin("cache:table", protocol=protocol.name)
         misses_before = cache.misses
+        hits_before, disk_before = cache.hits, cache.disk_hits
         try:
             table = cache.get_or_build(key, lambda: TransitionTable(protocol))
         except BaseException:
@@ -260,6 +294,7 @@ def cached_transition_table(
             raise
         if sp is not None:
             sp.attrs["hit"] = cache.misses == misses_before
+        _note_layer(sp, cache, hits_before, disk_before)
         _spans.finish(sp)
         protocol._fastpath_table = table
     return table
@@ -286,6 +321,7 @@ def cached_compile_program(
     key = f"pipeline-{name}-{program_fingerprint(program)}"
     sp = _spans.begin("cache:pipeline", name=name)
     misses_before = cache.misses
+    hits_before, disk_before = cache.hits, cache.disk_hits
     try:
         result = cache.get_or_build(
             key, lambda: compile_program(program, name, observer=observer)
@@ -295,6 +331,7 @@ def cached_compile_program(
         raise
     if sp is not None:
         sp.attrs["hit"] = cache.misses == misses_before
+    _note_layer(sp, cache, hits_before, disk_before)
     _spans.finish(sp)
     return result
 

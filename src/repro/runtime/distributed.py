@@ -1,0 +1,1155 @@
+"""Distributed sharded fan-out: a TCP coordinator/worker runtime.
+
+:mod:`repro.runtime.pool` caps out at one host — and the bench box has
+``cpu_count=1``, so the process pool has nothing to scale onto.  This
+module extends the same execution contract across machines: a
+*coordinator* (the driver process) shards independent tasks — Monte
+Carlo ``decide`` attempts, experiment-grid cells — over any number of
+*workers* connected over TCP, with work stealing, and the results are
+**bit-identical to sequential execution** because nothing about a task
+depends on where or when it ran:
+
+* tasks are addressed by their deterministic
+  :class:`~repro.runtime.seeds.SeedTree` paths, never by scheduling
+  order — any worker can run any task, twice if need be, and produce the
+  same bytes;
+* the coordinator assembles results in task order and adopts worker span
+  payloads in task order, so distributed span trees structurally equal
+  ``jobs=1`` trees (the same merge discipline as the process pool);
+* completed ``(task_path, result)`` pairs are journalled to a resumable
+  on-disk :class:`~repro.runtime.ledger.TaskLedger` keyed by provenance
+  fingerprint, so a restarted coordinator re-executes only what is
+  genuinely unfinished;
+* workers warm compiled artifacts from the shared ``REPRO_CACHE_DIR``
+  disk cache (cold Theorem-1 compile: seconds; warm disk hit:
+  sub-millisecond), so fan-out never multiplies compilation.
+
+Wire protocol (stdlib only — ``socket`` + ``selectors``): length-prefixed
+pickle frames, magic + 4-byte big-endian length + payload.  Messages are
+plain dicts with a ``"type"`` key::
+
+    worker → coordinator   {"type": "hello", "pid", "host", "version"}
+    coordinator → worker   {"type": "task", "id", "label", "trace", "fn", "args"}
+    worker → coordinator   {"type": "result", "id", "result" | "error", "spans"}
+    worker → coordinator   {"type": "heartbeat", "task"}     (only while busy)
+    coordinator → worker   {"type": "bye"}
+
+Functions cross the wire *by reference* (module-qualified name), so
+workers must import the same code; arguments and results cross by value.
+
+Resilience ladder (the same contract as the hardened pool — same
+verdict, degraded speed):
+
+1. a worker that disconnects or stops heartbeating mid-task has its
+   leased tasks requeued and re-dispatched to surviving workers;
+2. a task leased longer than ``lease_timeout`` is re-dispatched to
+   another worker (first result wins; duplicates are dropped — results
+   are deterministic, so either copy is the right answer);
+3. when *no* workers remain (or none connect within ``connect_grace``),
+   remaining tasks run through the in-process pool — which itself
+   degrades to sequential — so the answer is always the ``jobs=1``
+   answer.
+
+``dist.*`` counters (dispatches, steals, requeues, lease expiries, lost
+workers, ledger hits, degradations) land on the cluster's own metrics
+registry and on any ambient tracer registry, and worker liveness is
+exposed on ``python -m repro serve``'s ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import selectors
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.observability import spans as _spans
+from repro.observability.metrics import Metrics
+from repro.runtime.ledger import TaskLedger, resolve_ledger, task_key
+
+PROTOCOL_VERSION = 1
+
+#: Frame layout: magic + 4-byte big-endian payload length + pickle payload.
+_MAGIC = b"RPDF"
+_HEADER = struct.Struct(">4sI")
+#: Refuse absurd frames before allocating for them (a corrupted length
+#: prefix must not look like a 4 GiB read).
+MAX_FRAME = 256 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid frame."""
+
+
+class NoWorkersError(RuntimeError):
+    """No workers connected within the grace period — callers degrade to
+    the in-process pool."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A task function raised inside a worker; carries the remote
+    traceback text (the exception itself is re-raised when picklable)."""
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    """Read exactly one frame from a blocking socket (``None`` on EOF)."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    magic, length = _HEADER.unpack(header)
+    if magic != _MAGIC or length > MAX_FRAME:
+        raise ProtocolError(f"bad frame header {header!r}")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        return None
+    return pickle.loads(payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    chunks: List[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class FrameDecoder:
+    """Incremental decoder for the coordinator's non-blocking reads."""
+
+    def __init__(self) -> None:
+        self._buffer = b""
+
+    def feed(self, data: bytes) -> List[Dict[str, Any]]:
+        self._buffer += data
+        messages: List[Dict[str, Any]] = []
+        while len(self._buffer) >= _HEADER.size:
+            magic, length = _HEADER.unpack(self._buffer[: _HEADER.size])
+            if magic != _MAGIC or length > MAX_FRAME:
+                raise ProtocolError("bad frame header from worker")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            messages.append(pickle.loads(self._buffer[_HEADER.size : end]))
+            self._buffer = self._buffer[end:]
+        return messages
+
+
+def parse_address(addr: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)`` (bare ``":port"`` binds
+    loopback; a dispatch target must name both parts)."""
+    host, sep, port = str(addr).rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected 'host:port', got {addr!r}")
+    return (host or "127.0.0.1", int(port))
+
+
+def format_address(host: str, port: int) -> str:
+    return f"{host}:{port}"
+
+
+# ----------------------------------------------------------------------
+# Task records
+# ----------------------------------------------------------------------
+PENDING, LEASED, DONE, CANCELLED = "pending", "leased", "done", "cancelled"
+
+
+class TaskRecord:
+    """One unit of work and its lifecycle inside a coordinator run."""
+
+    __slots__ = (
+        "id", "index", "path", "key", "args", "label",
+        "state", "lease_start", "envelope", "source", "redispatched",
+    )
+
+    def __init__(self, id: int, index: int, path: Sequence[Any], args: Tuple, label: str):
+        self.id = id
+        self.index = index
+        self.path = tuple(path)
+        self.key = task_key(self.path)
+        self.args = args
+        self.label = label
+        self.state = PENDING
+        self.lease_start: Optional[float] = None
+        self.envelope: Optional[Dict[str, Any]] = None
+        self.source: Optional[str] = None  # "worker" | "local" | "ledger"
+        self.redispatched = 0
+
+
+class WorkerHandle:
+    """Coordinator-side state of one connected worker."""
+
+    __slots__ = ("sock", "peer", "decoder", "info", "ready", "last_seen", "current", "queue")
+
+    def __init__(self, sock: socket.socket, peer: Tuple[str, int]):
+        self.sock = sock
+        self.peer = peer
+        self.decoder = FrameDecoder()
+        self.info: Dict[str, Any] = {}
+        self.ready = False  # hello received
+        self.last_seen = time.monotonic()
+        self.current: Optional[TaskRecord] = None
+        self.queue: deque = deque()  # this worker's shard (steal target)
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+class Coordinator:
+    """Shard tasks over TCP workers with work stealing and leases.
+
+    The coordinator owns a listening socket from construction; workers
+    may connect at any time (including mid-run — they join the pool and
+    steal work).  All socket handling is single-threaded inside
+    :meth:`run`; between runs, connected workers are idle and silent
+    (heartbeats flow only while a worker is busy), so no background
+    thread is needed.
+    """
+
+    def __init__(
+        self,
+        bind: str = "127.0.0.1:0",
+        *,
+        lease_timeout: float = 300.0,
+        heartbeat_timeout: float = 15.0,
+        connect_grace: float = 5.0,
+    ):
+        host, port = parse_address(bind)
+        self.lease_timeout = lease_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_grace = connect_grace
+        self.metrics = Metrics()
+        self.workers: List[WorkerHandle] = []
+        self._selector = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._io_lock = threading.Lock()  # run() vs idle poll() on the selector
+        self._task_seq = 0  # globally unique ids: stale results never collide
+        self._records: Dict[int, TaskRecord] = {}
+        self._requeued: deque = deque()
+        self._sinks: List[Metrics] = []
+        self._running = False
+        self._closed = False
+
+    # -- public surface --------------------------------------------------
+    @property
+    def address(self) -> str:
+        return format_address(self.host, self.port)
+
+    def workers_alive(self) -> int:
+        return sum(1 for w in self.workers if w.ready)
+
+    def poll(self) -> None:
+        """Accept pending connections and handshakes while idle.
+
+        ``run()`` does this itself; between runs nobody drives the
+        selector, so liveness probes and tests waiting for workers call
+        this.  A no-op while a run is in flight (the selector is not
+        thread-safe under concurrent ``select``) or after ``close()``.
+        """
+        if self._closed or not self._io_lock.acquire(blocking=False):
+            return
+        try:
+            if self._running:
+                return
+            for key, _ in self._selector.select(timeout=0):
+                if key.data is None:
+                    self._accept()
+                else:
+                    self._handle_frames(key.data, self._read(key.data))
+        finally:
+            self._io_lock.release()
+
+    def liveness(self) -> Dict[str, Any]:
+        """A point-in-time worker liveness snapshot (for ``/healthz``)."""
+        self.poll()
+        now = time.monotonic()
+        workers = []
+        for w in list(self.workers):
+            try:
+                workers.append(
+                    {
+                        "peer": format_address(*w.peer),
+                        "pid": w.info.get("pid"),
+                        "busy": w.current is not None,
+                        "last_seen_age": round(now - w.last_seen, 3),
+                    }
+                )
+            except Exception:
+                continue
+        return {"address": self.address, "alive": len(workers), "workers": workers}
+
+    def close(self) -> None:
+        """Dismiss the workers and release the listener."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self.workers):
+            try:
+                send_frame(worker.sock, {"type": "bye"})
+            except OSError:
+                pass
+            self._drop_worker(worker, requeue=False)
+        try:
+            self._selector.unregister(self._listener)
+        except (KeyError, ValueError):
+            pass
+        self._listener.close()
+        self._selector.close()
+
+    # -- metrics ---------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        self.metrics.counter(name).inc(amount)
+        for sink in self._sinks:
+            sink.counter(name).inc(amount)
+
+    # -- connection handling ---------------------------------------------
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            worker = WorkerHandle(sock, peer)
+            self.workers.append(worker)
+            self._selector.register(sock, selectors.EVENT_READ, worker)
+
+    def _drop_worker(self, worker: WorkerHandle, *, requeue: bool = True) -> None:
+        if worker not in self.workers:
+            return
+        self.workers.remove(worker)
+        try:
+            self._selector.unregister(worker.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        if worker.ready and not self._closed:
+            self._count("dist.workers_lost")
+        record = worker.current
+        worker.current = None
+        if record is not None and record.state == LEASED and requeue:
+            # The worker died holding a lease: the task is pure, so it
+            # simply goes back in the queue for someone else.
+            record.state = PENDING
+            record.lease_start = None
+            self._requeued.append(record)
+            self._count("dist.requeued")
+        # Unstarted shard entries drain back through stealing: move them
+        # to the global requeue so no task is stranded with a dead owner.
+        while worker.queue:
+            entry = worker.queue.popleft()
+            if entry.state == PENDING:
+                self._requeued.append(entry)
+
+    def _read(self, worker: WorkerHandle) -> List[Dict[str, Any]]:
+        try:
+            data = worker.sock.recv(1 << 20)
+        except (BlockingIOError, InterruptedError):
+            return []
+        except OSError:
+            self._drop_worker(worker)
+            return []
+        if not data:
+            self._drop_worker(worker)
+            return []
+        worker.last_seen = time.monotonic()
+        try:
+            return worker.decoder.feed(data)
+        except (ProtocolError, pickle.UnpicklingError, EOFError):
+            self._drop_worker(worker)
+            return []
+
+    # -- dispatch / stealing ---------------------------------------------
+    def _next_record(self, worker: WorkerHandle) -> Optional[TaskRecord]:
+        while self._requeued:
+            record = self._requeued.popleft()
+            if record.state == PENDING:
+                return record
+        while worker.queue:
+            record = worker.queue.popleft()
+            if record.state == PENDING:
+                return record
+        # Work stealing: raid the tail of the most-loaded sibling's shard
+        # (the tail, so the owner keeps its own head-of-queue locality).
+        victim = max(
+            (w for w in self.workers if w is not worker and w.queue),
+            key=lambda w: len(w.queue),
+            default=None,
+        )
+        while victim is not None and victim.queue:
+            record = victim.queue.pop()
+            if record.state == PENDING:
+                self._count("dist.steals")
+                return record
+        return None
+
+    def _dispatch(self, worker: WorkerHandle, fn: Callable, trace: bool) -> bool:
+        if worker.current is not None or not worker.ready:
+            return False
+        record = self._next_record(worker)
+        if record is None:
+            return False
+        message = {
+            "type": "task",
+            "id": record.id,
+            "label": record.label,
+            "trace": trace,
+            "fn": fn,
+            "args": record.args,
+        }
+        try:
+            worker.sock.setblocking(True)
+            try:
+                send_frame(worker.sock, message)
+            finally:
+                worker.sock.setblocking(False)
+        except OSError:
+            # The send found the corpse before the select loop did.
+            record.state = PENDING
+            self._requeued.appendleft(record)
+            self._drop_worker(worker)
+            return False
+        record.state = LEASED
+        record.lease_start = time.monotonic()
+        worker.current = record
+        self._count("dist.dispatched")
+        return True
+
+    def _wait_for_workers(self, grace: float) -> None:
+        deadline = time.monotonic() + max(0.0, grace)
+        while True:
+            if any(w.ready for w in self.workers):
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise NoWorkersError(
+                    f"no workers connected to {self.address} within {grace:g}s"
+                )
+            for key, _ in self._selector.select(timeout=min(remaining, 0.1)):
+                if key.data is None:
+                    self._accept()
+                else:
+                    self._handle_frames(key.data, self._read(key.data))
+
+    def _handle_frames(
+        self, worker: WorkerHandle, messages: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        """Process control frames; return result frames for the caller."""
+        results = []
+        for message in messages:
+            kind = message.get("type")
+            if kind == "hello":
+                worker.info = message
+                if not worker.ready:
+                    worker.ready = True
+                    self._count("dist.workers_connected")
+            elif kind == "heartbeat":
+                pass  # last_seen already refreshed by the read itself
+            elif kind == "result":
+                results.append(message)
+            # unknown kinds are ignored: forward compatibility
+        return results
+
+    # -- local (degraded) execution --------------------------------------
+    def _run_local(self, fn: Callable, record: TaskRecord, trace: bool) -> None:
+        from repro.runtime.pool import _traced_task  # late: avoid cycle
+
+        self._count("dist.local_tasks")
+        try:
+            if trace:
+                record.envelope = _traced_task(fn, record.label, record.args)
+                record.envelope = {
+                    "result": record.envelope["result"],
+                    "spans": record.envelope["__spans__"],
+                }
+            else:
+                record.envelope = {"result": fn(*record.args), "spans": None}
+        except Exception as exc:  # the caller re-raises in task order
+            record.envelope = {
+                "error": exc,
+                "error_text": traceback.format_exc(),
+                "spans": None,
+            }
+        record.state = DONE
+        record.source = "local"
+
+    # -- the run loop -----------------------------------------------------
+    def run(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[Tuple],
+        *,
+        paths: Sequence[Sequence[Any]],
+        labels: Sequence[str],
+        trace: bool = False,
+        ledger: Optional[TaskLedger] = None,
+        early_stop: Optional[Callable[[List[TaskRecord]], bool]] = None,
+        deadline: Optional[float] = None,
+        lease_timeout: Optional[float] = None,
+        connect_grace: Optional[float] = None,
+    ) -> List[TaskRecord]:
+        """Execute ``fn(*task)`` for every task, sharded across workers.
+
+        Returns the records in task order; callers unwrap ``envelope``
+        (``{"result": ...}`` or ``{"error": ...}``) themselves so decide
+        and map semantics can differ.  ``early_stop(records)`` — checked
+        after every completion — cancels all not-yet-leased tasks when it
+        returns true (leased ones are drained; their results still count).
+        Raises :class:`NoWorkersError` before doing any work if no worker
+        is available, so the caller can fall back to the in-process pool.
+        """
+        if self._closed:
+            raise NoWorkersError(f"coordinator {self.address} is closed")
+        if self._running:
+            raise NoWorkersError("re-entrant distributed run")  # caller falls back
+        lease = lease_timeout if lease_timeout is not None else self.lease_timeout
+        deadline_at = time.monotonic() + deadline if deadline is not None else None
+        records: List[TaskRecord] = []
+        for index, (task, path, label) in enumerate(zip(tasks, paths, labels)):
+            record = TaskRecord(self._task_seq, index, path, tuple(task), label)
+            self._task_seq += 1
+            records.append(record)
+        open_records = dict()
+        for record in records:
+            if ledger is not None and record.key in ledger:
+                record.state = DONE
+                record.source = "ledger"
+                record.envelope = {"result": ledger.get(record.key), "spans": None}
+                self._count("dist.ledger_hits")
+            else:
+                open_records[record.id] = record
+        if not open_records:
+            return records
+
+        # Ambient metrics sinks for dist.* counters (tracer registry).
+        tracer = _spans.current()
+        self._sinks = (
+            [tracer.metrics]
+            if tracer is not None and tracer.metrics is not None
+            else []
+        )
+        self._io_lock.acquire()
+        self._running = True
+        try:
+            self._wait_for_workers(
+                connect_grace if connect_grace is not None else self.connect_grace
+            )
+            # Contiguous sharding over the workers present at launch;
+            # late joiners start empty and steal.
+            ready = [w for w in self.workers if w.ready]
+            pending = [r for r in open_records.values()]
+            shard = max(1, (len(pending) + len(ready) - 1) // len(ready))
+            for i, worker in enumerate(ready):
+                worker.queue = deque(pending[i * shard : (i + 1) * shard])
+            for worker in ready:
+                self._dispatch(worker, fn, trace)
+
+            stopped = False
+            while any(r.state in (PENDING, LEASED) for r in open_records.values()):
+                if deadline_at is not None and time.monotonic() >= deadline_at:
+                    raise TimeoutError(
+                        f"distributed run exceeded its {deadline:g}s deadline"
+                    )
+                events = self._selector.select(timeout=0.1)
+                for key, _ in events:
+                    if key.data is None:
+                        self._accept()
+                        continue
+                    worker = key.data
+                    for message in self._handle_frames(worker, self._read(worker)):
+                        record = open_records.get(message.get("id"))
+                        if record is None or record.state == DONE:
+                            self._count("dist.duplicates")  # re-dispatch race
+                            if record is not None and worker.current is record:
+                                worker.current = None
+                            continue
+                        record.state = DONE
+                        record.source = "worker"
+                        record.envelope = message
+                        if worker.current is record:
+                            worker.current = None
+                        self._count("dist.completed")
+                        if (
+                            ledger is not None
+                            and "error" not in message
+                        ):
+                            ledger.record(record.key, message.get("result"))
+                        if early_stop is not None and not stopped and early_stop(records):
+                            stopped = True
+                            for r in open_records.values():
+                                if r.state == PENDING:
+                                    r.state = CANCELLED
+                                    self._count("dist.cancelled")
+                            self._requeued.clear()
+                # Heartbeat staleness: a busy worker that has gone silent
+                # is presumed dead; its lease requeues above.
+                now = time.monotonic()
+                for worker in list(self.workers):
+                    if (
+                        worker.current is not None
+                        and now - worker.last_seen > self.heartbeat_timeout
+                    ):
+                        self._count("dist.heartbeat_expired")
+                        self._drop_worker(worker)
+                # Lease expiry: the worker is alive but the task has held
+                # its lease too long — re-offer it elsewhere; first result
+                # wins and the straggler's copy is dropped as a duplicate.
+                for record in open_records.values():
+                    if (
+                        record.state == LEASED
+                        and record.lease_start is not None
+                        and now - record.lease_start > lease
+                        and record.redispatched < 2
+                    ):
+                        record.redispatched += 1
+                        record.lease_start = now
+                        clone = record
+                        clone.state = PENDING  # re-queue; holder may still answer
+                        self._requeued.append(clone)
+                        self._count("dist.lease_expired")
+                for worker in list(self.workers):
+                    self._dispatch(worker, fn, trace)
+                # Everyone is gone: finish the job in-process (the same
+                # degradation ladder as the hardened pool, one rung up).
+                if not any(w.ready for w in self.workers):
+                    remaining = [
+                        r
+                        for r in sorted(open_records.values(), key=lambda r: r.index)
+                        if r.state in (PENDING, LEASED)
+                    ]
+                    if remaining and not stopped:
+                        self._count("dist.degraded")
+                    for record in remaining:
+                        if stopped:
+                            # Post-verdict leftovers never ran anywhere:
+                            # they are cancellations, not stragglers.
+                            record.state = CANCELLED
+                            self._count("dist.cancelled")
+                            continue
+                        self._run_local(fn, record, trace)
+                        if ledger is not None and record.envelope is not None and (
+                            "error" not in record.envelope
+                        ):
+                            ledger.record(record.key, record.envelope.get("result"))
+                        if early_stop is not None and early_stop(records):
+                            stopped = True
+                            for r in open_records.values():
+                                if r.state == PENDING:
+                                    r.state = CANCELLED
+                                    self._count("dist.cancelled")
+        finally:
+            self._running = False
+            self._io_lock.release()
+            self._sinks = []
+            self._requeued.clear()
+            for worker in self.workers:
+                worker.queue = deque()
+        return records
+
+
+# ----------------------------------------------------------------------
+# Cluster registry (one coordinator per bound address, per process)
+# ----------------------------------------------------------------------
+_CLUSTERS: Dict[str, Coordinator] = {}
+_CLUSTERS_LOCK = threading.Lock()
+
+
+def get_cluster(addr: str, **kwargs: Any) -> Coordinator:
+    """The process-wide coordinator listening on ``addr`` (bound lazily on
+    first use and reused by every subsequent dispatch to the same
+    address, so workers stay connected across calls)."""
+    key = format_address(*parse_address(addr))
+    with _CLUSTERS_LOCK:
+        coordinator = _CLUSTERS.get(key)
+        if coordinator is None or coordinator._closed:
+            coordinator = Coordinator(key, **kwargs)
+            _CLUSTERS[key] = coordinator
+            # An ephemeral bind (":0") is registered under its actual port
+            # too, so `coordinator.address` round-trips through get_cluster.
+            _CLUSTERS.setdefault(coordinator.address, coordinator)
+        return coordinator
+
+
+def active_cluster() -> Optional[Coordinator]:
+    """The most recently created live coordinator (for ``/healthz``)."""
+    with _CLUSTERS_LOCK:
+        for coordinator in reversed(list(_CLUSTERS.values())):
+            if not coordinator._closed:
+                return coordinator
+    return None
+
+
+def shutdown_clusters() -> None:
+    with _CLUSTERS_LOCK:
+        for coordinator in _CLUSTERS.values():
+            coordinator.close()
+        _CLUSTERS.clear()
+
+
+# ----------------------------------------------------------------------
+# distributed_map — the network twin of parallel_map
+# ----------------------------------------------------------------------
+def distributed_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Sequence[Any]],
+    *,
+    addr: str,
+    span_labels: Optional[Sequence[str]] = None,
+    paths: Optional[Sequence[Sequence[Any]]] = None,
+    ledger: Optional[TaskLedger] = None,
+    lease_timeout: Optional[float] = None,
+    connect_grace: Optional[float] = None,
+    deadline: Optional[float] = None,
+) -> List[Any]:
+    """``[fn(*t) for t in tasks]`` sharded across the workers of the
+    cluster at ``addr`` — results in task order, identical to the
+    sequential comprehension.
+
+    When a span tracer is active, every task runs under its own span in
+    its worker and the payloads are adopted in task order (the merged
+    tree structurally equals ``jobs=1``).  ``paths`` are the tasks'
+    deterministic seed-tree paths (default ``("task", i)``) — the ledger
+    key and the addressing unit for re-dispatch.  A ledger (explicit, or
+    via ``REPRO_LEDGER_DIR``) makes the run resumable: journalled tasks
+    are returned without re-execution.
+
+    With no workers available the whole call degrades to the in-process
+    :func:`~repro.runtime.pool.parallel_map` (which itself degrades to
+    sequential) — same results, just slower.
+    """
+    tasks = [tuple(t) for t in tasks]
+    paths = (
+        [tuple(p) for p in paths]
+        if paths is not None
+        else [("task", i) for i in range(len(tasks))]
+    )
+    if len(paths) != len(tasks):
+        raise ValueError("paths must match tasks in length")
+    tracer = _spans.current()
+    labels = (
+        [str(l) for l in span_labels]
+        if span_labels is not None
+        else [f"task:{i}" for i in range(len(tasks))]
+    )
+    if len(labels) != len(tasks):
+        raise ValueError("span_labels must match tasks in length")
+    ledger = resolve_ledger(fn, paths, tasks, ledger=ledger)
+    coordinator = get_cluster(addr)
+    try:
+        records = coordinator.run(
+            fn,
+            tasks,
+            paths=paths,
+            labels=labels,
+            trace=tracer is not None,
+            ledger=ledger,
+            lease_timeout=lease_timeout,
+            connect_grace=connect_grace,
+            deadline=deadline,
+        )
+    except NoWorkersError:
+        coordinator.metrics.counter("dist.degraded").inc()
+        if tracer is not None and tracer.metrics is not None:
+            tracer.metrics.counter("dist.degraded").inc()
+        return _local_fallback(fn, tasks, paths, labels, ledger)
+    results: List[Any] = []
+    for record in records:
+        envelope = record.envelope or {}
+        if "error" in envelope:
+            error = envelope["error"]
+            if isinstance(error, BaseException):
+                raise error
+            raise RemoteTaskError(str(envelope.get("error_text") or error))
+        if tracer is not None:
+            tracer.adopt(envelope.get("spans"))
+        results.append(envelope.get("result"))
+    return results
+
+
+def _local_fallback(
+    fn: Callable[..., Any],
+    tasks: List[Tuple],
+    paths: List[Tuple],
+    labels: List[str],
+    ledger: Optional[TaskLedger],
+) -> List[Any]:
+    """No workers: run through the in-process pool, honouring the ledger
+    (journalled tasks are skipped; fresh completions are journalled)."""
+    from repro.runtime.pool import parallel_map
+
+    keys = [task_key(p) for p in paths]
+    todo = [i for i, k in enumerate(keys) if ledger is None or k not in ledger]
+    fresh: List[Any] = []
+    if todo:
+        if ledger is None:
+            fresh = parallel_map(
+                fn,
+                [tasks[i] for i in todo],
+                jobs=_fallback_jobs(),
+                span_labels=[labels[i] for i in todo],
+            )
+        else:
+            # Journal as we go (sequentially), so a crash mid-grid keeps
+            # every completed cell — the property the resume test pins.
+            tracer = _spans.current()
+            for i in todo:
+                if tracer is None:
+                    result = fn(*tasks[i])
+                else:
+                    with tracer.span(labels[i]):
+                        result = fn(*tasks[i])
+                ledger.record(keys[i], result)
+                fresh.append(result)
+    todo_set = set(todo)
+    fresh_iter = iter(fresh)
+    return [
+        next(fresh_iter) if i in todo_set else ledger.get(keys[i])
+        for i in range(len(tasks))
+    ]
+
+
+def _fallback_jobs() -> int:
+    """Pool width for the no-workers fallback (``REPRO_DIST_FALLBACK_JOBS``,
+    default 1 — the bit-identical sequential path)."""
+    raw = os.environ.get("REPRO_DIST_FALLBACK_JOBS", "").strip()
+    try:
+        return int(raw) if raw else 1
+    except ValueError:
+        return 1
+
+
+# ----------------------------------------------------------------------
+# decide over the cluster — the network twin of decide_parallel
+# ----------------------------------------------------------------------
+def decide_distributed(
+    protocol: Any,
+    config: Any,
+    *,
+    base: int,
+    attempts: int,
+    addr: str,
+    observer: Any = None,
+    stats: Optional[Dict[str, int]] = None,
+    deadline: Optional[float] = None,
+    timeout: Optional[float] = None,
+    **sim_kwargs: Any,
+) -> bool:
+    """All decide attempts sharded across the cluster; the verdict is the
+    lowest-indexed stabilising attempt's — the exact attempt sequential
+    execution would return, on the exact ``derive_seed(base, i)`` seeds —
+    so distributed, pooled and sequential calls agree for every seed.
+
+    Early stop: once the lowest-indexed verdict is in hand (every earlier
+    attempt completed without one), not-yet-leased attempts are
+    cancelled; already-running ones are drained and contribute metrics
+    (never spans — the span tree must equal ``jobs=1``).  ``timeout``
+    doubles as the per-attempt lease, ``deadline`` bounds the whole call.
+    With no workers the call degrades to the hardened in-process pool.
+    """
+    from repro.core.errors import NonConvergenceError
+    from repro.core.simulation import derive_seed
+    from repro.runtime.cache import artifact_cache, cached_transition_table
+    from repro.runtime.pool import (
+        _decide_attempt_worker,
+        _metrics_registries,
+        decide_parallel,
+        merge_worker_metrics,
+    )
+    from repro.observability.observer import live
+
+    obs = live(observer)
+    seeds = [derive_seed(base, attempt) for attempt in range(attempts)]
+    cached_transition_table(protocol)  # warm before fan-out (and publish to disk)
+    coordinator = get_cluster(addr)
+
+    def verdict_settled(records: List[TaskRecord]) -> bool:
+        for record in records:
+            if record.state != DONE:
+                return False
+            envelope = record.envelope or {}
+            if "error" in envelope:
+                return False
+            if (envelope.get("result") or {}).get("verdict") is not None:
+                return True
+        return False
+
+    try:
+        records = coordinator.run(
+            _decide_attempt_worker,
+            [(protocol, config, seeds[a], dict(sim_kwargs), a) for a in range(attempts)],
+            paths=[("decide", base, a) for a in range(attempts)],
+            labels=[f"attempt:{a}" for a in range(attempts)],
+            trace=False,  # the attempt worker ships its own span subtree
+            early_stop=verdict_settled,
+            deadline=deadline,
+            lease_timeout=timeout,
+        )
+    except NoWorkersError:
+        coordinator.metrics.counter("dist.degraded").inc()
+        return decide_parallel(
+            protocol,
+            config,
+            base=base,
+            attempts=attempts,
+            jobs=max(1, _fallback_jobs()),
+            observer=obs,
+            stats=stats,
+            deadline=deadline,
+            timeout=timeout,
+            **sim_kwargs,
+        )
+    except TimeoutError:
+        raise NonConvergenceError(
+            f"protocol {protocol.name!r} did not stabilise on |C|={config.size}: "
+            f"wall-clock deadline of {deadline:g}s exceeded (distributed)"
+        )
+
+    completed = cancelled = failed = 0
+    verdict: Optional[bool] = None
+    timed_out = 0
+    for record in records:
+        envelope = record.envelope or {}
+        if record.state == CANCELLED:
+            cancelled += 1
+            continue
+        if "error" in envelope:
+            failed += 1
+            error = envelope["error"]
+            if isinstance(error, BaseException):
+                raise error
+            raise RemoteTaskError(str(envelope.get("error_text") or error))
+        payload = envelope.get("result") or {}
+        completed += 1
+        merge_worker_metrics(obs, payload.get("metrics") or {})
+        if verdict is None:
+            # The sequential prefix: attempts the jobs=1 loop would also
+            # have run.  Spans adopt in attempt order; stragglers beyond
+            # the verdict merge metrics only (same rule as the pool).
+            if obs is not None:
+                obs.on_attempt(record.index, seeds[record.index])
+            _spans.adopt(payload.get("spans"))
+            if payload.get("verdict") is not None:
+                verdict = payload["verdict"]
+            elif payload.get("deadline_exceeded"):
+                timed_out += 1
+    if stats is not None:
+        stats.update(
+            launched=attempts,
+            completed=completed,
+            cancelled=cancelled,
+            failed=failed,
+            retries=0,
+            degraded=0,
+        )
+    # Same digest parity as the pool: snapshot the coordinator-side
+    # artifact-cache counters as gauges on the caller's registries.
+    for registry in _metrics_registries(obs):
+        for key, value in artifact_cache().stats().items():
+            registry.gauge(f"cache.{key}").set(value)
+    if verdict is None:
+        detail = f", {timed_out} timed out" if timed_out else ""
+        raise NonConvergenceError(
+            f"protocol {protocol.name!r} did not stabilise on |C|={config.size} "
+            f"within the budget ({attempts} attempts{detail})"
+        )
+    return verdict
+
+
+# ----------------------------------------------------------------------
+# Worker
+# ----------------------------------------------------------------------
+def run_worker(
+    addr: str,
+    *,
+    heartbeat: float = 2.0,
+    max_tasks: Optional[int] = None,
+    connect_retry: float = 10.0,
+) -> int:
+    """Connect to the coordinator at ``addr`` and execute tasks until it
+    says goodbye (or ``max_tasks`` tasks have run).  Returns the number
+    of tasks executed.
+
+    The worker is a leaf of the fan-out tree: it pins ``REPRO_JOBS=1`` so
+    task functions that consult the environment never nest pools, and it
+    resolves compiled artifacts through the ordinary
+    :mod:`~repro.runtime.cache` path — with a shared ``REPRO_CACHE_DIR``
+    that is a sub-millisecond disk hit instead of a cold compile.
+    Heartbeats flow only while a task is executing (from a side thread),
+    which is exactly when the coordinator is listening.
+    """
+    os.environ["REPRO_JOBS"] = "1"
+    host, port = parse_address(addr)
+    sock = _connect_with_retry(host, port, connect_retry)
+    send_lock = threading.Lock()
+    current_id: List[Optional[int]] = [None]
+    stop = threading.Event()
+
+    def _heartbeats() -> None:
+        while not stop.wait(heartbeat):
+            task_id = current_id[0]
+            if task_id is None:
+                continue
+            try:
+                with send_lock:
+                    send_frame(sock, {"type": "heartbeat", "task": task_id})
+            except OSError:
+                return
+
+    with send_lock:
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "pid": os.getpid(),
+                "host": socket.gethostname(),
+                "version": PROTOCOL_VERSION,
+                "cache_dir": os.environ.get("REPRO_CACHE_DIR"),
+            },
+        )
+    beat = threading.Thread(target=_heartbeats, daemon=True)
+    beat.start()
+    executed = 0
+    try:
+        while True:
+            try:
+                message = recv_frame(sock)
+            except (ProtocolError, pickle.UnpicklingError, EOFError, OSError):
+                break
+            if message is None or message.get("type") == "bye":
+                break
+            if message.get("type") != "task":
+                continue
+            current_id[0] = message["id"]
+            response = _execute_task(message)
+            current_id[0] = None
+            try:
+                with send_lock:
+                    send_frame(sock, response)
+            except OSError:
+                break
+            executed += 1
+            if max_tasks is not None and executed >= max_tasks:
+                break
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass
+    return executed
+
+
+def _connect_with_retry(host: str, port: int, window: float) -> socket.socket:
+    deadline = time.monotonic() + max(0.0, window)
+    delay = 0.05
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+            sock.settimeout(None)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return sock
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+def _execute_task(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one task frame; always answers, even when the task raises."""
+    fn = message["fn"]
+    args = message["args"]
+    try:
+        if message.get("trace"):
+            tracer = _spans.SpanTracer()
+            with _spans.activate(tracer):
+                with tracer.span(str(message.get("label", "task"))):
+                    result = fn(*args)
+            return {
+                "type": "result",
+                "id": message["id"],
+                "result": result,
+                "spans": tracer.to_payload(),
+            }
+        result = fn(*args)
+        return {"type": "result", "id": message["id"], "result": result, "spans": None}
+    except Exception as exc:
+        error: Any = exc
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            error = repr(exc)
+        return {
+            "type": "result",
+            "id": message["id"],
+            "error": error,
+            "error_text": traceback.format_exc(),
+            "spans": None,
+        }
+
+
+def spawn_loopback_worker(
+    addr: str,
+    *,
+    extra_pythonpath: Sequence[str] = (),
+    env: Optional[Dict[str, str]] = None,
+) -> subprocess.Popen:
+    """Start a ``python -m repro worker`` subprocess connected to
+    ``addr`` — the loopback convenience used by ``repro coordinate
+    --workers N``, the distributed benchmarks and the test suite.
+
+    ``extra_pythonpath`` entries are prepended to the worker's
+    ``PYTHONPATH`` (after ``src``), so tasks defined in test/benchmark
+    modules unpickle by reference inside the worker.
+    """
+    worker_env = dict(os.environ if env is None else env)
+    src = str(_repo_src())
+    parts = [src, *map(str, extra_pythonpath)]
+    if worker_env.get("PYTHONPATH"):
+        parts.append(worker_env["PYTHONPATH"])
+    worker_env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--connect", addr],
+        env=worker_env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _repo_src() -> str:
+    from pathlib import Path
+
+    return str(Path(__file__).resolve().parents[2])

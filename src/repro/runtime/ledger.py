@@ -1,0 +1,207 @@
+"""Resumable task ledger: a crash-tolerant journal of completed tasks.
+
+A distributed (or long) grid run should never redo work a previous
+attempt already finished.  The ledger is the on-disk record that makes
+that safe:
+
+* every completed task is appended as one *frame* — a checksummed,
+  length-prefixed pickle of ``(task_key, result)`` — flushed before the
+  coordinator moves on, so a crash loses at most the task in flight;
+* the file is *keyed by provenance fingerprint*: the header frame pins a
+  blake2b fingerprint of the job (function, task paths, pickled task
+  arguments).  A ledger whose fingerprint does not match the job being
+  (re)run is ignored wholesale — stale results can never leak into a
+  different grid, a changed seed, or a changed protocol;
+* loading tolerates a torn tail (the frame a crash interrupted) and any
+  checksum mismatch by stopping at the last intact frame, exactly like
+  the artifact cache quarantines corrupt entries.
+
+Task *keys* are the stringified deterministic task paths of
+:class:`~repro.runtime.seeds.SeedTree` — a pure function of the task,
+never of scheduling — which is what lets a resumed run, with different
+workers in a different order, slot journalled results into place
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
+
+#: Frame layout: magic, 16-byte blake2b of the payload, 4-byte big-endian
+#: payload length, payload.  (The length lives *inside* the checksummed
+#: region's framing so a torn write is detected either by a short read or
+#: by the digest.)
+_MAGIC = b"RPLG1\x00"
+_DIGEST_SIZE = 16
+_LEN_BYTES = 4
+
+#: Bumped when the frame or header layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def task_key(path: Sequence[Any]) -> str:
+    """The canonical string form of a task path (``"lemma4/3"``), the
+    ledger's addressing unit — matching the ``/``-separated interior-node
+    convention of :func:`repro.runtime.seeds.derive_child`."""
+    return "/".join(str(p) for p in path)
+
+
+def job_fingerprint(fn: Any, paths: Sequence[Sequence[Any]], tasks: Sequence[Tuple]) -> str:
+    """A stable content hash of a whole fan-out job.
+
+    Covers the function's qualified name, every task path and the pickled
+    task arguments, so *any* change to what would be computed — a
+    different protocol, seed, grid shape or code entry point — yields a
+    different fingerprint and an untouched (ignored) ledger.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(f"job-v{SCHEMA_VERSION}".encode())
+    h.update(f"{getattr(fn, '__module__', '')}:{getattr(fn, '__qualname__', repr(fn))}".encode())
+    for path, task in zip(paths, tasks):
+        h.update(task_key(path).encode("utf-8"))
+        h.update(b"\x00")
+        try:
+            h.update(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception:
+            # Unpicklable tasks never fan out anyway; keep the fingerprint
+            # total rather than refuse (the repr is still content-bearing).
+            h.update(repr(task).encode("utf-8"))
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+def _frame(payload: bytes) -> bytes:
+    digest = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+    return _MAGIC + digest + len(payload).to_bytes(_LEN_BYTES, "big") + payload
+
+
+def _read_frames(blob: bytes) -> Iterable[bytes]:
+    """Yield intact frame payloads, stopping at the first torn/corrupt one."""
+    offset = 0
+    header = len(_MAGIC) + _DIGEST_SIZE + _LEN_BYTES
+    while offset + header <= len(blob):
+        if blob[offset : offset + len(_MAGIC)] != _MAGIC:
+            return
+        digest = blob[offset + len(_MAGIC) : offset + len(_MAGIC) + _DIGEST_SIZE]
+        length = int.from_bytes(
+            blob[offset + header - _LEN_BYTES : offset + header], "big"
+        )
+        payload = blob[offset + header : offset + header + length]
+        if len(payload) < length:
+            return  # torn tail: the crash interrupted this frame
+        if hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest() != digest:
+            return  # bit rot: stop before deserialising garbage
+        yield payload
+        offset += header + length
+
+
+class TaskLedger:
+    """Append-only journal of ``(task_key, result)`` pairs for one job.
+
+    ``fingerprint`` identifies the job; an existing file with a different
+    fingerprint (or unreadable header) is rotated aside to ``*.stale`` on
+    the first :meth:`record`, so resuming a *changed* job starts clean.
+    """
+
+    def __init__(self, path: os.PathLike, fingerprint: str):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.results: Dict[str, Any] = {}
+        self._fresh = True  # no compatible file on disk yet
+        self._load()
+
+    # -- loading --------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            blob = self.path.read_bytes()
+        except OSError:
+            return
+        frames = iter(_read_frames(blob))
+        try:
+            header = pickle.loads(next(frames))
+        except (StopIteration, Exception):
+            return  # empty/corrupt header: treated as no ledger
+        if (
+            not isinstance(header, dict)
+            or header.get("schema") != SCHEMA_VERSION
+            or header.get("fingerprint") != self.fingerprint
+        ):
+            return  # different job: ignore (rotated aside on first record)
+        self._fresh = False
+        for payload in frames:
+            try:
+                key, result = pickle.loads(payload)
+            except Exception:
+                return  # stop at the first undeserialisable entry
+            self.results[str(key)] = result
+
+    # -- querying -------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        return key in self.results
+
+    def get(self, key: str) -> Any:
+        return self.results.get(key)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- recording ------------------------------------------------------
+    def _open(self):
+        if self._fresh:
+            if self.path.exists():
+                # Incompatible previous ledger: keep it for forensics, but
+                # never mix its entries into this job.
+                try:
+                    os.replace(self.path, self.path.with_suffix(self.path.suffix + ".stale"))
+                except OSError:
+                    pass
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            header = pickle.dumps(
+                {"schema": SCHEMA_VERSION, "fingerprint": self.fingerprint},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            with open(self.path, "wb") as fh:
+                fh.write(_frame(header))
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._fresh = False
+
+    def record(self, key: str, result: Any) -> None:
+        """Journal one completed task (flushed before returning, so a
+        subsequent crash cannot lose it).  Re-recording a key is a no-op —
+        results are deterministic, the first write is as good as any."""
+        key = str(key)
+        if key in self.results:
+            return
+        self._open()
+        payload = pickle.dumps((key, result), protocol=pickle.HIGHEST_PROTOCOL)
+        with open(self.path, "ab") as fh:
+            fh.write(_frame(payload))
+            fh.flush()
+        self.results[key] = result
+
+
+def resolve_ledger(
+    fn: Any,
+    paths: Sequence[Sequence[Any]],
+    tasks: Sequence[Tuple],
+    *,
+    ledger: Optional[TaskLedger] = None,
+    directory: Optional[os.PathLike] = None,
+) -> Optional[TaskLedger]:
+    """The ledger a fan-out should journal to: an explicit one wins, else
+    one is opened under ``directory`` (or ``REPRO_LEDGER_DIR``) named by
+    the job fingerprint; ``None`` when journalling is off (the default —
+    silently writing task results to disk would be a surprising default,
+    mirroring the artifact cache's opt-in)."""
+    if ledger is not None:
+        return ledger
+    directory = directory if directory is not None else os.environ.get("REPRO_LEDGER_DIR") or None
+    if not directory:
+        return None
+    fingerprint = job_fingerprint(fn, paths, tasks)
+    return TaskLedger(Path(directory) / f"job-{fingerprint}.ledger", fingerprint)

@@ -59,6 +59,7 @@ from repro.core.simulation import derive_seed, simulate
 from repro.observability import spans as _spans
 from repro.observability.observer import CompositeObserver, Observer, live
 from repro.runtime.cache import artifact_cache, cached_transition_table
+from repro.runtime.ledger import TaskLedger, resolve_ledger, task_key
 from repro.runtime.seeds import derive_child
 
 
@@ -74,6 +75,31 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs == 0:
         jobs = os.cpu_count() or 1
     return max(1, int(jobs))
+
+
+def resolve_dispatch(jobs: Any = None) -> Tuple[str, Any]:
+    """Interpret a ``jobs`` argument as an execution target.
+
+    Returns ``("local", n)`` for an in-process pool of ``n`` workers, or
+    ``("distributed", "host:port")`` when ``jobs`` (or the ``REPRO_JOBS``
+    environment variable) names a coordinator address — the one switch
+    that turns every ``--jobs``-aware entry point into a distributed one
+    without touching call sites.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if ":" in raw:
+            return ("distributed", raw)
+        return ("local", resolve_jobs(None))
+    if isinstance(jobs, str):
+        text = jobs.strip()
+        if ":" in text:
+            return ("distributed", text)
+        try:
+            return ("local", resolve_jobs(int(text) if text else None))
+        except ValueError:
+            return ("local", 1)
+    return ("local", resolve_jobs(jobs))
 
 
 def _start_method() -> str:
@@ -129,6 +155,10 @@ def _terminate_pool(executor: ProcessPoolExecutor) -> None:
 
 _UNSET = object()
 
+#: Sentinel: "journalling already handled upstream — do not re-resolve
+#: REPRO_LEDGER_DIR" (used by the ledgered path's inner pooled call).
+_LEDGER_OFF = object()
+
 
 def _traced_task(fn: Callable[..., Any], label: str, args: Tuple[Any, ...]) -> Dict[str, Any]:
     """Run one task under a fresh span tracer and ship the spans with the
@@ -145,21 +175,32 @@ def parallel_map(
     fn: Callable[..., Any],
     tasks: Iterable[Sequence[Any]],
     *,
-    jobs: Optional[int] = None,
+    jobs: Any = None,
     timeout: Optional[float] = None,
     span_labels: Optional[Sequence[str]] = None,
+    paths: Optional[Sequence[Sequence[Any]]] = None,
+    ledger: Optional[TaskLedger] = None,
 ) -> List[Any]:
     """``[fn(*t) for t in tasks]``, fanned across a process pool.
 
     ``fn`` must be a module-level callable and every task argument (and
     result) picklable.  With ``jobs=1`` (or a single task) no pool is
-    created and the comprehension runs verbatim in-process.
+    created and the comprehension runs verbatim in-process.  When
+    ``jobs`` (or ``REPRO_JOBS``) is a ``"host:port"`` string the whole
+    call routes to :func:`repro.runtime.distributed.distributed_map` on
+    the cluster at that address — same results, different hardware.
 
     When a span tracer is active in the caller, every task runs under its
     own span — ``span_labels[i]`` or ``task:<i>`` — and spans created in
     workers are shipped back and adopted in task order, so the merged
     span tree is identical for ``jobs=1`` and ``jobs=N``.  Without an
     active tracer nothing changes (workers run ``fn`` directly).
+
+    ``paths`` names each task by its deterministic seed-tree path (for
+    ledger keys and distributed re-dispatch).  A :class:`TaskLedger` —
+    explicit, or opened under ``REPRO_LEDGER_DIR`` — makes the call
+    resumable: journalled tasks return their recorded results without
+    re-execution, fresh completions are journalled as they land.
 
     The fan-out degrades rather than fails: if the pool breaks (a worker
     crashed) or a task exceeds ``timeout`` seconds, surviving results are
@@ -169,7 +210,18 @@ def parallel_map(
     usual.
     """
     tasks = [tuple(t) for t in tasks]
-    jobs = resolve_jobs(jobs)
+    if paths is not None:
+        paths = [tuple(p) for p in paths]
+        if len(paths) != len(tasks):
+            raise ValueError("paths must match tasks in length")
+    mode, target = resolve_dispatch(jobs)
+    if mode == "distributed":
+        from repro.runtime.distributed import distributed_map
+
+        return distributed_map(
+            fn, tasks, addr=target, span_labels=span_labels, paths=paths, ledger=ledger
+        )
+    jobs = target
     tracer = _spans.current()
     labels = None
     if tracer is not None:
@@ -180,6 +232,26 @@ def parallel_map(
         )
         if len(labels) != len(tasks):
             raise ValueError("span_labels must match tasks in length")
+    if ledger is _LEDGER_OFF:
+        ledger = None
+    else:
+        ledger = resolve_ledger(
+            fn,
+            paths if paths is not None else [("task", i) for i in range(len(tasks))],
+            tasks,
+            ledger=ledger,
+        )
+    if ledger is not None:
+        return _ledgered_map(
+            fn,
+            tasks,
+            paths=paths,
+            jobs=jobs,
+            timeout=timeout,
+            tracer=tracer,
+            labels=labels,
+            ledger=ledger,
+        )
     if jobs <= 1 or len(tasks) <= 1:
         if labels is None:
             return [fn(*t) for t in tasks]
@@ -233,6 +305,57 @@ def parallel_map(
         for i, envelope in enumerate(results):
             tracer.adopt(envelope["__spans__"])
             results[i] = envelope["result"]
+    return results
+
+
+def _ledgered_map(
+    fn: Callable[..., Any],
+    tasks: List[Tuple[Any, ...]],
+    *,
+    paths: Optional[List[Tuple[Any, ...]]],
+    jobs: int,
+    timeout: Optional[float],
+    tracer: Optional[Any],
+    labels: Optional[List[str]],
+    ledger: TaskLedger,
+) -> List[Any]:
+    """The resumable variant of :func:`parallel_map`: journalled tasks
+    are answered from the ledger, the rest execute and are journalled.
+
+    Sequentially (``jobs=1``) each completion is flushed before the next
+    task starts, so a crash loses at most the task in flight — the
+    property the resume tests pin.  With a pool, completions journal as
+    they are harvested in task order.
+    """
+    keys = [
+        task_key(p)
+        for p in (paths if paths is not None else [("task", i) for i in range(len(tasks))])
+    ]
+    todo = [i for i, key in enumerate(keys) if key not in ledger]
+    results: List[Any] = [ledger.get(key) for key in keys]
+    if not todo:
+        return results
+    if jobs <= 1 or len(todo) <= 1:
+        for i in todo:
+            if tracer is None:
+                value = fn(*tasks[i])
+            else:
+                with tracer.span(labels[i]):
+                    value = fn(*tasks[i])
+            ledger.record(keys[i], value)
+            results[i] = value
+        return results
+    fresh = parallel_map(
+        fn,
+        [tasks[i] for i in todo],
+        jobs=jobs,
+        timeout=timeout,
+        span_labels=[labels[i] for i in todo] if labels is not None else None,
+        ledger=_LEDGER_OFF,
+    )
+    for i, value in zip(todo, fresh):
+        ledger.record(keys[i], value)
+        results[i] = value
     return results
 
 

@@ -24,7 +24,12 @@ from repro.core import (
     scheduler_for_engine,
     simulate,
 )
-from repro.core.simulation import EnabledTransitionScheduler, FastEnabledScheduler
+from repro.core.simulation import (
+    AUTO_CROSSOVER_DEFAULT,
+    EnabledTransitionScheduler,
+    FastEnabledScheduler,
+    auto_crossover,
+)
 from repro.observability import (
     CompositeObserver,
     ProfilingObserver,
@@ -176,6 +181,52 @@ class TestEngineResolution:
         assert engine_label(FastUniformScheduler()) == "fast"
         assert engine_label(None) == "fast"
         assert engine_label(None, "batched") == "batched"
+
+    def test_auto_crossover_both_sides(self, monkeypatch):
+        # The auto default: fastpath below the crossover, batched at and
+        # above it — pinned on both sides for "auto", None, and label.
+        monkeypatch.delenv("REPRO_AUTO_CROSSOVER", raising=False)
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert auto_crossover() == AUTO_CROSSOVER_DEFAULT
+        below, at = AUTO_CROSSOVER_DEFAULT - 1, AUTO_CROSSOVER_DEFAULT
+        for engine in ("auto", None):
+            assert isinstance(
+                scheduler_for_engine(engine, below), FastEnabledScheduler
+            )
+            assert isinstance(
+                scheduler_for_engine(engine, at), BatchedScheduler
+            )
+            assert engine_label(None, engine, below) == "fast"
+            assert engine_label(None, engine, at) == "batched"
+        # Explicit engines ignore the population entirely.
+        assert isinstance(scheduler_for_engine("fast", at), FastEnabledScheduler)
+        assert isinstance(scheduler_for_engine("batched", below), BatchedScheduler)
+
+    def test_auto_crossover_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_AUTO_CROSSOVER", "10")
+        assert auto_crossover() == 10
+        assert isinstance(scheduler_for_engine("auto", 9), FastEnabledScheduler)
+        assert isinstance(scheduler_for_engine("auto", 10), BatchedScheduler)
+        monkeypatch.setenv("REPRO_AUTO_CROSSOVER", "garbage")
+        assert auto_crossover() == AUTO_CROSSOVER_DEFAULT
+        monkeypatch.setenv("REPRO_AUTO_CROSSOVER", "-5")
+        assert auto_crossover() == AUTO_CROSSOVER_DEFAULT
+
+    def test_auto_routes_simulate_by_population(self, monkeypatch):
+        # A small population under engine="auto" runs the fastpath; the
+        # same protocol above a lowered crossover runs batched.
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        pp, config = cascade_protocol(30)
+        recorder = TraceRecorder(kinds={ev.RUN_END})
+        result = simulate(pp, config, seed=3, engine="auto", observer=recorder)
+        assert result.verdict is True
+        # Per-step engines don't tag RUN_END; only the batched engine does.
+        assert recorder.events[-1].data.get("engine") != "batched"
+        monkeypatch.setenv("REPRO_AUTO_CROSSOVER", str(config.size))
+        recorder2 = TraceRecorder(kinds={ev.RUN_END})
+        result2 = simulate(pp, config, seed=3, engine="auto", observer=recorder2)
+        assert result2.verdict is True
+        assert recorder2.events[-1].data["engine"] == "batched"
 
     def test_env_routes_simulate_through_batched(self, monkeypatch):
         pp, config = cascade_protocol(30)

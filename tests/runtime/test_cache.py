@@ -156,6 +156,61 @@ class TestCachedCompilations:
         assert second is first
         assert first.protocol.states
 
+    def test_cross_process_disk_warming(self, tmp_path):
+        """A second *process* sharing ``REPRO_CACHE_DIR`` compiles nothing:
+        it warms from the disk layer, and the ambient tracer's
+        ``cache.disk_hit`` counter (not ``cache.memory_hit``) records it."""
+        import json
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json\n"
+            "from repro.observability.metrics import Metrics\n"
+            "from repro.observability.spans import SpanTracer, activate\n"
+            "from repro.runtime.cache import (\n"
+            "    artifact_cache, cached_compile_threshold_protocol)\n"
+            "metrics = Metrics()\n"
+            "with activate(SpanTracer(metrics=metrics)):\n"
+            "    result = cached_compile_threshold_protocol(1)\n"
+            "stats = artifact_cache().stats()\n"
+            "counters = {\n"
+            "    name: metrics.counter(name).value\n"
+            "    for name in ('cache.memory_hit', 'cache.disk_hit', 'cache.miss')\n"
+            "}\n"
+            "print(json.dumps({'states': len(result.protocol.states),\n"
+            "                  'stats': stats, 'counters': counters}))\n"
+        )
+        env = dict(os.environ)
+        env["REPRO_CACHE_DIR"] = str(tmp_path)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+
+        def run():
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return json.loads(proc.stdout.strip().splitlines()[-1])
+
+        cold = run()
+        assert cold["stats"]["misses"] >= 1
+        assert cold["counters"]["cache.miss"] >= 1
+        assert cold["counters"]["cache.disk_hit"] == 0
+
+        warm = run()
+        assert warm["states"] == cold["states"]
+        assert warm["stats"]["disk_hits"] >= 1
+        assert warm["stats"]["misses"] == 0
+        assert warm["counters"]["cache.disk_hit"] == 1
+        assert warm["counters"]["cache.memory_hit"] == 0
+        assert warm["counters"]["cache.miss"] == 0
+
     def test_cached_threshold_pipeline_disk_roundtrip(self, tmp_path):
         cold = cached_compile_threshold_protocol(1, cache=ArtifactCache(tmp_path))
         warm_cache = ArtifactCache(tmp_path)
