@@ -1,0 +1,74 @@
+"""Benchmarks for the static verification layer (``repro.analysis.statics``
+and ``repro.lint``).
+
+Not a paper artefact — these gate the promise that ``repro check`` is
+cheap enough to run before every experiment and in CI.  Three costs
+matter: checking the hand-written baselines (interactive, must be
+instant), checking a compiled pipeline protocol *given a warm table
+cache* (the CI mode), and linting the whole source tree.  Gauges land in
+the shared bench JSON (``statics.*``) next to the simulator numbers."""
+
+from pathlib import Path
+
+from conftest import record_benchmark
+
+from repro.analysis.statics import check_machine, check_program, check_protocol
+from repro.baselines import majority_protocol
+from repro.lint import lint_paths
+from repro.lipton.construction import build_threshold_program
+from repro.machines.lowering import lower_program
+
+_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def test_check_baseline_protocol(benchmark, bench_metrics):
+    """Full protocol diagnostics (coverability + shadowing + conservation)
+    on a hand-written baseline — the interactive hot path."""
+    pp = majority_protocol()
+    diags = benchmark(check_protocol, pp)
+    record_benchmark(bench_metrics, "statics.check_protocol", benchmark)
+    assert not [d for d in diags if d.severity == "error"]
+
+
+def test_check_theorem_program(benchmark, bench_metrics):
+    """Whole-program analyses on the Theorem 1 construction at n = 2."""
+    program = build_threshold_program(2)
+    diags = benchmark(check_program, program, name="lipton-n2")
+    record_benchmark(bench_metrics, "statics.check_program", benchmark)
+    assert not [d for d in diags if d.severity == "error"]
+
+
+def test_check_lowered_machine(benchmark, bench_metrics):
+    """IP-graph reachability + pointer-domain checks on the machine
+    lowered from the Theorem 1 program."""
+    machine = lower_program(build_threshold_program(2), name="lipton2")
+    diags = benchmark(check_machine, machine)
+    record_benchmark(bench_metrics, "statics.check_machine", benchmark)
+    assert not [d for d in diags if d.severity == "error"]
+
+
+def test_check_compiled_protocol(thr2_pipeline, benchmark, bench_metrics):
+    """Protocol diagnostics over a compiled pipeline protocol.
+
+    The session fixture already compiled it, and the first call below
+    warms the transition-table cache, so the timing measures the checker
+    itself — the regime CI sees with a warm ``REPRO_CACHE_DIR``.
+    """
+    protocol = thr2_pipeline.protocol
+    check_protocol(protocol)  # warm the table cache
+    diags = benchmark.pedantic(
+        check_protocol, args=(protocol,), rounds=3, iterations=1
+    )
+    record_benchmark(bench_metrics, "statics.check_compiled", benchmark)
+    assert not [d for d in diags if d.severity == "error"]
+
+
+def test_lint_source_tree(benchmark, bench_metrics):
+    """Lint the whole ``src/repro`` tree — the CI lint job's workload.
+
+    Also the dogfood gate: the tree must stay clean.
+    """
+    diags = benchmark.pedantic(lint_paths, args=([_SRC],), rounds=3, iterations=1)
+    files = sum(1 for _ in _SRC.rglob("*.py"))
+    record_benchmark(bench_metrics, "statics.lint", benchmark, units=files)
+    assert diags == []

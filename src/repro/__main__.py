@@ -20,6 +20,11 @@ Usage::
     python -m repro --engine batched ...       # bulk multinomial engine
     python -m repro trace protocol --engine legacy  # bit-exact replay engine
 
+    python -m repro check baselines            # static checks on named targets
+    python -m repro check all --json           # machine-readable diagnostics
+    python -m repro check --list               # list check targets
+    python -m repro lint                       # determinism/fork-safety lint
+
     python -m repro chaos                      # X4 transient-fault experiment
     python -m repro chaos --smoke              # quick resilience smoke check
 
@@ -44,6 +49,13 @@ with ``--check``, compares every ``*.ops_per_second`` gauge of the fresh
 run against a baseline JSON (default: the committed
 ``BENCH_simulator.json``), failing if any regressed by more than the
 tolerance (``--tolerance`` / ``REPRO_BENCH_TOLERANCE``, default 30%).
+
+``check`` runs the static verification layer
+(:mod:`repro.analysis.statics`) over named artifact targets and ``lint``
+runs the determinism/fork-safety source lint (:mod:`repro.lint`) over
+``src/repro``.  Both share the exit-code contract **0** = clean at the
+chosen severity threshold, **1** = findings, **2** = usage error, and
+both emit JSON with ``--json`` (diagnostics list + severity summary).
 """
 
 from __future__ import annotations
@@ -776,6 +788,127 @@ def _run_top(argv: Tuple[str, ...]) -> int:
     return 0 if rendered else 1
 
 
+def _emit_diagnostics(diagnostics, *, as_json: bool, fail_on: str, **extra) -> int:
+    """Shared tail of ``check``/``lint``: print findings (text or JSON)
+    and map them to the exit-code contract — 0 when nothing at or above
+    ``fail_on`` severity, 1 otherwise."""
+    from repro.core.diagnostics import (
+        at_or_above,
+        count_by_severity,
+        diagnostics_to_json,
+        render_diagnostics,
+    )
+
+    failing = at_or_above(diagnostics, fail_on)
+    if as_json:
+        print(diagnostics_to_json(diagnostics, fail_on=fail_on, **extra))
+    else:
+        if diagnostics:
+            print(render_diagnostics(diagnostics))
+        counts = count_by_severity(diagnostics)
+        print(
+            f"{'clean' if not failing else 'FINDINGS'}: "
+            f"{counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info (failing at or above: {fail_on})"
+        )
+    return 1 if failing else 0
+
+
+def _run_check(argv: Tuple[str, ...]) -> int:
+    """``python -m repro check`` — static verification of named targets.
+
+    Exit codes: 0 = no diagnostic at or above ``--fail-on`` severity,
+    1 = findings, 2 = usage error (argparse or unknown target).
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Run the static verification layer over named "
+        "protocol/program/machine targets.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="check targets (see --list); 'all' runs every registered one",
+    )
+    parser.add_argument("--list", action="store_true", help="list targets and exit")
+    parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="warning",
+        help="lowest severity that makes the exit status 1 (default: warning)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.analysis.statics import TARGETS as CHECK_TARGETS
+    from repro.analysis.statics import run_target
+
+    if args.list or not args.targets:
+        for name, (description, _runner) in sorted(CHECK_TARGETS.items()):
+            print(f"{name:<10} {description}")
+        print(f"{'all':<10} every target above")
+        return 0
+
+    unknown = [t for t in args.targets if t != "all" and t not in CHECK_TARGETS]
+    if unknown:
+        parser.error(f"unknown check targets: {unknown}")
+
+    diagnostics = []
+    for target in args.targets:
+        diagnostics.extend(run_target(target))
+    return _emit_diagnostics(
+        diagnostics,
+        as_json=args.json,
+        fail_on=args.fail_on,
+        targets=list(args.targets),
+    )
+
+
+def _run_lint(argv: Tuple[str, ...]) -> int:
+    """``python -m repro lint`` — determinism & fork-safety source lint.
+
+    Exit codes: 0 = no finding at or above ``--fail-on`` (default: any
+    warning), 1 = findings, 2 = usage error.
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description="Lint the source tree for determinism and fork-safety "
+        "invariants (LNT001-LNT006; waive a line with `# lint-ok: CODE`).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit diagnostics as JSON"
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="warning",
+        help="lowest severity that makes the exit status 1 (default: warning)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.lint import lint_paths
+
+    paths = [Path(p) for p in args.paths] if args.paths else [repo_root / "src" / "repro"]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such file or directory: {missing}")
+    diagnostics = lint_paths(paths)
+    return _emit_diagnostics(
+        diagnostics,
+        as_json=args.json,
+        fail_on=args.fail_on,
+        paths=[str(p) for p in paths],
+    )
+
+
 #: Benchmark suites runnable via ``python -m repro bench --suite NAME``.
 #: Each entry is the list of paths (relative to ``benchmarks/``) pytest
 #: collects; ``core`` is what CI gates on — the simulator micro-benchmarks
@@ -787,11 +920,13 @@ BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
     "observability": ("bench_observability.py",),
     "batched": ("bench_batched_engine.py",),
     "distributed": ("bench_distributed.py",),
+    "statics": ("bench_statics.py",),
     "core": (
         "bench_simulator_performance.py",
         "bench_parallel_runtime.py",
         "bench_batched_engine.py",
         "bench_distributed.py",
+        "bench_statics.py",
     ),
     "all": (".",),
 }
@@ -949,6 +1084,10 @@ def main(argv: Tuple[str, ...] = tuple(sys.argv[1:])) -> int:
         return _run_observe(argv[0], tuple(argv[1:]))
     if argv and argv[0] == "bench":
         return _run_bench(tuple(argv[1:]))
+    if argv and argv[0] == "check":
+        return _run_check(tuple(argv[1:]))
+    if argv and argv[0] == "lint":
+        return _run_lint(tuple(argv[1:]))
     if argv and argv[0] == "chaos":
         return _run_chaos(tuple(argv[1:]))
     if argv and argv[0] == "serve":

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Iterable, List, Set
+from typing import Callable, FrozenSet, Iterable, Set
 
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol

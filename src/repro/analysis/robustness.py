@@ -29,7 +29,7 @@ from repro.core.multiset import Multiset
 from repro.core.scheduler import EnabledTransitionScheduler
 from repro.core.semantics import apply_transition_inplace
 from repro.core.simulation import simulate
-from repro.lipton.canonical import canonical_restart_policy, good_configuration
+from repro.lipton.canonical import canonical_restart_policy
 from repro.lipton.construction import build_threshold_program
 from repro.lipton.levels import all_registers, threshold
 from repro.programs.ast import PopulationProgram

@@ -1,0 +1,188 @@
+"""Static checks over population machines (the middle IR).
+
+The control-flow graph over instruction addresses ``1..L`` is exact: a
+``move``/``detect`` or a non-IP assignment at address ``i`` steps to
+``i + 1`` (stepping past ``L`` hangs); an assignment ``IP := f(Y)`` jumps
+to every value of ``f`` (the machine validator already guarantees these
+lie in ``{1..L}``).  Nondeterminism (detect, hangs) only prunes paths,
+never adds them, so reachability over this graph over-approximates
+dynamic reachability — an instruction unreachable here is unreachable,
+period.
+
+Diagnostic codes:
+
+* ``MCH001`` (warning) — unreachable instruction: no CFG path from
+  address 1 (dead weight in ``|𝓘|``, the machine size metric);
+* ``MCH002`` (warning) — dead pointer-domain value: never produced by
+  any assignment to that pointer and not its canonical initial value, so
+  it inflates ``Σ_X |𝓕_X|`` without being usable.  ``IP``/``OF``/``CF``
+  are exempt (their domains are fixed by Definition 6) and detect
+  instructions count as writing both booleans to ``CF``;
+* ``MCH003`` (warning) — return-pointer discipline: an indirect jump
+  ``IP := f(X)`` through a pointer other than ``CF`` must forward the
+  stored address verbatim (``f`` = identity), and a write into a
+  return-address pointer (``P[...]``, per the lowering's naming) must be
+  a constant assignment — anything else means the lowering's call
+  protocol (Figure 6) is broken;
+* ``MCH004`` (info) — reachable end-hang: control can step past the
+  last instruction, which hangs the machine.  The lowering always ends
+  control flow in the ``3: IP := 3`` spin, so a fall-off end usually
+  marks a hand-built machine relying on the implicit hang.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.core.diagnostics import Diagnostic, INFO, WARNING
+from repro.machines.machine import (
+    AssignInstr,
+    CF,
+    DetectInstr,
+    IP,
+    OF,
+    PopulationMachine,
+    register_map_pointer,
+)
+
+_FIXED_DOMAIN = (IP, OF, CF)
+
+
+def instruction_successors(
+    machine: PopulationMachine, address: int
+) -> List[int]:
+    """CFG successors of the instruction at 1-indexed ``address``."""
+    instr = machine.instruction_at(address)
+    if isinstance(instr, AssignInstr) and instr.target == IP:
+        return sorted(set(instr.mapping.values()))
+    if address == machine.length:
+        return []  # stepping past L hangs: no successor
+    return [address + 1]
+
+
+def reachable_instructions(machine: PopulationMachine) -> Set[int]:
+    """Addresses reachable from the entry (address 1) in the CFG."""
+    seen: Set[int] = set()
+    stack = [1]
+    while stack:
+        address = stack.pop()
+        if address in seen:
+            continue
+        seen.add(address)
+        stack.extend(a for a in instruction_successors(machine, address) if a not in seen)
+    return seen
+
+
+def _initial_pointer_values(machine: PopulationMachine) -> Dict[str, Set[object]]:
+    """The values each pointer can hold before any instruction runs.
+
+    Mirrors :meth:`PopulationMachine.initial_configuration`: identity
+    register map, ``IP = 1``, flags false, everything else its first
+    domain value.
+    """
+    out: Dict[str, Set[object]] = {
+        pointer: {domain[0]} for pointer, domain in machine.pointer_domains.items()
+    }
+    out[IP] = {1}
+    out[OF] = {False}
+    out[CF] = {False}
+    for reg in machine.registers:
+        out[register_map_pointer(reg)] = {reg}
+    return out
+
+
+def check_machine(machine: PopulationMachine) -> List[Diagnostic]:
+    """All static diagnostics for ``machine`` (see module doc for codes)."""
+    name = machine.name
+    out: List[Diagnostic] = []
+
+    # -- MCH001: unreachable instructions ------------------------------
+    reachable = reachable_instructions(machine)
+    for address in range(1, machine.length + 1):
+        if address not in reachable:
+            out.append(
+                Diagnostic(
+                    code="MCH001",
+                    severity=WARNING,
+                    message=f"instruction {address} "
+                    f"({machine.instruction_at(address)}) is unreachable",
+                    target=name,
+                    location=str(address),
+                )
+            )
+
+    # -- MCH002: dead pointer-domain values ----------------------------
+    possible = _initial_pointer_values(machine)
+    for instr in machine.instructions:
+        if isinstance(instr, AssignInstr):
+            possible.setdefault(instr.target, set()).update(instr.mapping.values())
+        elif isinstance(instr, DetectInstr):
+            # move touches no pointer; detect writes CF (either boolean)
+            possible[CF].update((False, True))
+    for pointer, domain in machine.pointer_domains.items():
+        if pointer in _FIXED_DOMAIN:
+            continue
+        for value in domain:
+            if value not in possible.get(pointer, ()):
+                out.append(
+                    Diagnostic(
+                        code="MCH002",
+                        severity=WARNING,
+                        message=f"pointer {pointer} domain value {value!r} is "
+                        "never assigned and is not the initial value",
+                        target=name,
+                        location=pointer,
+                    )
+                )
+
+    # -- MCH003: return-pointer discipline -----------------------------
+    for address, instr in enumerate(machine.instructions, start=1):
+        if not isinstance(instr, AssignInstr):
+            continue
+        if instr.target == IP and instr.source not in (CF, IP):
+            broken = {k: v for k, v in instr.mapping.items() if k != v}
+            if broken:
+                out.append(
+                    Diagnostic(
+                        code="MCH003",
+                        severity=WARNING,
+                        message=f"instruction {address}: indirect jump through "
+                        f"{instr.source} rewrites stored addresses "
+                        f"({len(broken)} of {len(instr.mapping)} entries)",
+                        target=name,
+                        location=str(address),
+                        data={"pointer": instr.source},
+                    )
+                )
+        if (
+            instr.target.startswith("P[")
+            and instr.target != IP
+            and len(set(instr.mapping.values())) > 1
+        ):
+            out.append(
+                Diagnostic(
+                    code="MCH003",
+                    severity=WARNING,
+                    message=f"instruction {address}: non-constant write into "
+                    f"return pointer {instr.target}",
+                    target=name,
+                    location=str(address),
+                    data={"pointer": instr.target},
+                )
+            )
+
+    # -- MCH004: reachable end-hang ------------------------------------
+    last = machine.instructions[-1]
+    falls_off = not (isinstance(last, AssignInstr) and last.target == IP)
+    if falls_off and machine.length in reachable:
+        out.append(
+            Diagnostic(
+                code="MCH004",
+                severity=INFO,
+                message=f"control can step past the last instruction "
+                f"({machine.length}: {last}) and hang",
+                target=name,
+                location=str(machine.length),
+            )
+        )
+    return out

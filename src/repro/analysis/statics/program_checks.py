@@ -1,0 +1,269 @@
+"""Static checks over population programs beyond well-formedness.
+
+Well-formedness (PRG001–PRG007) lives in
+:mod:`repro.programs.validate` and is re-used here verbatim; this module
+adds the structural analyses that need whole-program context:
+
+* ``PRG008`` (warning) — unreachable statement: code after a statement
+  that always terminates the procedure (``return``, ``restart``, an
+  ``if`` whose both branches terminate, or a ``while true`` loop, which
+  never falls through);
+* ``PRG009`` (warning) — register read but never written: a ``detect``
+  or move-source on a register no instruction ever moves *into*.  With
+  no unit ever present the detects are constantly false and the moves
+  hang.  Suppressed when the program contains a ``restart``: a restart
+  redistributes the population over *all* registers nondeterministically,
+  so every register is potentially written (Figure 1's ``z`` is exactly
+  this pattern);
+* ``PRG010`` (info) — register declared but never read (moves into it
+  are allowed: a write-only register is a sink, common and harmless);
+* ``PRG011`` (warning) — dead procedure: not reachable from Main in the
+  call graph (it still inflates ``L`` and the lowered machine);
+* ``PRG012`` (error) — swap-size inconsistency: the checker's own
+  independent union-find over swap instructions disagrees with
+  :func:`repro.programs.size.swap_size` (engine invariant; catches a
+  drifted size metric), plus one info diagnostic per nontrivial swap
+  component (each component of ``c`` registers contributes ``c·(c−1)``
+  to the paper's size metric — worth seeing explicitly).
+
+All diagnostics carry the program name in ``target`` and the procedure
+name (where applicable) in ``location``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.diagnostics import Diagnostic, ERROR, INFO, WARNING
+from repro.programs.ast import (
+    Const,
+    Detect,
+    If,
+    Move,
+    PopulationProgram,
+    Restart,
+    Return,
+    Statement,
+    Swap,
+    While,
+    condition_atoms,
+    iter_statements,
+)
+from repro.programs.size import swap_components, swap_size
+from repro.programs.validate import call_graph, validate_diagnostics
+
+
+def _terminates(stmt: Statement) -> bool:
+    """Whether control never reaches the statement after ``stmt``.
+
+    ``return`` and ``restart`` leave the procedure; an ``if`` is terminal
+    iff both branches are; ``while true`` never falls through (inside it,
+    only a ``return``/``restart`` exits — both leave the procedure
+    entirely, not just the loop).
+    """
+    if isinstance(stmt, (Return, Restart)):
+        return True
+    if isinstance(stmt, If):
+        return _body_terminates(stmt.then_body) and _body_terminates(stmt.else_body)
+    if isinstance(stmt, While):
+        cond = stmt.condition
+        return isinstance(cond, Const) and cond.value
+    return False
+
+
+def _body_terminates(body: Sequence[Statement]) -> bool:
+    return any(_terminates(stmt) for stmt in body)
+
+
+def _unreachable_after(body: Sequence[Statement]) -> List[Tuple[Statement, str]]:
+    """``(dead_statement, why)`` pairs for every statement that follows a
+    terminating one, recursing into the live prefix's nested bodies."""
+    out: List[Tuple[Statement, str]] = []
+    for idx, stmt in enumerate(body):
+        if isinstance(stmt, If):
+            out.extend(_unreachable_after(stmt.then_body))
+            out.extend(_unreachable_after(stmt.else_body))
+        elif isinstance(stmt, While):
+            out.extend(_unreachable_after(stmt.body))
+        if _terminates(stmt):
+            why = str(stmt) if not isinstance(stmt, (If, While)) else (
+                "while true loop" if isinstance(stmt, While) else "if with terminating branches"
+            )
+            out.extend((dead, why) for dead in body[idx + 1 :])
+            break
+    return out
+
+
+def _register_usage(
+    program: PopulationProgram,
+) -> Tuple[Set[str], Set[str]]:
+    """``(read, written)`` register sets over the whole program.
+
+    A move reads its source and writes its target; a swap both reads and
+    writes both sides; a detect reads its register.
+    """
+    read: Set[str] = set()
+    written: Set[str] = set()
+    for proc in program.procedures.values():
+        for stmt in iter_statements(proc.body):
+            if isinstance(stmt, Move):
+                read.add(stmt.src)
+                written.add(stmt.dst)
+            elif isinstance(stmt, Swap):
+                read.update((stmt.a, stmt.b))
+                written.update((stmt.a, stmt.b))
+            elif isinstance(stmt, (If, While)):
+                for atom in condition_atoms(stmt.condition):
+                    if isinstance(atom, Detect):
+                        read.add(atom.register)
+    return read, written
+
+
+def _reachable_procedures(program: PopulationProgram) -> Set[str]:
+    graph = call_graph(program)
+    seen: Set[str] = set()
+    stack = [program.main]
+    while stack:
+        name = stack.pop()
+        if name in seen or name not in program.procedures:
+            continue
+        seen.add(name)
+        stack.extend(graph.get(name, ()))
+    return seen
+
+
+def check_program(
+    program: PopulationProgram, *, name: str = "program"
+) -> List[Diagnostic]:
+    """All static diagnostics for ``program`` (see module doc for codes).
+
+    Starts from :func:`repro.programs.validate.validate_diagnostics`
+    (PRG001–PRG007) and layers the whole-program analyses on top.
+    """
+    out = [replace(d, target=name) for d in validate_diagnostics(program)]
+
+    # -- PRG008: unreachable statements --------------------------------
+    for proc in program.procedures.values():
+        for dead, why in _unreachable_after(proc.body):
+            out.append(
+                Diagnostic(
+                    code="PRG008",
+                    severity=WARNING,
+                    message=f"unreachable statement after {why}: {dead}",
+                    target=name,
+                    location=proc.name,
+                )
+            )
+
+    # -- PRG009 / PRG010: register liveness ----------------------------
+    read, written = _register_usage(program)
+    has_restart = any(
+        isinstance(stmt, Restart)
+        for proc in program.procedures.values()
+        for stmt in iter_statements(proc.body)
+    )
+    for reg in program.registers:
+        if reg in read and reg not in written and not has_restart:
+            out.append(
+                Diagnostic(
+                    code="PRG009",
+                    severity=WARNING,
+                    message=f"register {reg!r} is read but never written: "
+                    "detects are constantly false and moves out of it hang "
+                    "unless the input places units there",
+                    target=name,
+                    location=reg,
+                )
+            )
+        if reg not in read:
+            used = "written but never read" if reg in written else "never used"
+            out.append(
+                Diagnostic(
+                    code="PRG010",
+                    severity=INFO,
+                    message=f"register {reg!r} is {used}",
+                    target=name,
+                    location=reg,
+                )
+            )
+
+    # -- PRG011: dead procedures ---------------------------------------
+    reachable = _reachable_procedures(program)
+    for proc_name in sorted(program.procedures):
+        if proc_name not in reachable:
+            out.append(
+                Diagnostic(
+                    code="PRG011",
+                    severity=WARNING,
+                    message=f"procedure {proc_name!r} is not reachable from "
+                    f"{program.main!r}",
+                    target=name,
+                    location=proc_name,
+                )
+            )
+
+    # -- PRG012: swap-size cross-check + component report --------------
+    out.extend(_swap_diagnostics(program, name))
+    return out
+
+
+def _swap_diagnostics(program: PopulationProgram, name: str) -> List[Diagnostic]:
+    """Recompute the swap transitive closure independently of
+    ``programs/size.py`` (plain BFS over an adjacency map instead of its
+    union-find) and compare."""
+    adj: Dict[str, Set[str]] = {}
+    for proc in program.procedures.values():
+        for stmt in iter_statements(proc.body):
+            if isinstance(stmt, Swap):
+                adj.setdefault(stmt.a, set()).add(stmt.b)
+                adj.setdefault(stmt.b, set()).add(stmt.a)
+    components: List[Tuple[str, ...]] = []
+    seen: Set[str] = set()
+    for start in sorted(adj):
+        if start in seen:
+            continue
+        comp = {start}
+        frontier = [start]
+        while frontier:
+            reg = frontier.pop()
+            for nxt in adj.get(reg, ()):
+                if nxt not in comp:
+                    comp.add(nxt)
+                    frontier.append(nxt)
+        seen |= comp
+        components.append(tuple(sorted(comp)))
+
+    independent = sum(len(c) * (len(c) - 1) for c in components if len(c) >= 2)
+    official = swap_size(program)
+    out: List[Diagnostic] = []
+    if independent != official:
+        out.append(
+            Diagnostic(
+                code="PRG012",
+                severity=ERROR,
+                message=f"swap-size mismatch: size.py reports {official}, "
+                f"independent closure computes {independent}",
+                target=name,
+                data={
+                    "official": official,
+                    "independent": independent,
+                    "official_components": sorted(
+                        swap_components(program).values()
+                    ),
+                },
+            )
+        )
+    for comp in components:
+        if len(comp) >= 2:
+            out.append(
+                Diagnostic(
+                    code="PRG012",
+                    severity=INFO,
+                    message=f"swap component {comp!r} contributes "
+                    f"{len(comp) * (len(comp) - 1)} to the size metric",
+                    target=name,
+                    data={"component": list(comp)},
+                )
+            )
+    return out

@@ -14,11 +14,11 @@ transition set finite-by-need while preserving the reachable behaviour.
 
 from __future__ import annotations
 
-from typing import Iterable, List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Optional
 
 from repro.core.protocol import PopulationProtocol, Transition
 from repro.machines.machine import OF
-from repro.conversion.states import PointerState, stages_of
+from repro.conversion.states import PointerState
 
 
 class OpinionState(NamedTuple):

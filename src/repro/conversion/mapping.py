@@ -12,10 +12,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.core.multiset import Multiset
-from repro.machines.machine import (
-    MachineConfiguration,
-    PopulationMachine,
-)
+from repro.machines.machine import MachineConfiguration
 from repro.conversion.protocol_from_machine import ConvertedProtocol
 from repro.conversion.states import NONE, PointerState
 

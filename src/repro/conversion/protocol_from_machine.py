@@ -21,7 +21,7 @@ The resulting protocol (before the output broadcast of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.errors import InvalidMachineError
 from repro.core.protocol import PopulationProtocol, Transition

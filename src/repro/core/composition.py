@@ -21,7 +21,7 @@ construction could do far better).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core.errors import InvalidProtocolError
 from repro.core.protocol import PopulationProtocol, Transition

@@ -9,7 +9,7 @@ state and output *false* if no agent is.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.errors import InvalidConfigurationError, InvalidProtocolError

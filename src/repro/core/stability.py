@@ -20,7 +20,7 @@ from itertools import combinations
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.errors import NonConvergenceError
-from repro.core.multiset import Multiset, State
+from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol
 from repro.core.semantics import configuration_graph
 

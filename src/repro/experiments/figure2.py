@@ -19,7 +19,7 @@ from repro.lipton.classify import (
     is_i_proper,
     is_weakly_i_proper,
 )
-from repro.lipton.levels import RESERVE, level_constant, x, xbar, y, ybar
+from repro.lipton.levels import level_constant, x, xbar, y, ybar
 
 
 def _proper_prefix(i: int) -> Dict[str, int]:

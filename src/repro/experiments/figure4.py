@@ -8,7 +8,7 @@ instruction, checking the structural properties Figure 4 depicts."""
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict
 
 from repro.machines.machine import (
     AssignInstr,
@@ -23,15 +23,12 @@ from repro.machines.machine import (
 )
 from repro.conversion.protocol_from_machine import ConvertedProtocol, convert_machine
 from repro.conversion.states import (
-    DONE,
     EMIT,
     FALSE,
     NONE,
     PointerState,
     TAKE,
-    TEST,
     TRUE,
-    WAIT,
 )
 
 

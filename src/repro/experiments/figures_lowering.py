@@ -12,14 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.machines.lowering import lower_program, procedure_pointer
+from repro.machines.lowering import lower_program
 from repro.machines.machine import (
     AssignInstr,
     DetectInstr,
     IP,
     MoveInstr,
     PopulationMachine,
-    register_map_pointer,
 )
 from repro.programs.ast import (
     CallExpr,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.analysis.state_complexity import Table1Row, table1_rows
+from repro.analysis.state_complexity import Table1Row
 from repro.experiments.report import render_table
 
 

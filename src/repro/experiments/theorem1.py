@@ -16,7 +16,7 @@ from repro.core.multiset import Multiset
 from repro.core.simulation import simulate
 from repro.experiments.report import render_table
 from repro.lipton.levels import threshold
-from repro.conversion.pipeline import PipelineResult, compile_threshold_protocol
+from repro.conversion.pipeline import PipelineResult
 
 
 @dataclass

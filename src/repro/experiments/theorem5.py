@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 from repro.core.errors import ReproError
 from repro.core.scheduler import EnabledTransitionScheduler

@@ -1,0 +1,17 @@
+"""Source lint enforcing the runtime's determinism & fork-safety
+invariants (codes ``LNT001–LNT006``; run via ``python -m repro lint``).
+
+See :mod:`repro.lint.rules` for the rule catalogue and
+:mod:`repro.lint.engine` for the driver and the ``# lint-ok`` pragma.
+"""
+
+from repro.lint.engine import lint_file, lint_paths, lint_source
+from repro.lint.rules import ALL_RULES, POOL_CROSSING_PREFIXES
+
+__all__ = [
+    "ALL_RULES",
+    "POOL_CROSSING_PREFIXES",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,102 @@
+"""The lint driver: walk a source tree, parse, run rules, honour pragmas.
+
+``python -m repro lint`` runs :func:`lint_paths` over ``src/repro``.  A
+finding is suppressed by a pragma comment on its line::
+
+    state = set(peers)  # lint-ok
+    rnd = random.random()  # lint-ok: LNT001
+
+A bare ``# lint-ok`` waives every rule for that line; with codes, only
+the listed ones.  Pragmas are per-line by design — a file- or block-level
+waiver would silently cover future regressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.diagnostics import Diagnostic, ERROR
+from repro.lint.rules import ALL_RULES
+
+_PRAGMA = re.compile(r"#\s*lint-ok(?::\s*(?P<codes>[A-Z0-9,\s]+))?")
+
+
+def _pragmas(source: str) -> Dict[int, Optional[Set[str]]]:
+    """``{lineno: None}`` for blanket waivers, ``{lineno: {codes}}`` for
+    code-specific ones (1-indexed, matching ast line numbers)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = {c.strip() for c in codes.split(",") if c.strip()}
+    return out
+
+
+def _line_of(diagnostic: Diagnostic) -> int:
+    try:
+        return int(diagnostic.location)
+    except ValueError:
+        return 0
+
+
+def lint_source(source: str, path: str) -> List[Diagnostic]:
+    """Lint one module's source text (``path`` is used for reporting and
+    for path-scoped rules like LNT004's pool-crossing check)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                code="LNT000",
+                severity=ERROR,
+                message=f"syntax error: {exc.msg}",
+                target=path,
+                location=str(exc.lineno or 0),
+            )
+        ]
+    findings: List[Diagnostic] = []
+    for rule in ALL_RULES:
+        findings.extend(rule(tree, path))
+    waivers = _pragmas(source)
+    kept = []
+    for diag in findings:
+        waived_codes = waivers.get(_line_of(diag), "missing")
+        if waived_codes == "missing":
+            kept.append(diag)
+        elif waived_codes is not None and diag.code not in waived_codes:
+            kept.append(diag)
+    return sorted(kept, key=lambda d: (d.target, _line_of(d), d.code))
+
+
+def lint_file(path: Path, root: Optional[Path] = None) -> List[Diagnostic]:
+    rel = str(path.relative_to(root)) if root is not None else str(path)
+    return lint_source(path.read_text(encoding="utf-8"), rel)
+
+
+def iter_source_files(root: Path) -> Iterable[Path]:
+    return sorted(p for p in root.rglob("*.py") if p.is_file())
+
+
+def lint_paths(paths: Sequence[Path]) -> List[Diagnostic]:
+    """Lint every ``.py`` file under each path (files are linted as-is).
+
+    Reported targets are root-relative, so the output is stable no matter
+    where the tree is checked out.
+    """
+    out: List[Diagnostic] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in iter_source_files(path):
+                out.extend(lint_file(file, root=path))
+        else:
+            out.extend(lint_file(path, root=path.parent))
+    return out

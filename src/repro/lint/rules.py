@@ -1,0 +1,431 @@
+"""Lint rules: the determinism & fork-safety invariants of the runtime.
+
+Each rule is a function ``(tree, path) -> List[Diagnostic]`` over one
+parsed module.  The rules are deliberately *syntactic* — no type
+inference — tuned so that a true positive is an invariant violation the
+distributed runtime actually depends on, and intentional exceptions are
+marked ``# lint-ok: CODE`` at the offending line (see
+:mod:`repro.lint.engine`).
+
+* ``LNT001`` — call to a module-level ``random.*`` function (or
+  ``numpy.random.*`` legacy global).  These draw from interpreter-global,
+  implicitly-seeded state; every draw in this codebase must come from an
+  explicitly seeded ``random.Random`` (or ``numpy`` ``Generator``)
+  threaded through the call tree, or runs stop being reproducible and
+  workers fork identical streams.  Constructors (``random.Random``,
+  ``random.SystemRandom``, ``numpy.random.default_rng``,
+  ``numpy.random.Generator`` …) are fine: they *create* local state.
+* ``LNT002`` — time-derived seed: a wall-clock call (``time.time``,
+  ``time.time_ns``, ``time.monotonic``, ``datetime.now`` …) in the
+  argument list of a ``Random(...)`` / ``default_rng(...)`` construction
+  or a ``.seed(...)`` call.  Time seeds differ per process and per run;
+  seeds must come from the experiment spec / seed tree.
+* ``LNT003`` — RNG consumption inside iteration over an unordered
+  collection: a ``for`` whose iterable is syntactically a set (literal,
+  comprehension, or ``set()``/``frozenset()`` call) and whose body calls
+  an RNG method (a draw on a name containing ``rng``/``random``, or any
+  well-known draw method like ``choice``/``shuffle``).  Set order varies
+  with ``PYTHONHASHSEED``, so the draw sequence would too — iterate a
+  ``sorted(...)`` view instead.
+* ``LNT004`` — unpicklable pool-crossing type: in the packages whose
+  objects cross process boundaries (core, programs, machines, conversion,
+  resilience, lipton, baselines), a class that stores an unpicklable
+  value on ``self`` (a ``MappingProxyType``, a lock/condition/semaphore,
+  an open file handle) must define ``__reduce__``/``__getstate__`` (or
+  ``__reduce_ex__``/``__deepcopy__``-style custom serialisation) so a
+  pool ``submit`` does not explode at pickling time.
+* ``LNT005`` — lowercase module-level mutable container: module-level
+  lists/dicts/sets that are not ALL_CAPS constants (or sunken
+  ``_private`` singletons managed through accessor functions with
+  ``global``) are fork-hazardous ambient state — each worker silently
+  gets a divergent copy.
+* ``LNT006`` — unused module-level import (``__init__.py`` re-export
+  surfaces are skipped).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.core.diagnostics import Diagnostic, WARNING
+
+#: Constructors on the random/numpy.random modules that *create* local
+#: generator state rather than drawing from the global one.
+_RNG_CONSTRUCTORS = {
+    "Random",
+    "SystemRandom",
+    "default_rng",
+    "Generator",
+    "RandomState",
+    "PCG64",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "SeedSequence",
+}
+
+#: Wall-clock sources that must never feed a seed.
+_TIME_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+}
+
+#: Method names that draw from an RNG.
+_DRAW_METHODS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "expovariate",
+    "betavariate",
+    "binomial",
+    "multinomial",
+    "getrandbits",
+    "triangular",
+}
+
+#: Attribute sources whose values do not pickle.
+_UNPICKLABLE_CALLS = {
+    "MappingProxyType",
+    "Lock",
+    "RLock",
+    "Condition",
+    "Event",
+    "Semaphore",
+    "BoundedSemaphore",
+    "Barrier",
+    "open",
+}
+
+#: Custom-serialisation hooks, any of which makes a class pool-safe.
+_PICKLE_HOOKS = {"__reduce__", "__reduce_ex__", "__getstate__"}
+
+#: Package prefixes (relative to ``src/repro``) whose types cross the
+#: process-pool / distributed boundary.
+POOL_CROSSING_PREFIXES = (
+    "core",
+    "programs",
+    "machines",
+    "conversion",
+    "resilience",
+    "lipton",
+    "baselines",
+)
+
+
+def _diag(code: str, message: str, path: str, node: ast.AST) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=WARNING,
+        message=message,
+        target=path,
+        location=str(getattr(node, "lineno", 0)),
+    )
+
+
+def _dotted(node: ast.AST) -> str:
+    """``a.b.c`` for an attribute chain rooted at a Name, else ``""``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+# ----------------------------------------------------------------------
+# LNT001 / LNT002 — global RNG use and time-derived seeds
+# ----------------------------------------------------------------------
+def rule_global_rng(tree: ast.Module, path: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        parts = dotted.split(".")
+        # random.X(...) / np.random.X(...) / numpy.random.X(...)
+        is_stdlib = len(parts) == 2 and parts[0] == "random"
+        is_numpy = (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        )
+        if (is_stdlib or is_numpy) and parts[-1] not in _RNG_CONSTRUCTORS:
+            out.append(
+                _diag(
+                    "LNT001",
+                    f"call to global RNG function {dotted}(): draw from an "
+                    "explicitly seeded random.Random / numpy Generator "
+                    "instead",
+                    path,
+                    node,
+                )
+            )
+    return out
+
+
+def _contains_time_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            dotted = _dotted(sub.func)
+            parts = tuple(dotted.split("."))
+            if len(parts) >= 2 and (parts[-2], parts[-1]) in _TIME_CALLS:
+                return True
+    return False
+
+
+def rule_time_seed(tree: ast.Module, path: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else ""
+        )
+        if name not in ("Random", "default_rng", "seed", "SeedSequence"):
+            continue
+        for arg in [*node.args, *(kw.value for kw in node.keywords)]:
+            if _contains_time_call(arg):
+                out.append(
+                    _diag(
+                        "LNT002",
+                        f"time-derived seed passed to {name}(): seeds must "
+                        "come from the experiment spec / seed tree, never "
+                        "the wall clock",
+                        path,
+                        node,
+                    )
+                )
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
+# LNT003 — RNG draws inside unordered-set iteration
+# ----------------------------------------------------------------------
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else ""
+        return name in ("set", "frozenset")
+    return False
+
+
+def _draws_rng(body: List[ast.stmt]) -> ast.Call:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            root = _dotted(func.value).split(".")[0].lower()
+            if func.attr in _DRAW_METHODS and ("rng" in root or "random" in root):
+                return node
+    return None
+
+
+def rule_rng_in_set_iteration(tree: ast.Module, path: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.For, ast.AsyncFor)):
+            continue
+        if not _is_set_expr(node.iter):
+            continue
+        draw = _draws_rng(node.body)
+        if draw is not None:
+            out.append(
+                _diag(
+                    "LNT003",
+                    "RNG draw inside iteration over an unordered set: the "
+                    "draw sequence depends on PYTHONHASHSEED — iterate a "
+                    "sorted(...) view",
+                    path,
+                    node,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# LNT004 — pool-crossing classes with unpicklable attributes
+# ----------------------------------------------------------------------
+def rule_pool_pickle_safety(tree: ast.Module, path: str) -> List[Diagnostic]:
+    normalised = path.replace("\\", "/")
+    if normalised.startswith("src/repro/"):
+        normalised = normalised[len("src/repro/") :]
+    if not normalised.startswith(POOL_CROSSING_PREFIXES):
+        return []
+    out: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        hooks: Set[str] = {
+            item.name
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if hooks & _PICKLE_HOOKS:
+            continue
+        offender = None
+        for sub in ast.walk(node):
+            # self.<attr> = <unpicklable>(...) — incl. object.__setattr__
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+                value = sub.value
+            elif isinstance(sub, ast.Call):
+                dotted = _dotted(sub.func)
+                if dotted.endswith("__setattr__") and len(sub.args) == 3:
+                    targets, value = [sub.args[1]], sub.args[2]
+                else:
+                    continue
+            else:
+                continue
+            stores_on_self = any(
+                (isinstance(t, ast.Attribute) and _dotted(t).startswith("self."))
+                or isinstance(t, ast.Constant)  # __setattr__(self, "name", v)
+                for t in targets
+            )
+            if not stores_on_self:
+                continue
+            for call in ast.walk(value):
+                if isinstance(call, ast.Call):
+                    name = _dotted(call.func).split(".")[-1]
+                    if name in _UNPICKLABLE_CALLS:
+                        offender = (call, name)
+                        break
+            if offender:
+                break
+        if offender:
+            call, name = offender
+            out.append(
+                _diag(
+                    "LNT004",
+                    f"class {node.name} stores a {name}(...) on instances "
+                    "but defines no __reduce__/__getstate__: it will not "
+                    "survive the pool/distributed pickle boundary",
+                    path,
+                    call,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# LNT005 — lowercase module-level mutable containers
+# ----------------------------------------------------------------------
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict")
+    return False
+
+
+def rule_module_mutable_state(tree: ast.Module, path: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if not _is_mutable_container(value):
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            name = target.id
+            if name == name.upper() or name.startswith("__"):
+                continue  # ALL_CAPS constant / dunder (__all__ etc.)
+            out.append(
+                _diag(
+                    "LNT005",
+                    f"module-level mutable container {name!r}: name it "
+                    "ALL_CAPS if it is a constant, or move it behind an "
+                    "accessor — ambient mutable state diverges across "
+                    "forked workers",
+                    path,
+                    stmt,
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# LNT006 — unused module-level imports
+# ----------------------------------------------------------------------
+def rule_unused_imports(tree: ast.Module, path: str) -> List[Diagnostic]:
+    if path.endswith("__init__.py"):
+        return []  # re-export surface: unused-looking imports are the point
+    imported: Dict[str, ast.stmt] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                name = alias.asname or alias.name.split(".")[0]
+                imported[name] = stmt
+        elif isinstance(stmt, ast.ImportFrom):
+            if stmt.module == "__future__":
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = stmt
+    if not imported:
+        return []
+    used: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            if dotted:
+                used.add(dotted.split(".")[0])
+    # Names in string annotations and docstring doctests are invisible to
+    # the walker; a grep over the raw source would over-match instead.
+    # ``__all__`` entries count as uses.
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in imported:
+                used.add(node.value)
+    out: List[Diagnostic] = []
+    for name, stmt in imported.items():
+        if name not in used:
+            out.append(
+                _diag("LNT006", f"unused import {name!r}", path, stmt)
+            )
+    return out
+
+
+#: All rules, in code order; the engine runs each over every module.
+ALL_RULES = (
+    rule_global_rng,
+    rule_time_seed,
+    rule_rng_in_set_iteration,
+    rule_pool_pickle_safety,
+    rule_module_mutable_state,
+    rule_unused_imports,
+)

@@ -22,9 +22,9 @@ stepping past the last instruction) self-loops, i.e. the machine *hangs*.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.core.errors import InvalidMachineError
 

@@ -194,6 +194,10 @@ class RunManifest:
     jobs: Optional[int] = None
     cache: Dict[str, int] = field(default_factory=dict)
     outcome: Optional[str] = None
+    #: Severity → count summary of the static checks run against the
+    #: target's artifacts (``repro.analysis.statics``); ``None`` when no
+    #: checks were run for this manifest.
+    diagnostics: Optional[Dict[str, int]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -239,6 +243,7 @@ def build_manifest(
     jobs: Optional[int] = None,
     cache: Any = None,
     outcome: Optional[str] = None,
+    diagnostics: Any = None,
     **extra: Any,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest`, fingerprinting whatever inputs are
@@ -251,6 +256,11 @@ def build_manifest(
     else — for protocol targets that ran the default scheduler — from the
     resolved ``REPRO_ENGINE`` preference; targets with no protocol-level
     simulation leave it ``None``.
+
+    ``diagnostics`` accepts either a ready severity→count mapping or a
+    list of :class:`repro.core.diagnostics.Diagnostic` (summarised via
+    :func:`~repro.core.diagnostics.count_by_severity`); ``None`` records
+    that no static checks ran.
     """
     import repro
     from repro.runtime.cache import (
@@ -273,6 +283,14 @@ def build_manifest(
             from repro.core.simulation import resolve_engine
 
             engine = resolve_engine(None) or "fast"
+    diagnostic_counts: Optional[Dict[str, int]] = None
+    if diagnostics is not None:
+        if isinstance(diagnostics, dict):
+            diagnostic_counts = {k: int(v) for k, v in diagnostics.items()}
+        else:
+            from repro.core.diagnostics import count_by_severity
+
+            diagnostic_counts = dict(count_by_severity(diagnostics))
     return RunManifest(
         target=target,
         seed=seed,
@@ -289,5 +307,6 @@ def build_manifest(
         jobs=jobs,
         cache=dict(cache.stats() if hasattr(cache, "stats") else cache),
         outcome=outcome,
+        diagnostics=diagnostic_counts,
         extra={k: v for k, v in extra.items() if v is not None},
     )

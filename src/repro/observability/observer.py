@@ -19,7 +19,7 @@ Design constraints (see DESIGN.md → Observability):
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 from repro.observability import events as ev
 

@@ -40,6 +40,31 @@ def _observer(recorder, metrics):
     return CompositeObserver(*(o for o in (recorder, metrics) if o is not None))
 
 
+def _checked(*, protocol=None, program=None, machine=None, name="target"):
+    """Static-check diagnostics for a run's artifacts (best effort).
+
+    Used to stamp ``RunManifest.diagnostics``: a manifest then records not
+    just *what* ran but whether its inputs were clean.  Results are cached
+    by content fingerprint, so re-tracing a known artifact costs one hash.
+    Protocol checks build the transition table; callers with large
+    compiled protocols pass only the cheap AST-level artifacts.
+    """
+    from repro.analysis.statics.targets import (
+        check_machine_cached,
+        check_program_cached,
+        check_protocol_cached,
+    )
+
+    out = []
+    if program is not None:
+        out.extend(check_program_cached(program, name=name))
+    if machine is not None:
+        out.extend(check_machine_cached(machine))
+    if protocol is not None:
+        out.extend(check_protocol_cached(protocol))
+    return out
+
+
 def run_theorem3(
     *,
     n: int = 2,
@@ -82,6 +107,7 @@ def run_theorem3(
         seed=seed,
         program=program,
         outcome=outcome,
+        diagnostics=_checked(program=program, name=f"theorem3-n{n}"),
         n=n,
         total=total,
         max_steps=max_steps,
@@ -123,6 +149,7 @@ def run_protocol(
         seed=seed,
         protocol=protocol,
         outcome=outcome,
+        diagnostics=_checked(protocol=protocol),
         n=n,
         total=total,
         max_steps=max_steps,
@@ -162,6 +189,7 @@ def run_machine_target(
         "machine",
         seed=seed,
         outcome=outcome,
+        diagnostics=_checked(machine=machine),
         machine=machine.name,
         n=n,
         total=total,
@@ -214,6 +242,7 @@ def run_decide(
         protocol=protocol,
         jobs=jobs,
         outcome=outcome,
+        diagnostics=_checked(protocol=protocol),
         n=n,
         total=total,
         attempts=4,
@@ -239,11 +268,15 @@ def run_pipeline(
         f"inner-states={result.inner_state_count} states={result.state_count} "
         f"(bound {result.state_bound})"
     )
+    # Program-level checks only: protocol checks on the compiled protocol
+    # rebuild its full transition table, disproportionate for a timing
+    # trace of the compiler itself (``repro check lipton`` covers it).
     manifest = build_manifest(
         "pipeline",
         program=result.program,
         protocol=result.protocol,
         outcome=outcome,
+        diagnostics=_checked(program=result.program, name=f"lipton-n{n}"),
         n=n,
         states=result.state_count,
     )

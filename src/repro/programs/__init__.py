@@ -56,7 +56,12 @@ from repro.programs.size import (
     swap_components,
     swap_size,
 )
-from repro.programs.validate import call_graph, topological_order, validate_program
+from repro.programs.validate import (
+    call_graph,
+    topological_order,
+    validate_diagnostics,
+    validate_program,
+)
 
 __all__ = [
     # AST
@@ -92,6 +97,7 @@ __all__ = [
     "swap_components",
     # Validation
     "validate_program",
+    "validate_diagnostics",
     "call_graph",
     "topological_order",
     # Interpreter

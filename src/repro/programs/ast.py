@@ -24,7 +24,7 @@ itself has no for-node.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import InvalidProgramError

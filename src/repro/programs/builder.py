@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.programs.ast import (
-    Condition,
     Const,
     PopulationProgram,
     Procedure,

@@ -30,7 +30,6 @@ from time import monotonic
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.errors import (
-    ExecutionLimitExceeded,
     InvalidProgramError,
     NonConvergenceError,
 )

@@ -2,19 +2,32 @@
 
 Checks:
 
-* every called procedure is defined;
-* the call graph is acyclic (no recursion, bounded stack — a hard model
-  requirement, since the conversion stores return addresses in pointers);
-* every register mentioned by an instruction is declared;
+* every called procedure is defined (``PRG001``);
+* the call graph is acyclic (``PRG002``; no recursion, bounded stack — a
+  hard model requirement, since the conversion stores return addresses in
+  pointers);
+* every register mentioned by an instruction is declared (``PRG003``) and
+  moves have distinct source and target (``PRG004``);
 * ``return b`` with a value only occurs in procedures marked as returning
-  one, and calls used as conditions target value-returning procedures;
-* Main does not return a value (its "output" is the output flag).
+  one (``PRG005``), and calls used as conditions target value-returning
+  procedures (``PRG006``);
+* Main does not return a value (its "output" is the output flag,
+  ``PRG007``).
+
+Two entry points share one engine: :func:`validate_diagnostics` collects
+*every* violation as :class:`~repro.core.diagnostics.Diagnostic` records
+(the static checker's interface), while :func:`validate_program` keeps
+the historical raise-on-first-error contract for the lowering pipeline
+and the builder.  The deeper structural checks (unreachable statements,
+register liveness, dead procedures) live in
+:mod:`repro.analysis.statics.program_checks` on top of this engine.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set
 
+from repro.core.diagnostics import Diagnostic, ERROR
 from repro.core.errors import InvalidProgramError
 from repro.programs.ast import (
     CallExpr,
@@ -67,62 +80,164 @@ def topological_order(program: PopulationProgram) -> List[str]:
     return order
 
 
-def _check_registers(program: PopulationProgram, proc: Procedure) -> None:
+def _error(code: str, message: str, location: str = "") -> Diagnostic:
+    return Diagnostic(code=code, severity=ERROR, message=message, location=location)
+
+
+def _graph_diagnostics(program: PopulationProgram) -> List[Diagnostic]:
+    """PRG001/PRG002 — the collect-all twin of :func:`topological_order`,
+    visiting in the same order so the first finding carries the same
+    message the raising path would."""
+    graph = call_graph(program)
+    out: List[Diagnostic] = []
+    state: Dict[str, int] = {}
+
+    def visit(name: str, trail: List[str]) -> None:
+        if name not in program.procedures:
+            out.append(
+                _error(
+                    "PRG001",
+                    f"call to undefined procedure {name!r}",
+                    location=trail[-1] if trail else "",
+                )
+            )
+            return
+        mark = state.get(name)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = " -> ".join(trail + [name])
+            out.append(_error("PRG002", f"cyclic procedure calls: {cycle}", name))
+            return
+        state[name] = 0
+        for callee in sorted(graph[name]):
+            visit(callee, trail + [name])
+        state[name] = 1
+
+    for name in sorted(program.procedures):
+        visit(name, [])
+    return out
+
+
+def _register_diagnostics(
+    program: PopulationProgram, proc: Procedure
+) -> List[Diagnostic]:
     known = set(program.registers)
+    out: List[Diagnostic] = []
     for stmt in iter_statements(proc.body):
         if isinstance(stmt, Move):
             for reg in (stmt.src, stmt.dst):
                 if reg not in known:
-                    raise InvalidProgramError(
-                        f"{proc.name}: move uses unknown register {reg!r}"
+                    out.append(
+                        _error(
+                            "PRG003",
+                            f"{proc.name}: move uses unknown register {reg!r}",
+                            proc.name,
+                        )
                     )
             if stmt.src == stmt.dst:
-                raise InvalidProgramError(
-                    f"{proc.name}: move with identical source and target {stmt.src!r}"
+                out.append(
+                    _error(
+                        "PRG004",
+                        f"{proc.name}: move with identical source and target "
+                        f"{stmt.src!r}",
+                        proc.name,
+                    )
                 )
         elif isinstance(stmt, Swap):
             for reg in (stmt.a, stmt.b):
                 if reg not in known:
-                    raise InvalidProgramError(
-                        f"{proc.name}: swap uses unknown register {reg!r}"
+                    out.append(
+                        _error(
+                            "PRG003",
+                            f"{proc.name}: swap uses unknown register {reg!r}",
+                            proc.name,
+                        )
                     )
         elif isinstance(stmt, (If, While)):
             for atom in condition_atoms(stmt.condition):
                 if isinstance(atom, Detect) and atom.register not in known:
-                    raise InvalidProgramError(
-                        f"{proc.name}: detect uses unknown register "
-                        f"{atom.register!r}"
+                    out.append(
+                        _error(
+                            "PRG003",
+                            f"{proc.name}: detect uses unknown register "
+                            f"{atom.register!r}",
+                            proc.name,
+                        )
                     )
+    return out
 
 
-def _check_returns(program: PopulationProgram, proc: Procedure) -> None:
+def _return_diagnostics(
+    program: PopulationProgram, proc: Procedure
+) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
     for stmt in iter_statements(proc.body):
         if isinstance(stmt, Return) and stmt.value is not None:
             if not proc.returns_value:
-                raise InvalidProgramError(
-                    f"{proc.name}: returns a value but is not declared "
-                    "value-returning"
+                out.append(
+                    _error(
+                        "PRG005",
+                        f"{proc.name}: returns a value but is not declared "
+                        "value-returning",
+                        proc.name,
+                    )
                 )
         if isinstance(stmt, (If, While)):
             for atom in condition_atoms(stmt.condition):
                 if isinstance(atom, CallExpr):
-                    callee = program.procedure(atom.procedure)
-                    if not callee.returns_value:
-                        raise InvalidProgramError(
-                            f"{proc.name}: condition calls {callee.name!r} "
-                            "which returns no value"
+                    callee = program.procedures.get(atom.procedure)
+                    if callee is None:
+                        out.append(
+                            _error(
+                                "PRG001",
+                                f"undefined procedure {atom.procedure!r}",
+                                proc.name,
+                            )
                         )
-        if isinstance(stmt, CallStmt):
-            program.procedure(stmt.procedure)  # existence check
+                    elif not callee.returns_value:
+                        out.append(
+                            _error(
+                                "PRG006",
+                                f"{proc.name}: condition calls {callee.name!r} "
+                                "which returns no value",
+                                proc.name,
+                            )
+                        )
+        if isinstance(stmt, CallStmt) and stmt.procedure not in program.procedures:
+            out.append(
+                _error(
+                    "PRG001",
+                    f"undefined procedure {stmt.procedure!r}",
+                    proc.name,
+                )
+            )
+    return out
+
+
+def validate_diagnostics(program: PopulationProgram) -> List[Diagnostic]:
+    """Run all well-formedness checks, collecting *every* violation.
+
+    Findings appear in the order the raising validator would hit them, so
+    ``validate_program`` (which raises the first one) stays message-for-
+    message compatible with its pre-diagnostics behaviour.
+    """
+    out = _graph_diagnostics(program)
+    main = program.procedures.get(program.main)
+    if main is None:
+        out.append(_error("PRG001", f"undefined procedure {program.main!r}"))
+    elif main.returns_value:
+        out.append(_error("PRG007", "Main must not return a value", program.main))
+    for proc in program.procedures.values():
+        out.extend(_register_diagnostics(program, proc))
+        out.extend(_return_diagnostics(program, proc))
+    return out
 
 
 def validate_program(program: PopulationProgram) -> None:
     """Run all static checks; raises :class:`InvalidProgramError` on the
-    first violation."""
-    topological_order(program)  # also checks acyclicity + existence
-    main = program.procedure(program.main)
-    if main.returns_value:
-        raise InvalidProgramError("Main must not return a value")
-    for proc in program.procedures.values():
-        _check_registers(program, proc)
-        _check_returns(program, proc)
+    first violation (backward-compatible wrapper over
+    :func:`validate_diagnostics`)."""
+    diagnostics = validate_diagnostics(program)
+    if diagnostics:
+        raise InvalidProgramError(diagnostics[0].message)

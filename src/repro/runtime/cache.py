@@ -92,6 +92,37 @@ def program_fingerprint(program: Any) -> str:
     return _blake([f"program-v{SCHEMA_VERSION}", repr(program)])
 
 
+def machine_fingerprint(machine: Any) -> str:
+    """A stable content hash of a population machine's defining structure:
+    registers (ordered — addressing is positional through the register
+    map), pointer domains (sorted by pointer name; domain order matters
+    because initial configurations take the first value) and the
+    instruction sequence.  Used to key static-check results for machines,
+    mirroring :func:`protocol_fingerprint` / :func:`program_fingerprint`.
+    """
+    return _blake(
+        [
+            f"machine-v{SCHEMA_VERSION}",
+            *machine.registers,
+            "|F|",
+            *(
+                f"{pointer}={tuple(domain)!r}"
+                for pointer, domain in sorted(machine.pointer_domains.items())
+            ),
+            "|I|",
+            # str(AssignInstr) abbreviates its mapping, so render the full
+            # table explicitly — distinct mappings must get distinct hashes.
+            *(
+                f"{instr.target}:={instr.source}:"
+                f"{sorted(instr.mapping.items(), key=repr)!r}"
+                if hasattr(instr, "mapping")
+                else str(instr)
+                for instr in machine.instructions
+            ),
+        ]
+    )
+
+
 class ArtifactCache:
     """Two-layer (memory + optional disk) content-addressed store."""
 

@@ -1,0 +1,80 @@
+"""The shared Diagnostic record: serialisation, severity algebra, rendering."""
+
+import json
+
+import pytest
+
+from repro.core.diagnostics import (
+    Diagnostic,
+    DiagnosticError,
+    at_or_above,
+    count_by_severity,
+    diagnostics_to_json,
+    max_severity,
+    render_diagnostics,
+    severity_rank,
+)
+
+D_ERR = Diagnostic("PRG001", "error", "boom", target="p", location="Main")
+D_WARN = Diagnostic("PROT001", "warning", "dead", target="q")
+D_INFO = Diagnostic("PROT005", "info", "cert")
+
+
+def test_severity_ranks_escalate():
+    assert severity_rank("info") < severity_rank("warning") < severity_rank("error")
+    # Unknown severities compare as maximally severe, never silently low.
+    assert severity_rank("catastrophic") == severity_rank("error")
+
+
+def test_unknown_severity_rejected_at_construction():
+    with pytest.raises(ValueError):
+        Diagnostic("X001", "fatal", "nope")
+
+
+def test_dict_roundtrip_preserves_everything():
+    diag = Diagnostic(
+        "MCH002", "warning", "dead value", target="m", location="V[x]",
+        data={"pointer": "V[x]", "value": 3},
+    )
+    assert Diagnostic.from_dict(diag.to_dict()) == diag
+    # Sparse fields stay out of the dict (stable cache keys, small JSON).
+    assert "data" not in D_INFO.to_dict()
+    assert "target" not in D_INFO.to_dict()
+
+
+def test_max_severity_and_counts():
+    batch = [D_INFO, D_WARN, D_ERR, D_WARN]
+    assert max_severity(batch) == "error"
+    assert max_severity([]) is None
+    assert count_by_severity(batch) == {"error": 1, "warning": 2, "info": 1}
+    # All three keys always present, even on a clean batch.
+    assert count_by_severity([]) == {"error": 0, "warning": 0, "info": 0}
+
+
+def test_at_or_above_thresholds():
+    batch = [D_INFO, D_WARN, D_ERR]
+    assert at_or_above(batch, "info") == batch
+    assert at_or_above(batch, "warning") == [D_WARN, D_ERR]
+    assert at_or_above(batch, "error") == [D_ERR]
+
+
+def test_render_puts_errors_first_and_truncates():
+    text = render_diagnostics([D_INFO, D_WARN, D_ERR])
+    lines = text.splitlines()
+    assert lines[0].startswith("error")
+    assert lines[-1].startswith("info")
+    truncated = render_diagnostics([D_INFO, D_WARN, D_ERR], limit=2)
+    assert "1 more finding(s)" in truncated
+
+
+def test_json_document_shape():
+    doc = json.loads(diagnostics_to_json([D_ERR, D_INFO], fail_on="warning"))
+    assert doc["summary"] == {"error": 1, "warning": 0, "info": 1}
+    assert doc["fail_on"] == "warning"
+    assert doc["diagnostics"][0]["code"] == "PRG001"
+
+
+def test_diagnostic_error_carries_findings():
+    err = DiagnosticError([D_ERR, D_WARN])
+    assert err.diagnostics == [D_ERR, D_WARN]
+    assert "PRG001" in str(err)

@@ -1,0 +1,178 @@
+"""Machine checker: CFG reachability over instruction addresses, pointer
+domains and the lowering's return-pointer discipline.
+
+The seeded known-bad machine (an instruction no jump ever reaches) pins
+MCH001.
+"""
+
+from repro.analysis.statics import (
+    check_machine,
+    instruction_successors,
+    reachable_instructions,
+)
+from repro.machines.lowering import lower_program
+from repro.machines.machine import (
+    AssignInstr,
+    BOOL_DOMAIN,
+    CF,
+    DetectInstr,
+    IP,
+    MoveInstr,
+    OF,
+    PopulationMachine,
+    register_map_pointer,
+)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def only(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+def machine_with(instructions, *, ip_domain, extra_domains=None, name="m"):
+    domains = {
+        OF: BOOL_DOMAIN,
+        CF: BOOL_DOMAIN,
+        IP: ip_domain,
+        register_map_pointer("x"): ("x", "y"),
+        register_map_pointer("y"): ("y",),
+        register_map_pointer("#"): ("x",),
+    }
+    domains.update(extra_domains or {})
+    return PopulationMachine(
+        registers=("x", "y"),
+        pointer_domains=domains,
+        instructions=tuple(instructions),
+        name=name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Seeded known-bad artifact
+# ----------------------------------------------------------------------
+def test_unreachable_instruction_is_flagged():
+    """Instruction 2 is skipped by the unconditional jump 1 → 3."""
+    m = machine_with(
+        [
+            AssignInstr(IP, CF, {False: 3, True: 3}),
+            MoveInstr("x", "y"),  # unreachable
+            AssignInstr(IP, CF, {False: 3, True: 3}),  # spin
+        ],
+        ip_domain=(1, 2, 3),
+        name="seeded-unreachable",
+    )
+    findings = only(check_machine(m), "MCH001")
+    assert len(findings) == 1
+    assert findings[0].location == "2"
+    assert reachable_instructions(m) == {1, 3}
+
+
+def test_straightline_machine_is_fully_reachable():
+    m = machine_with(
+        [
+            MoveInstr("x", "y"),
+            DetectInstr("x"),
+            AssignInstr(IP, CF, {False: 1, True: 1}),
+        ],
+        ip_domain=(1, 2, 3),
+    )
+    assert reachable_instructions(m) == {1, 2, 3}
+    assert "MCH001" not in codes(check_machine(m))
+
+
+def test_successors_shapes():
+    m = machine_with(
+        [
+            DetectInstr("x"),
+            AssignInstr(IP, CF, {False: 1, True: 3}),
+            MoveInstr("x", "y"),
+        ],
+        ip_domain=(1, 2, 3),
+    )
+    assert instruction_successors(m, 1) == [2]  # detect falls through
+    assert instruction_successors(m, 2) == [1, 3]  # branch: both targets
+    assert instruction_successors(m, 3) == []  # stepping past L hangs
+
+
+def test_end_hang_is_reported():
+    m = machine_with(
+        [MoveInstr("x", "y")],
+        ip_domain=(1,),
+    )
+    hangs = only(check_machine(m), "MCH004")
+    assert len(hangs) == 1 and hangs[0].severity == "info"
+
+
+def test_dead_pointer_domain_value():
+    """V[x] can hold 'y' per its domain, but no assignment ever produces
+    it and the initial register map is the identity."""
+    m = machine_with(
+        [
+            DetectInstr("x"),
+            AssignInstr(IP, CF, {False: 1, True: 1}),
+        ],
+        ip_domain=(1, 2),
+    )
+    dead = only(check_machine(m), "MCH002")
+    assert len(dead) == 1
+    assert dead[0].location == register_map_pointer("x")
+
+
+def test_assigned_domain_value_is_live():
+    vx = register_map_pointer("x")
+    m = machine_with(
+        [
+            AssignInstr(vx, vx, {"x": "y", "y": "x"}),
+            AssignInstr(IP, CF, {False: 1, True: 1}),
+        ],
+        ip_domain=(1, 2),
+    )
+    assert "MCH002" not in codes(check_machine(m))
+
+
+def test_indirect_jump_that_rewrites_addresses():
+    ret = "P[Helper]"
+    m = machine_with(
+        [
+            AssignInstr(ret, CF, {False: 1, True: 1}),
+            AssignInstr(IP, ret, {1: 2, 2: 2}),  # rewrites stored address 1 → 2
+        ],
+        ip_domain=(1, 2),
+        extra_domains={ret: (1, 2)},
+    )
+    findings = only(check_machine(m), "MCH003")
+    assert any("rewrites stored addresses" in d.message for d in findings)
+
+
+def test_nonconstant_write_into_return_pointer():
+    ret = "P[Helper]"
+    m = machine_with(
+        [
+            AssignInstr(ret, CF, {False: 1, True: 2}),  # depends on CF
+            AssignInstr(IP, CF, {False: 1, True: 1}),
+        ],
+        ip_domain=(1, 2),
+        extra_domains={ret: (1, 2)},
+    )
+    findings = only(check_machine(m), "MCH003")
+    assert any("non-constant write" in d.message for d in findings)
+
+
+# ----------------------------------------------------------------------
+# Lowered machines
+# ----------------------------------------------------------------------
+def test_lowered_machines_have_no_error_findings(thr2_machine):
+    from repro.lipton import build_threshold_program
+
+    for machine in (thr2_machine, lower_program(build_threshold_program(1), "l1")):
+        errors = [d for d in check_machine(machine) if d.severity == "error"]
+        assert errors == [], f"{machine.name}: {errors}"
+
+
+def test_lowered_machine_respects_return_discipline(thr2_machine):
+    """The lowering's call protocol: every indirect jump through a P[...]
+    pointer forwards addresses verbatim, every P[...] write is constant."""
+    assert only(check_machine(thr2_machine), "MCH003") == []

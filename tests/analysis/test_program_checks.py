@@ -1,0 +1,122 @@
+"""Program checker: liveness, reachability and swap-size cross-checks.
+
+The seeded known-bad program (a register read but never written) pins
+PRG009 — the paper's programs hang on exactly this mistake, a move out of
+a register no instruction fills.
+"""
+
+from repro.analysis.statics import check_program
+from repro.programs.ast import Detect, If, Move, Restart, Return, Swap, While
+from repro.programs.builder import procedure, program, seq, while_true
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def only(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+# ----------------------------------------------------------------------
+# Seeded known-bad artifacts
+# ----------------------------------------------------------------------
+def test_read_never_written_register_is_flagged():
+    """``y`` is detected and moved out of, but nothing ever moves into it."""
+    main = procedure(
+        "Main",
+        While(Detect("y"), seq(Move("y", "x"))),
+        while_true(),
+    )
+    prog = program(["x", "y"], [main])
+    findings = only(check_program(prog, name="seeded-unwritten"), "PRG009")
+    assert len(findings) == 1
+    assert findings[0].location == "y"
+    assert findings[0].target == "seeded-unwritten"
+
+
+def test_restart_suppresses_read_never_written():
+    """A restart scatters the population over every register, so a
+    read-only register is legitimate (Figure 1's ``z`` pattern)."""
+    main = procedure(
+        "Main",
+        While(Detect("y"), seq(Move("y", "x"))),
+        Restart(),
+        while_true(),
+    )
+    prog = program(["x", "y"], [main])
+    assert only(check_program(prog), "PRG009") == []
+
+
+def test_unreachable_statement_after_return():
+    helper = procedure(
+        "Helper",
+        Return(True),
+        Move("x", "y"),  # dead: follows an unconditional return
+        returns_value=True,
+    )
+    main = procedure(
+        "Main",
+        If(Detect("x"), then_body=seq(Move("x", "y"))),
+        while_true(),
+    )
+    # Helper is also never called, so PRG011 fires alongside PRG008.
+    prog = program(["x", "y"], [main, helper])
+    diags = check_program(prog, name="dead-code")
+    dead = only(diags, "PRG008")
+    assert len(dead) == 1 and dead[0].location == "Helper"
+    assert {d.location for d in only(diags, "PRG011")} == {"Helper"}
+
+
+def test_unreachable_after_while_true():
+    main = procedure(
+        "Main",
+        while_true(Move("x", "y")),
+        Move("y", "x"),  # dead: while true never falls through
+    )
+    prog = program(["x", "y"], [main])
+    assert len(only(check_program(prog), "PRG008")) == 1
+
+
+def test_write_only_register_is_info_not_warning():
+    main = procedure("Main", while_true(Move("x", "y")))
+    prog = program(["x", "y"], [main])
+    diags = check_program(prog)
+    sinks = only(diags, "PRG010")
+    assert {d.location for d in sinks} == {"y"}
+    assert all(d.severity == "info" for d in sinks)
+
+
+# ----------------------------------------------------------------------
+# Swap components and the known-good examples
+# ----------------------------------------------------------------------
+def test_swap_component_reported_and_size_agrees():
+    main = procedure(
+        "Main",
+        while_true(Swap("a", "b"), Swap("b", "c"), Move("a", "d")),
+    )
+    prog = program(["a", "b", "c", "d"], [main])
+    diags = check_program(prog)
+    # One component {a, b, c} contributing 3·2 = 6; no PRG012 error.
+    infos = [d for d in only(diags, "PRG012") if d.severity == "info"]
+    assert len(infos) == 1
+    assert infos[0].data["component"] == ["a", "b", "c"]
+    assert not [d for d in only(diags, "PRG012") if d.severity == "error"]
+
+
+def test_known_good_programs_are_error_free(figure1, thr2_program):
+    from repro.lipton import build_threshold_program
+
+    for prog, name in (
+        (figure1, "figure1"),
+        (thr2_program, "thr2"),
+        (build_threshold_program(1), "lipton1"),
+    ):
+        errors = [d for d in check_program(prog, name=name) if d.severity == "error"]
+        assert errors == [], f"{name}: {errors}"
+
+
+def test_diagnostics_carry_target_name(figure1):
+    diags = check_program(figure1, name="figure1")
+    assert diags, "figure1 has at least its swap-component info finding"
+    assert all(d.target == "figure1" for d in diags)

@@ -1,0 +1,184 @@
+"""Protocol checker: the counter abstraction and the PROT* codes.
+
+The seeded known-bad protocols pin the checker's contract: a dead
+transition MUST surface as PROT001 and an unreachable state as PROT002 —
+these are the regressions the static layer exists to catch.
+"""
+
+import pytest
+
+from repro.analysis.statics import (
+    check_protocol,
+    check_table_conservation,
+    coverable_states,
+    self_silent_states,
+)
+from repro.analysis.statics.protocol_checks import DETAIL_LIMIT
+from repro.core.protocol import PopulationProtocol, Transition
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+def only(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+# ----------------------------------------------------------------------
+# Seeded known-bad artifacts
+# ----------------------------------------------------------------------
+def test_dead_transition_is_flagged():
+    """(C, C -> D, D) can never fire: C is not coverable from input {A}."""
+    pp = PopulationProtocol(
+        states={"A", "B", "C", "D"},
+        transitions=[("A", "A", "B", "B"), ("C", "C", "D", "D")],
+        input_states={"A"},
+        accepting_states={"B"},
+        name="seeded-dead",
+    )
+    diags = check_protocol(pp)
+    dead = only(diags, "PROT001")
+    assert len(dead) == 1
+    assert "'C'" in dead[0].location
+    # C and D are also unreachable states.
+    assert {d.location for d in only(diags, "PROT002")} == {"'C'", "'D'"}
+
+
+def test_reachable_protocol_has_no_dead_findings():
+    pp = PopulationProtocol(
+        states={"A", "B"},
+        transitions=[("A", "A", "A", "B")],
+        input_states={"A"},
+        accepting_states={"B"},
+    )
+    diags = check_protocol(pp)
+    assert "PROT001" not in codes(diags)
+    assert "PROT002" not in codes(diags)
+
+
+def test_shadowed_transition_is_flagged():
+    """Same ordered pre, same post *multiset* (order swapped) — the second
+    transition can never change the outcome distribution's support."""
+    pp = PopulationProtocol(
+        states={"A", "B", "C"},
+        transitions=[("A", "A", "B", "C"), ("A", "A", "C", "B")],
+        input_states={"A"},
+        accepting_states={"B"},
+    )
+    assert len(only(check_protocol(pp), "PROT003")) == 1
+
+
+def test_noop_transition_is_reported_as_info():
+    pp = PopulationProtocol(
+        states={"A"},
+        transitions=[("A", "A", "A", "A")],
+        input_states={"A"},
+        accepting_states=set(),
+    )
+    noops = only(check_protocol(pp), "PROT006")
+    assert noops and all(d.severity == "info" for d in noops)
+
+
+def test_trivial_output_partition_both_sides():
+    nothing_accepts = PopulationProtocol(
+        states={"A", "B"},
+        transitions=[("A", "A", "B", "B")],
+        input_states={"A"},
+        accepting_states=set(),
+        name="never-true",
+    )
+    all_accept = PopulationProtocol(
+        states={"A", "B"},
+        transitions=[("A", "A", "B", "B")],
+        input_states={"A"},
+        accepting_states={"A", "B"},
+        name="never-false",
+    )
+    assert "can never output true" in only(check_protocol(nothing_accepts), "PROT004")[0].message
+    assert "can never output false" in only(check_protocol(all_accept), "PROT004")[0].message
+    # An unreachable accepting state must not count as "can output true".
+    unreachable_acceptor = PopulationProtocol(
+        states={"A", "Z"},
+        transitions=[],
+        input_states={"A"},
+        accepting_states={"Z"},
+    )
+    assert only(check_protocol(unreachable_acceptor), "PROT004")
+
+
+# ----------------------------------------------------------------------
+# The abstraction itself
+# ----------------------------------------------------------------------
+def test_coverable_states_saturates_chains():
+    """B needs A+A, C needs A+B, D needs B+C — all coverable by gluing
+    disjoint witness populations (the abstraction's soundness argument)."""
+    pp = PopulationProtocol(
+        states={"A", "B", "C", "D"},
+        transitions=[
+            ("A", "A", "A", "B"),
+            ("A", "B", "A", "C"),
+            ("B", "C", "D", "D"),
+        ],
+        input_states={"A"},
+        accepting_states={"D"},
+    )
+    assert coverable_states(pp) == frozenset({"A", "B", "C", "D"})
+
+
+def test_coverable_states_seeds_only_inputs():
+    pp = PopulationProtocol(
+        states={"A", "B", "C"},
+        transitions=[("B", "B", "C", "C")],
+        input_states={"A"},
+        accepting_states=set(),
+    )
+    assert coverable_states(pp) == frozenset({"A"})
+
+
+def test_self_silent_states(majority):
+    """A state with a productive (q, q) transition is not self-silent."""
+    silent = self_silent_states(majority)
+    for t in majority.transitions:
+        if t.q == t.r and not t.is_noop():
+            assert t.q not in silent
+
+
+def test_silence_certificate_on_majority(majority):
+    certs = only(check_protocol(majority), "PROT005")
+    assert len(certs) == 1
+    data = certs[0].data
+    assert data["accepting_total"] >= 1 and data["rejecting_total"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Conservation (PROT007) and aggregation
+# ----------------------------------------------------------------------
+def test_conservation_clean_on_baselines(majority, unary5, binary6, remainder3):
+    for pp in (majority, unary5, binary6, remainder3):
+        assert check_table_conservation(pp) == []
+
+
+def test_aggregation_caps_itemised_findings():
+    """> DETAIL_LIMIT dead transitions: itemised findings cap out and one
+    summary diagnostic carries the exact remainder."""
+    n = DETAIL_LIMIT + 10
+    states = {"A"} | {f"u{i}" for i in range(n)} | {f"v{i}" for i in range(n)}
+    transitions = [(f"u{i}", f"u{i}", f"v{i}", f"v{i}") for i in range(n)]
+    pp = PopulationProtocol(
+        states=states,
+        transitions=transitions,
+        input_states={"A"},
+        accepting_states=set(),
+        name="aggregated",
+    )
+    dead = only(check_protocol(pp), "PROT001")
+    assert len(dead) == DETAIL_LIMIT + 1
+    assert dead[-1].data["total"] == n
+    assert "more not itemised" in dead[-1].message
+
+
+def test_baselines_have_no_error_findings(majority, unary5, binary6, remainder3):
+    for pp in (majority, unary5, binary6, remainder3):
+        errors = [d for d in check_protocol(pp) if d.severity == "error"]
+        assert errors == [], f"{pp.name}: {errors}"

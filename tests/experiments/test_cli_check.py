@@ -1,0 +1,115 @@
+"""The exit-code contract of ``python -m repro check`` / ``repro lint``:
+0 clean at the threshold, 1 findings at or above it, 2 usage errors.
+"""
+
+import json
+
+import pytest
+
+import repro.analysis.statics.targets as targets_mod
+from repro.__main__ import main
+from repro.core.diagnostics import Diagnostic
+
+
+@pytest.fixture()
+def fake_targets(monkeypatch):
+    """A tiny registry so CLI tests never compile real pipelines."""
+
+    def install(diagnostics):
+        monkeypatch.setitem(
+            targets_mod.TARGETS,
+            "fake",
+            ("a seeded fake target", lambda: list(diagnostics)),
+        )
+
+    return install
+
+
+class TestCheckExitCodes:
+    def test_clean_target_exits_zero(self, fake_targets, capsys):
+        fake_targets([])
+        assert main(("check", "fake")) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, fake_targets, capsys):
+        fake_targets([Diagnostic("PROT001", "warning", "dead", target="t")])
+        assert main(("check", "fake")) == 1
+        assert "FINDINGS" in capsys.readouterr().out
+
+    def test_fail_on_threshold_filters(self, fake_targets, capsys):
+        fake_targets([Diagnostic("PROT002", "warning", "unreachable", target="t")])
+        # The warning stays visible but does not fail at the error bar.
+        assert main(("check", "fake", "--fail-on", "error")) == 0
+        out = capsys.readouterr().out
+        assert "PROT002" in out and "clean" in out
+        assert main(("check", "fake", "--fail-on", "info")) == 1
+
+    def test_unknown_target_exits_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(("check", "bogus-target"))
+        assert excinfo.value.code == 2
+
+    def test_list_exits_zero(self, capsys):
+        assert main(("check", "--list")) == 0
+        out = capsys.readouterr().out
+        for name in ("examples", "baselines", "pipeline", "lipton", "all"):
+            assert name in out
+
+    def test_no_targets_prints_registry(self, capsys):
+        assert main(("check",)) == 0
+        assert "examples" in capsys.readouterr().out
+
+
+class TestCheckJson:
+    def test_json_parses_and_summarises(self, fake_targets, capsys):
+        fake_targets(
+            [
+                Diagnostic("PRG009", "warning", "unwritten", target="p"),
+                Diagnostic("PROT005", "info", "cert", target="q"),
+            ]
+        )
+        assert main(("check", "fake", "--json")) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"] == {"error": 0, "warning": 1, "info": 1}
+        assert doc["fail_on"] == "warning"
+        assert doc["targets"] == ["fake"]
+        assert {d["code"] for d in doc["diagnostics"]} == {"PRG009", "PROT005"}
+
+    def test_json_clean_document(self, fake_targets, capsys):
+        fake_targets([])
+        assert main(("check", "fake", "--json")) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["diagnostics"] == []
+
+
+class TestCheckRealTargets:
+    def test_examples_clean_at_error_bar(self, capsys):
+        assert main(("check", "examples", "--fail-on", "error")) == 0
+
+    def test_baselines_clean_at_warning_bar(self, capsys):
+        # The baselines carry only info findings (silence certificates).
+        assert main(("check", "baselines")) == 0
+
+
+class TestLintCli:
+    def test_lint_source_tree_clean(self, capsys):
+        assert main(("lint",)) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_finding_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n", encoding="utf-8")
+        assert main(("lint", str(bad))) == 1
+        assert "LNT001" in capsys.readouterr().out
+
+    def test_lint_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import os\n", encoding="utf-8")
+        assert main(("lint", str(bad), "--json")) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["diagnostics"][0]["code"] == "LNT006"
+
+    def test_lint_missing_path_exits_two(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(("lint", str(tmp_path / "missing")))
+        assert excinfo.value.code == 2
