@@ -1,0 +1,55 @@
+"""Benchmark X5 — churn recovery: self-stabilisation under a dynamic
+population.
+
+Lifts the fixed-``n`` assumption of X4: a seeded
+:class:`~repro.resilience.ChurnProcess` lets agents join and leave
+mid-run, and the §5.2 error-checking machinery must restart against the
+*live* population while the assertion-stripped variant carries stale
+counts to wrong verdicts.
+
+Headline gauges land in ``BENCH_simulator.json`` under ``churn.*`` —
+deliberately *not* ``*.ops_per_second``, so the perf regression gate
+ignores them (they are correctness rates, not throughput):
+
+* ``churn.recovery.with_checks_rate`` / ``without_checks_rate``
+* ``churn.recovery_gap`` — the resilience margin under churn
+"""
+
+from conftest import once, record_benchmark
+
+from repro.experiments import run_churn_recovery
+
+
+def test_churn_recovery(benchmark, bench_metrics):
+    report = once(
+        benchmark, run_churn_recovery, 2, trials_per_total=2, seed=4
+    )
+    print("\n" + report.render())
+    record_benchmark(bench_metrics, "churn.recovery", benchmark)
+
+    # Error checking must measurably out-recover the stripped variant.
+    assert report.checks_help
+    assert report.with_checks_rate > 0.5
+
+    # The protocol-level probe ran every engine family — including the
+    # batched engine's native population-only path — through the churn
+    # plan end-to-end; every family must reach a verdict and agree on
+    # the final population (joins/leaves replay identically per seed).
+    probes = {p.family: p for p in report.probes}
+    assert set(probes) == {
+        "fast_enabled",
+        "fast_uniform",
+        "legacy_enabled",
+        "legacy_uniform",
+        "batched",
+    }
+    assert all(p.verdict is not None for p in report.probes)
+    assert len({(p.population_after, p.joined, p.departed) for p in report.probes}) == 1
+
+    bench_metrics.gauge("churn.recovery.with_checks_rate").set(
+        report.with_checks_rate
+    )
+    bench_metrics.gauge("churn.recovery.without_checks_rate").set(
+        report.without_checks_rate
+    )
+    bench_metrics.gauge("churn.recovery_gap").set(report.recovery_gap)

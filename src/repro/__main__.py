@@ -27,6 +27,8 @@ Usage::
 
     python -m repro chaos                      # X4 transient-fault experiment
     python -m repro chaos --smoke              # quick resilience smoke check
+    python -m repro chaos --churn              # X5 churn-recovery experiment
+    python -m repro chaos --churn --smoke      # quick churn smoke check
 
     python -m repro serve decide --port 9100   # run with live HTTP telemetry
     python -m repro serve decide --smoke       # CI: probe endpoints, exit
@@ -383,24 +385,34 @@ def _run_coordinate(argv: Tuple[str, ...]) -> int:
 
 
 def _run_chaos(argv: Tuple[str, ...]) -> int:
-    """X4 — transient-fault recovery (``python -m repro chaos``).
+    """X4/X5 — fault and churn recovery (``python -m repro chaos``).
 
-    Runs the fault-injection experiment end-to-end: the Theorem 3 program
-    with and without §5.2 error checks under mid-run register corruption,
-    plus the protocol-level scheduler-family probe.  Headline rates are
-    merged into the bench metrics JSON as ``chaos.*`` gauges (read-modify-
-    write, so the throughput gauges recorded by ``bench`` survive).
+    Default mode runs the transient-fault experiment (X4) end-to-end: the
+    Theorem 3 program with and without §5.2 error checks under mid-run
+    register corruption, plus the protocol-level scheduler-family probe.
+    ``--churn`` switches to the dynamic-population experiment (X5): agents
+    join and leave mid-run via a seeded ChurnProcess, and recovery is
+    judged against the *post-churn* population.  Headline rates are merged
+    into the bench metrics JSON as ``chaos.*`` / ``churn.*`` gauges
+    (read-modify-write, so the throughput gauges recorded by ``bench``
+    survive).
     """
     repo_root = Path(__file__).resolve().parents[2]
     parser = argparse.ArgumentParser(
         prog="python -m repro chaos",
-        description="Transient-fault recovery experiment (X4).",
+        description="Transient-fault (X4) / churn-recovery (X5) experiments.",
     )
     parser.add_argument("--n", type=int, default=2, help="construction levels n")
     parser.add_argument(
         "--trials", type=int, default=3, help="trials per boundary total"
     )
     parser.add_argument("--seed", type=int, default=0, help="rng seed")
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the churn-recovery experiment (X5: dynamic population) "
+        "instead of transient faults",
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -409,7 +421,7 @@ def _run_chaos(argv: Tuple[str, ...]) -> int:
     parser.add_argument(
         "--no-probe",
         action="store_true",
-        help="skip the protocol-level scheduler-family probe",
+        help="skip the protocol-level scheduler/engine-family probe",
     )
     parser.add_argument(
         "--jobs",
@@ -421,22 +433,33 @@ def _run_chaos(argv: Tuple[str, ...]) -> int:
     parser.add_argument(
         "--out",
         default=None,
-        help="metrics JSON to merge the chaos.* gauges into "
+        help="metrics JSON to merge the chaos.*/churn.* gauges into "
         "(default: BENCH_simulator.json at the repo root; smoke skips this)",
     )
     args = parser.parse_args(argv)
 
-    from repro.experiments import run_transient_faults
+    from repro.experiments import run_churn_recovery, run_transient_faults
 
     trials = 1 if args.smoke else args.trials
     start = time.time()
-    report = run_transient_faults(
-        args.n,
-        trials_per_total=trials,
-        seed=args.seed,
-        jobs=args.jobs,
-        probe=not args.no_probe,
-    )
+    if args.churn:
+        report = run_churn_recovery(
+            args.n,
+            trials_per_total=trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            probe=not args.no_probe,
+        )
+        regime = "churn"
+    else:
+        report = run_transient_faults(
+            args.n,
+            trials_per_total=trials,
+            seed=args.seed,
+            jobs=args.jobs,
+            probe=not args.no_probe,
+        )
+        regime = "transient faults"
     elapsed = time.time() - start
     print(report.render())
     print(
@@ -444,7 +467,7 @@ def _run_chaos(argv: Tuple[str, ...]) -> int:
         f"  without: {report.without_checks_correct}/{report.without_checks_total}"
         f"  gap: {report.with_checks_rate - report.without_checks_rate:+.3f}"
     )
-    print(f"error checking helps under transient faults: {report.checks_help}")
+    print(f"error checking helps under {regime}: {report.checks_help}")
     print(f"done in {elapsed:.1f}s")
 
     if not args.smoke:
@@ -456,13 +479,23 @@ def _run_chaos(argv: Tuple[str, ...]) -> int:
             except (OSError, ValueError):
                 print(f"chaos: could not parse {out}; rewriting", file=sys.stderr)
         gauges = payload.setdefault("gauges", {})
-        gauges["chaos.transient.with_checks_rate"] = report.with_checks_rate
-        gauges["chaos.transient.without_checks_rate"] = report.without_checks_rate
-        gauges["chaos.transient.rate_gap"] = (
-            report.with_checks_rate - report.without_checks_rate
-        )
+        if args.churn:
+            gauges["churn.recovery.with_checks_rate"] = report.with_checks_rate
+            gauges["churn.recovery.without_checks_rate"] = (
+                report.without_checks_rate
+            )
+            gauges["churn.recovery_gap"] = report.recovery_gap
+        else:
+            gauges["chaos.transient.with_checks_rate"] = report.with_checks_rate
+            gauges["chaos.transient.without_checks_rate"] = (
+                report.without_checks_rate
+            )
+            gauges["chaos.transient.rate_gap"] = (
+                report.with_checks_rate - report.without_checks_rate
+            )
         out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"merged chaos.* gauges into {out}")
+        kind = "churn.*" if args.churn else "chaos.*"
+        print(f"merged {kind} gauges into {out}")
 
     # Smoke is a health check: insist the resilience signal is present.
     if report.checks_help or report.with_checks_correct == report.with_checks_total:
@@ -876,7 +909,7 @@ def _run_lint(argv: Tuple[str, ...]) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro lint",
         description="Lint the source tree for determinism and fork-safety "
-        "invariants (LNT001-LNT006; waive a line with `# lint-ok: CODE`).",
+        "invariants (LNT001-LNT007; waive a line with `# lint-ok: CODE`).",
     )
     parser.add_argument(
         "paths",
@@ -917,6 +950,7 @@ BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
     "simulator": ("bench_simulator_performance.py",),
     "parallel": ("bench_parallel_runtime.py",),
     "chaos": ("bench_transient_faults.py",),
+    "churn": ("bench_churn_recovery.py",),
     "observability": ("bench_observability.py",),
     "batched": ("bench_batched_engine.py",),
     "distributed": ("bench_distributed.py",),
@@ -927,6 +961,7 @@ BENCH_SUITES: Dict[str, Tuple[str, ...]] = {
         "bench_batched_engine.py",
         "bench_distributed.py",
         "bench_statics.py",
+        "bench_churn_recovery.py",
     ),
     "all": (".",),
 }

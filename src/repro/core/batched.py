@@ -77,7 +77,7 @@ from math import lgamma, log
 from time import monotonic
 from typing import Dict, List, Optional
 
-from repro.core.errors import InvalidConfigurationError
+from repro.core.errors import InvalidConfigurationError, NonConvergenceError
 from repro.core.fastpath import _FLOAT_SAFE_TOTAL, _NEVER, get_table
 from repro.core.multiset import Multiset
 from repro.core.protocol import PopulationProtocol
@@ -118,8 +118,13 @@ class BatchedScheduler(UniformPairScheduler):
     counted, parallel time unchanged) executed in bulk;
     ``tie_break`` keeps its meaning for multi-candidate pairs.  The
     inherited per-step ``select`` remains as a fallback for ``n < 2``
-    populations and for fault-injected runs, which need per-interaction
-    granularity and therefore degrade to the per-step fast uniform loop.
+    populations.  Population-only fault plans (joins/leaves, including
+    expanded :class:`~repro.resilience.churn.ChurnProcess` schedules) run
+    batched natively — the next trigger is a batch barrier and the
+    population resizes strictly *between* batches; plans with any
+    per-interaction kind (drops, duplicates, corruption, unfair or
+    adversarial windows) still degrade to the per-step fast uniform loop,
+    which materialises the granularity they need.
     """
 
 
@@ -236,13 +241,25 @@ class _SamplerBase:
     def __init__(self, rng, n_states: int, population: int):
         self.rng = rng
         self.S = n_states
-        self.m = population
-        if population < 2:
-            raise ValueError("batched sampling needs population >= 2")
-        if population <= _FLOAT_SAFE_TOTAL:
+        self.set_population(population)
+
+    def set_population(self, m: int) -> None:
+        """(Re-)derive the cached batch-length constants for population
+        ``m`` — called at construction and whenever churn resizes the
+        population between batches.  ``m < 2`` raises a clean
+        :class:`~repro.core.errors.NonConvergenceError` (the batch law
+        divides by ``m(m-1)``): the driver routes such populations
+        through its no-pair handling instead of sampling."""
+        if m < 2:
+            raise NonConvergenceError(
+                f"batched sampling needs a population of at least 2 "
+                f"agents, got {m}: no interaction pair exists"
+            )
+        self.m = m
+        if m <= _FLOAT_SAFE_TOTAL:
             # Constants of log P(L >= l); see module docstring.
-            self._lgn1 = lgamma(population + 1)
-            self._lognn = log(population) + log(population - 1)
+            self._lgn1 = lgamma(m + 1)
+            self._lognn = log(m) + log(m - 1)
         else:  # astronomically large n: collisions are unobservable
             self._lgn1 = None
             self._lognn = None
@@ -253,6 +270,11 @@ class _SamplerBase:
         ``P(L >= l)``, via binary search on its (decreasing) logarithm.
         ``L >= 1`` always; the cost is ~``log2(n/2)`` lgamma pairs."""
         m = self.m
+        if m < 2:
+            raise NonConvergenceError(
+                f"batch-length inversion is undefined for population {m}: "
+                f"no interaction pair exists"
+            )
         if self._lgn1 is None:
             # P(L >= l) ~ 1 for every l within any realistic budget; the
             # caller's budget-truncation rule does the rest, exactly.
@@ -488,13 +510,25 @@ def run_batched_simulation(
     obs,
     trace,
     stable_output: Optional[bool],
+    injector=None,
     deadline_at=None,
 ):
     """Drop-in driver used by :func:`repro.core.simulate` for
     :class:`BatchedScheduler` — same contract as
     :func:`repro.core.fastpath.run_fast_simulation`, batch-granular
     events (``on_batch`` with kinds ``"multinomial"``/``"collision"``),
-    and exact silence checked every batch."""
+    and exact silence checked every batch.
+
+    ``injector`` must carry a *population-only* plan (joins/leaves; the
+    caller checks ``injector.population_only()``).  Triggers are batch
+    barriers: a batch is truncated at the next trigger exactly like at
+    the interaction budget — conditioned on ``L >= r`` the first ``r``
+    interactions are ``r`` exchangeable all-distinct pairs, and the
+    process is Markov in the configuration, so restarting the batch
+    schedule at the barrier samples the same law (the module docstring's
+    budget-truncation argument, verbatim).  The population therefore
+    changes between batches, never mid-batch, and the sampler's cached
+    inversion constants are re-derived via ``set_population``."""
     del check_silence_every  # silence is exact and per-batch here
     from repro.core.simulation import SimulationResult  # late: avoids cycle
 
@@ -556,8 +590,16 @@ def run_batched_simulation(
     conv_at = stable_since + convergence_window if out is not None else _NEVER
     batches = 0
     collisions = 0
+    inj = injector
+    view = None
+    if inj is not None:
+        from repro.resilience.faults import DenseView
+
+        view = DenseView(dense, accepting)
 
     def finish(verdict, silent, deadline_exceeded=False):
+        joined = inj.joined if inj is not None else 0
+        departed = inj.departed if inj is not None else 0
         if obs is not None:
             obs.on_run_end(
                 interactions,
@@ -566,11 +608,13 @@ def run_batched_simulation(
                 silent=silent,
                 interactions=interactions,
                 productive=productive,
-                population=population,
+                population=m,
                 deadline_exceeded=deadline_exceeded,
                 engine="batched",
                 batches=batches,
                 collisions=collisions,
+                joined=joined,
+                departed=departed,
             )
         return SimulationResult(
             final=dense,
@@ -578,14 +622,20 @@ def run_batched_simulation(
             silent=silent,
             interactions=interactions,
             productive=productive,
-            population=population,
+            population=m,
             output_trace=trace,
             deadline_exceeded=deadline_exceeded,
+            joined=joined,
+            departed=departed,
         )
 
     def flip_check(step):
         nonlocal out, stable_since, conv_at
-        new_out = True if accept == m else (False if accept == 0 else None)
+        new_out = (
+            (True if accept == m else (False if accept == 0 else None))
+            if m
+            else None
+        )
         if new_out != out:
             out = new_out
             stable_since = productive
@@ -620,13 +670,62 @@ def run_batched_simulation(
     while interactions < max_interactions:
         if deadline_at is not None and monotonic() >= deadline_at:
             return finish(None, False, deadline_exceeded=True)
+
+        # ---- due faults (fire at batch barriers only) ----------------
+        if inj is not None and interactions >= inj.next_at:
+            view.accept_delta = 0
+            inj.fire(interactions, view, obs)
+            if view.accept_delta:
+                accept += view.accept_delta
+            if view.size_delta:
+                m += view.size_delta
+                view.size_delta = 0
+                if m >= 2:
+                    sampler.set_population(m)
+            flip_check(interactions)
+
+        if m < 2:
+            # One (or zero) agents: no pair will ever interact.  Only a
+            # pending join can revive the run — fast-forward to it, or
+            # drain the budget as null steps.
+            if inj is not None and inj.next_at <= max_interactions:
+                nxt = int(inj.next_at)
+                if obs is not None:
+                    obs.on_batch(
+                        nxt, kind="null_skip", count=nxt - interactions
+                    )
+                interactions = nxt
+                continue
+            span = max_interactions - interactions
+            interactions = max_interactions
+            if obs is not None and span:
+                obs.on_batch(interactions, kind="null_skip", count=span)
+            break
+
         if silent_now():
+            if inj is not None and inj.next_at <= max_interactions:
+                # Silent *for now*: a pending join/leave may re-enable
+                # transitions, so silence is only final once the plan
+                # is drained.
+                nxt = int(inj.next_at)
+                if obs is not None:
+                    obs.on_batch(
+                        nxt, kind="null_skip", count=nxt - interactions
+                    )
+                interactions = nxt
+                continue
             if obs is not None:
                 obs.on_silence_check(interactions, True)
             return finish(out, True)
 
         # ---- one batch ----------------------------------------------
         remaining = max_interactions - interactions
+        if inj is not None:
+            # The next trigger is a barrier no batch may cross; the
+            # truncation there is exact (see the driver docstring).
+            gap = inj.next_at - interactions  # inf when drained
+            if gap < remaining:
+                remaining = int(gap)
         length = sampler.batch_length()
         # A collision interaction follows the batch only if it fits the
         # budget; otherwise truncate the (all-distinct) batch exactly.

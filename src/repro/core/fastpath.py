@@ -360,6 +360,32 @@ class EnabledIndex:
                         activepos[last] = pos
                     self.churn += 1
 
+    # -- dynamic population --------------------------------------------
+    def grow(self, s: int, k: int = 1) -> None:
+        """Add ``k`` agents in state id ``s`` and repair the invariant —
+        the join half of dynamic-population support.  ``fix_state`` is
+        idempotent and count-driven, so a resize is indistinguishable
+        from any other count change to the index."""
+        self.cnt[s] += k
+        self.fix_state(s)
+
+    def shrink(self, s: int, k: int = 1) -> None:
+        """Remove ``k`` agents from state id ``s`` (the leave half);
+        raises ``ValueError`` rather than driving a count negative."""
+        if self.cnt[s] < k:
+            raise ValueError(
+                f"cannot remove {k} agents from state "
+                f"{self.table.states[s]!r} (count {self.cnt[s]})"
+            )
+        self.cnt[s] -= k
+        self.fix_state(s)
+
+    @property
+    def population(self) -> int:
+        """Current number of agents (live sum of the count vector —
+        never cached by callers that outlive a fault fire)."""
+        return sum(self.cnt)
+
     # -- queries --------------------------------------------------------
     def weight(self, q, r) -> int:
         """Current sampling weight of the ordered key ``(q, r)``."""
@@ -668,6 +694,8 @@ def _result(
     silent,
     obs,
     deadline_exceeded=False,
+    joined=0,
+    departed=0,
 ):
     from repro.core.simulation import SimulationResult  # late: avoids cycle
 
@@ -683,6 +711,8 @@ def _result(
             deadline_exceeded=deadline_exceeded,
             enabled_keys=len(index.active),
             index_churn=index.churn,
+            joined=joined,
+            departed=departed,
         )
     return SimulationResult(
         final=Multiset(_snapshot_dict(index.table.states, index.cnt)),
@@ -693,6 +723,8 @@ def _result(
         population=population,
         output_trace=trace,
         deadline_exceeded=deadline_exceeded,
+        joined=joined,
+        departed=departed,
     )
 
 
@@ -973,8 +1005,19 @@ def _enabled_fault_loop(
       active key with a configuration-changing candidate (first such
       candidate) is played deterministically, consuming no randomness —
       so the window's length never shifts the downstream random stream
-      relative to a run whose window differs only in adversarial choices.
+      relative to a run whose window differs only in adversarial choices;
+    * join/leave faults resize the population: the view repairs the index
+      (``grow``/``shrink`` + ``fix_state``) and reports ``size_delta``,
+      from which the loop refreshes its cached ``m`` (and ``T = m(m-1)``
+      in the uniform twin) — the only two places the fast path ever
+      captured the population size;
+    * inside an adversarial-scheduler window the worst-case enabled pick
+      (:func:`repro.resilience.churn.adversarial_index_pick`) replaces
+      fair sampling, except on the fairness-budget steps the injector's
+      ``take_adversarial`` yields back; like the unfair window, the
+      adversarial choice consumes no randomness.
     """
+    from repro.resilience.churn import adversarial_index_pick
     from repro.resilience.faults import IndexView
 
     states = index.table.states
@@ -1006,8 +1049,9 @@ def _enabled_fault_loop(
             ticks += 1
             if not ticks & 255 and monotonic() >= deadline_at:
                 return _result(
-                    index, interactions, productive, population, trace,
+                    index, interactions, productive, m, trace,
                     None, False, obs, deadline_exceeded=True,
+                    joined=inj.joined, departed=inj.departed,
                 )
 
         # ---- due faults ----------------------------------------------
@@ -1016,7 +1060,16 @@ def _enabled_fault_loop(
             inj.fire(interactions, view, obs)
             if view.accept_delta:
                 accept += view.accept_delta
-            new_out = True if accept == m else (False if accept == 0 else None)
+            if view.size_delta:
+                m += view.size_delta
+                view.size_delta = 0
+            # m == 0 leaves the output undefined (an empty configuration
+            # has no agents to agree on anything).
+            new_out = (
+                (True if accept == m else (False if accept == 0 else None))
+                if m
+                else None
+            )
             if new_out != out:
                 out = new_out
                 stable_since = productive
@@ -1071,6 +1124,17 @@ def _enabled_fault_loop(
                 obs.on_scheduler_select(
                     interactions,
                     scheduler="unfair",
+                    null=False,
+                    candidates=1,
+                    weight=total,
+                )
+        elif interactions <= inj.adv_until and inj.take_adversarial():
+            i, j = adversarial_index_pick(index, accept, m, out)
+            hcands = hot[i]
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="adversarial",
                     null=False,
                     candidates=1,
                     weight=total,
@@ -1175,14 +1239,15 @@ def _enabled_fault_loop(
 
         if productive >= conv_at:
             return _result(
-                index, interactions, productive, population, trace, out,
-                False, obs,
+                index, interactions, productive, m, trace, out,
+                False, obs, joined=inj.joined, departed=inj.departed,
             )
 
     silent = index.is_silent_now()
     return _result(
-        index, interactions, productive, population, trace,
+        index, interactions, productive, m, trace,
         out if silent else None, silent, obs,
+        joined=inj.joined, departed=inj.departed,
     )
 
 
@@ -1211,6 +1276,7 @@ def _uniform_fault_loop(
     on schedule.  Inside an unfair window null steps do not occur at all
     — the adversary always schedules an interacting pair.
     """
+    from repro.resilience.churn import adversarial_index_pick
     from repro.resilience.faults import IndexView
 
     states = index.table.states
@@ -1243,8 +1309,9 @@ def _uniform_fault_loop(
             ticks += 1
             if not ticks & 255 and monotonic() >= deadline_at:
                 return _result(
-                    index, interactions, productive, population, trace,
+                    index, interactions, productive, m, trace,
                     None, False, obs, deadline_exceeded=True,
+                    joined=inj.joined, departed=inj.departed,
                 )
 
         # ---- due faults ----------------------------------------------
@@ -1253,7 +1320,15 @@ def _uniform_fault_loop(
             inj.fire(interactions, view, obs)
             if view.accept_delta:
                 accept += view.accept_delta
-            new_out = True if accept == m else (False if accept == 0 else None)
+            if view.size_delta:
+                m += view.size_delta
+                view.size_delta = 0
+                T = m * (m - 1)  # the uniform law is over the *live* m
+            new_out = (
+                (True if accept == m else (False if accept == 0 else None))
+                if m
+                else None
+            )
             if new_out != out:
                 out = new_out
                 stable_since = productive
@@ -1293,7 +1368,14 @@ def _uniform_fault_loop(
                 interactions = max_interactions
             break
 
-        unfair_next = interactions + 1 <= inj.unfair_until
+        # Inside an unfair or adversarial window the adversary always
+        # schedules an interacting pair, so no geometric null run occurs
+        # (the fairness-budget steps of an adversarial window are fairly
+        # sampled *matched* steps — fairness of choice, not of pacing).
+        unfair_next = (
+            interactions + 1 <= inj.unfair_until
+            or interactions + 1 <= inj.adv_until
+        )
         if not unfair_next and total < T:
             # ---- geometric null-step skip-ahead, barrier-capped ------
             u = 1.0 - rnd()
@@ -1343,6 +1425,17 @@ def _uniform_fault_loop(
                 obs.on_scheduler_select(
                     interactions,
                     scheduler="unfair",
+                    null=False,
+                    candidates=1,
+                    weight=total,
+                )
+        elif interactions <= inj.adv_until and inj.take_adversarial():
+            i, j = adversarial_index_pick(index, accept, m, out)
+            hcands = hot[i]
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions,
+                    scheduler="adversarial",
                     null=False,
                     candidates=1,
                     weight=total,
@@ -1442,14 +1535,15 @@ def _uniform_fault_loop(
 
         if productive >= conv_at:
             return _result(
-                index, interactions, productive, population, trace, out,
-                False, obs,
+                index, interactions, productive, m, trace, out,
+                False, obs, joined=inj.joined, departed=inj.departed,
             )
 
     silent = index.is_silent_now()
     return _result(
-        index, interactions, productive, population, trace,
+        index, interactions, productive, m, trace,
         out if silent else None, silent, obs,
+        joined=inj.joined, departed=inj.departed,
     )
 
 

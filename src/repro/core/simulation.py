@@ -53,6 +53,11 @@ class SimulationResult:
     configuration was provably terminal.  ``interactions`` counts scheduler
     steps (including null steps for the uniform scheduler); ``productive``
     counts steps that changed the configuration.
+
+    ``population`` is the *final* population size — under a churn plan
+    (:mod:`repro.resilience.churn`) joins and leaves resize the run, and
+    ``joined``/``departed`` record the totals (both 0 for fixed-``n``
+    runs, where ``population`` equals the initial size as always).
     """
 
     final: Multiset
@@ -65,6 +70,9 @@ class SimulationResult:
     #: True when the run was cut short by a wall-clock ``deadline`` —
     #: the verdict is then ``None`` regardless of the trajectory so far.
     deadline_exceeded: bool = False
+    #: Total agents added / removed by churn faults during the run.
+    joined: int = 0
+    departed: int = 0
 
     @property
     def parallel_time(self) -> float:
@@ -245,6 +253,12 @@ def simulate(
         )
         sp.attrs["verdict"] = result.verdict
         sp.attrs["interactions"] = result.interactions
+        # Final size: under churn it differs from the start-of-run
+        # ``population`` attribute recorded above.
+        sp.attrs["population.size"] = result.population
+        if result.joined or result.departed:
+            sp.attrs["churn.joined"] = result.joined
+            sp.attrs["churn.departed"] = result.departed
         return result
 
 
@@ -307,8 +321,11 @@ def _simulate(
         from repro.resilience.faults import resolve_injector
 
         injector = resolve_injector(faults, seed)
-        if injector is not None and injector.exhausted() and not injector.plan:
-            injector = None  # empty plan: take the uninjected hot path
+        if injector is not None and injector.inert():
+            # Empty plan — or one that expanded to nothing (e.g. a
+            # zero-rate ChurnProcess): behaviourally no injector at all,
+            # so take the uninjected hot path and stay bit-identical.
+            injector = None
     deadline = resolve_deadline(deadline)
     deadline_at = time.monotonic() + deadline if deadline is not None else None
     obs = live(observer)
@@ -330,7 +347,7 @@ def _simulate(
         )
 
     if isinstance(scheduler, BatchedScheduler) and population >= 2:
-        if injector is None:
+        if injector is None or injector.population_only():
             return run_batched_simulation(
                 protocol,
                 current,
@@ -343,11 +360,15 @@ def _simulate(
                 obs=obs,
                 trace=trace,
                 stable_output=stable_output,
+                injector=injector,
                 deadline_at=deadline_at,
             )
-        # Fault injection is defined per interaction, which a batched run
-        # never materialises — degrade to the per-step fast uniform loop
-        # (identical uniform-pair semantics, full fault support).
+        # Per-interaction faults (drops, duplicates, unfair/adversarial
+        # windows, corruption of specific steps) need a granularity a
+        # batched run never materialises — degrade to the per-step fast
+        # uniform loop (identical uniform-pair semantics, full fault
+        # support).  Population-only plans (joins/leaves) fire at batch
+        # barriers and run batched natively above.
         scheduler = FastUniformScheduler(tie_break=scheduler.tie_break)
 
     if (
@@ -373,6 +394,8 @@ def _simulate(
     def finish(
         verdict: Optional[bool], silent: bool, deadline_exceeded: bool = False
     ) -> SimulationResult:
+        joined = injector.joined if injector is not None else 0
+        departed = injector.departed if injector is not None else 0
         if obs is not None:
             obs.on_run_end(
                 interactions,
@@ -383,6 +406,8 @@ def _simulate(
                 productive=productive,
                 population=population,
                 deadline_exceeded=deadline_exceeded,
+                joined=joined,
+                departed=departed,
             )
         return SimulationResult(
             final=current,
@@ -393,6 +418,8 @@ def _simulate(
             population=population,
             output_trace=trace,
             deadline_exceeded=deadline_exceeded,
+            joined=joined,
+            departed=departed,
         )
 
     fault_view = None
@@ -408,7 +435,13 @@ def _simulate(
 
                 fault_view = MultisetView(protocol, current)
             injector.fire(interactions, fault_view, obs)
-            output = protocol.output(current)
+            # Churn may have resized the run; the legacy loop reads the
+            # configuration live everywhere else, so refreshing here
+            # lifts its only fixed-n capture.  An emptied population has
+            # no output (the vacuous ``output(∅) = True`` is an
+            # initial-configuration convention, not a verdict).
+            population = current.size
+            output = protocol.output(current) if population else None
             if output != stable_output:
                 stable_output = output
                 stable_since = productive
@@ -416,6 +449,12 @@ def _simulate(
                 if obs is not None:
                     obs.on_output_flip(interactions, output, LAYER_PROTOCOL)
         unfair = injector is not None and injector.unfair_active(interactions + 1)
+        adversarial = (
+            not unfair
+            and injector is not None
+            and injector.adversarial_active(interactions + 1)
+            and injector.take_adversarial()
+        )
         if unfair:
             # Adversarial window: play the deterministic lowest-ranked
             # enabled transition, consuming no randomness.
@@ -425,6 +464,21 @@ def _simulate(
                 obs.on_scheduler_select(
                     interactions + 1,
                     scheduler="unfair",
+                    null=t is None,
+                    candidates=0 if t is None else 1,
+                )
+        elif adversarial:
+            # Worst-case-pick window: the enabled transition that drags
+            # the accepting count away from the current consensus (see
+            # repro.resilience.churn); deterministic, rng-free.
+            from repro.resilience.churn import adversarial_enabled_transition
+
+            t = adversarial_enabled_transition(protocol, current, stable_output)
+            step = SchedulerStep(t, (t.q, t.r) if t is not None else None)
+            if obs is not None:
+                obs.on_scheduler_select(
+                    interactions + 1,
+                    scheduler="adversarial",
                     null=t is None,
                     candidates=0 if t is None else 1,
                 )
@@ -438,9 +492,14 @@ def _simulate(
         if step.transition is None:
             if obs is not None:
                 obs.on_interaction(interactions, None, step.pair, False)
-            # An unfair window's None pick means no productive transition
-            # is enabled at all, exactly like the enabled scheduler's.
-            if unfair or isinstance(scheduler, EnabledTransitionScheduler):
+            # An unfair/adversarial window's None pick means no productive
+            # transition is enabled at all, exactly like the enabled
+            # scheduler's.
+            if (
+                unfair
+                or adversarial
+                or isinstance(scheduler, EnabledTransitionScheduler)
+            ):
                 if injector is not None and injector.next_at <= max_interactions:
                     # Silent for now, but a pending fault may revive the
                     # run: fast-forward the null steps to the trigger.
@@ -543,7 +602,10 @@ def _simulate(
             return finish(stable_output, False)
 
     silent = is_silent(protocol, current)
-    return finish(protocol.output(current) if silent else None, silent)
+    # A churn-drained (empty) population is trivially silent but has no
+    # output to report.
+    verdict = protocol.output(current) if silent and current.size else None
+    return finish(verdict, silent)
 
 
 def derive_seed(base: int, attempt: int) -> int:

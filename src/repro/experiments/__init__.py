@@ -59,6 +59,14 @@ from repro.experiments.theorem5 import (
     lockstep_check,
     render_conversion,
 )
+from repro.experiments.churn_recovery import (
+    ChurnRecoveryReport,
+    ChurnTrialOutcome,
+    EngineProbeRow,
+    churn_trial,
+    engine_churn_probe,
+    run_churn_recovery,
+)
 from repro.experiments.transient_faults import (
     FaultTrialOutcome,
     SchedulerProbeRow,
@@ -120,4 +128,10 @@ __all__ = [
     "TransientFaultReport",
     "FaultTrialOutcome",
     "SchedulerProbeRow",
+    "run_churn_recovery",
+    "churn_trial",
+    "engine_churn_probe",
+    "ChurnRecoveryReport",
+    "ChurnTrialOutcome",
+    "EngineProbeRow",
 ]

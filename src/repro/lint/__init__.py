@@ -1,5 +1,5 @@
 """Source lint enforcing the runtime's determinism & fork-safety
-invariants (codes ``LNT001–LNT006``; run via ``python -m repro lint``).
+invariants (codes ``LNT001–LNT007``; run via ``python -m repro lint``).
 
 See :mod:`repro.lint.rules` for the rule catalogue and
 :mod:`repro.lint.engine` for the driver and the ``# lint-ok`` pragma.

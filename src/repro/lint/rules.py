@@ -41,6 +41,15 @@ marked ``# lint-ok: CODE`` at the offending line (see
   gets a divergent copy.
 * ``LNT006`` — unused module-level import (``__init__.py`` re-export
   surfaces are skipped).
+* ``LNT007`` — population size captured at construction time: a
+  ``self.<attr> = <config>.size`` / ``len(<config>)`` assignment inside
+  ``__init__``, or a nested ``def``/``lambda`` closing over a local that
+  was bound (exactly once) from such an expression.  Populations are
+  dynamic under churn (:mod:`repro.resilience.churn`): a size snapshot
+  taken at construction/definition time goes stale the moment a
+  ``JoinAgents``/``LeaveAgents`` fault fires — read the live size at use
+  time, or refresh the local after every fault barrier (a local that
+  *is* reassigned elsewhere in the function is not flagged).
 """
 
 from __future__ import annotations
@@ -420,6 +429,159 @@ def rule_unused_imports(tree: ast.Module, path: str) -> List[Diagnostic]:
     return out
 
 
+# ----------------------------------------------------------------------
+# LNT007 — population size captured at construction time
+# ----------------------------------------------------------------------
+#: Identifier fragments that mark a value as a population configuration.
+_POP_NAME_HINTS = ("config", "population", "current", "dense", "multiset")
+
+
+def _is_pop_size_expr(node: ast.AST) -> bool:
+    """``<config-ish>.size`` or ``len(<config-ish>)``."""
+    if isinstance(node, ast.Attribute) and node.attr == "size":
+        chain = _dotted(node).lower()
+        return any(hint in chain for hint in _POP_NAME_HINTS)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+        and len(node.args) == 1
+        and not node.keywords
+    ):
+        chain = _dotted(node.args[0]).lower()
+        return any(hint in chain for hint in _POP_NAME_HINTS)
+    return False
+
+
+def _bound_names(target: ast.AST) -> List[str]:
+    """Plain names bound by an assignment target (tuples unpacked)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_bound_names(elt))
+        return out
+    return []
+
+
+def rule_population_size_capture(tree: ast.Module, path: str) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+
+    # Pattern A: ``self.<attr> = …<config>.size…`` inside ``__init__`` —
+    # the attribute freezes the size for the object's whole lifetime.
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        for item in cls.body:
+            if (
+                not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                or item.name != "__init__"
+            ):
+                continue
+            for stmt in ast.walk(item):
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                on_self = any(
+                    isinstance(t, ast.Attribute)
+                    and _dotted(t).startswith("self.")
+                    for t in stmt.targets
+                )
+                if not on_self:
+                    continue
+                for sub in ast.walk(stmt.value):
+                    if _is_pop_size_expr(sub):
+                        out.append(
+                            _diag(
+                                "LNT007",
+                                f"{cls.name}.__init__ stores the population "
+                                "size on self: the population can resize "
+                                "under churn — read the live size at use "
+                                "time instead",
+                                path,
+                                stmt,
+                            )
+                        )
+                        break
+
+    # Pattern B: a nested def/lambda closing over a local bound exactly
+    # once from a size expression — the closure sees the stale snapshot
+    # forever.  Locals that are reassigned elsewhere (e.g. refreshed at a
+    # fault barrier) are fine.
+    for func in ast.walk(tree):
+        if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        bindings: Dict[str, int] = {}
+        size_bound: Dict[str, ast.Assign] = {}
+        for stmt in ast.walk(func):
+            if stmt is func:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # inner scopes counted separately
+            if isinstance(stmt, ast.Assign):
+                names = [n for t in stmt.targets for n in _bound_names(t)]
+                for name in names:
+                    bindings[name] = bindings.get(name, 0) + 1
+                if _is_pop_size_expr(stmt.value):
+                    for name in names:
+                        size_bound[name] = stmt
+            elif isinstance(stmt, ast.AugAssign):
+                for name in _bound_names(stmt.target):
+                    bindings[name] = bindings.get(name, 0) + 1
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                for name in _bound_names(stmt.target):
+                    bindings[name] = bindings.get(name, 0) + 1
+        frozen = {
+            name for name, stmt in size_bound.items() if bindings.get(name) == 1
+        }
+        if not frozen:
+            continue
+        for inner in ast.walk(func):
+            if inner is func or not isinstance(
+                inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            inner_args = {a.arg for a in inner.args.args}
+            inner_args |= {a.arg for a in inner.args.kwonlyargs}
+            body = inner.body if isinstance(inner.body, list) else [inner.body]
+            rebound = {
+                n
+                for stmt in body
+                for sub in ast.walk(stmt)
+                if isinstance(sub, ast.Assign)
+                for t in sub.targets
+                for n in _bound_names(t)
+            }
+            for stmt in body:
+                hit = None
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Name)
+                        and isinstance(sub.ctx, ast.Load)
+                        and sub.id in frozen
+                        and sub.id not in inner_args
+                        and sub.id not in rebound
+                    ):
+                        hit = sub
+                        break
+                if hit is not None:
+                    label = getattr(inner, "name", "<lambda>")
+                    out.append(
+                        _diag(
+                            "LNT007",
+                            f"closure {label} captures {hit.id!r}, a "
+                            "population size snapshot taken at definition "
+                            "time: the population can resize under churn — "
+                            "read the live size inside the closure or "
+                            "refresh the local after fault barriers",
+                            path,
+                            inner,
+                        )
+                    )
+                    break
+    return out
+
+
 #: All rules, in code order; the engine runs each over every module.
 ALL_RULES = (
     rule_global_rng,
@@ -428,4 +590,5 @@ ALL_RULES = (
     rule_pool_pickle_safety,
     rule_module_mutable_state,
     rule_unused_imports,
+    rule_population_size_capture,
 )

@@ -13,7 +13,10 @@ into ``sim.*`` counters and histograms:
   wall-clocked from ``run_start`` to ``run_end``;
 * ``sim.enabled_keys`` / ``sim.index_churn`` histograms — the enabled
   set's final size and how often the :class:`EnabledIndex` membership
-  changed through its repair path (batch apply / fault repair).
+  changed through its repair path (batch apply / fault repair);
+* ``churn.*`` — dynamic-population accounting (joins/leaves fired,
+  agents added/removed, final population per churned run) fed by the
+  churn fault kinds of :mod:`repro.resilience.churn`.
 
 Everything here rides the *existing* zero-overhead observer protocol: the
 engine's hot loops already skip all observer work when ``live(observer)``
@@ -71,6 +74,18 @@ class ProfilingObserver(Observer):
         collisions = data.get("collisions")
         if collisions is not None:
             self.metrics.counter("sim.batch.collisions").inc(collisions)
+        joined = data.get("joined")
+        if joined:
+            self.metrics.counter("churn.joined").inc(joined)
+        departed = data.get("departed")
+        if departed:
+            self.metrics.counter("churn.departed").inc(departed)
+        if joined or departed:
+            population = data.get("population")
+            if population is not None:
+                self.metrics.histogram("churn.final_population").observe(
+                    population
+                )
 
     # -- engine events --------------------------------------------------
     def on_batch(self, step, *, kind, count, transition=None, productive=0) -> None:
@@ -92,6 +107,18 @@ class ProfilingObserver(Observer):
 
     def on_fault(self, step, kind, layer, **data) -> None:
         self.metrics.counter("sim.faults").inc()
+        if kind == "join":
+            self.metrics.counter("churn.joins").inc()
+            self.metrics.counter("churn.agents_joined").inc(
+                data.get("agents", 1)
+            )
+        elif kind == "leave":
+            self.metrics.counter("churn.leaves").inc()
+            self.metrics.counter("churn.agents_departed").inc(
+                data.get("agents", 1)
+            )
+        elif kind == "adversarial":
+            self.metrics.counter("churn.adversarial_windows").inc()
 
     # -- export ---------------------------------------------------------
     def summary(self) -> Dict[str, Any]:

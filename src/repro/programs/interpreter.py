@@ -197,8 +197,15 @@ class ProgramInterpreter:
                 state.restarts += 1
                 state.restart_steps.append(state.steps)
                 state.last_event_step = state.steps
+                # Resample at the *live* total: register faults preserve
+                # it, but churn faults (joins/leaves) resize the run, and
+                # a restart must redistribute the population that exists
+                # now, not the one the run started with.  Bit-identical
+                # to the old captured total when no churn occurred.
                 state.registers = self.restart_policy.sample(
-                    total, self.program.registers, state.rng
+                    sum(state.registers.values()),
+                    self.program.registers,
+                    state.rng,
                 )
                 if obs is not None:
                     obs.on_restart(

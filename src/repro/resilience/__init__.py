@@ -5,6 +5,10 @@ Public surface:
 * :class:`FaultPlan` / fault records — a pure-data schedule of mid-run
   perturbations (agent corruption, resets, dropped/duplicated
   interactions, unfair scheduler windows);
+* the churn kinds (:mod:`repro.resilience.churn`) — dynamic populations:
+  :class:`JoinAgents` / :class:`LeaveAgents` / :class:`ChurnProcess`
+  resize the population mid-run, :class:`AdversarialScheduler` plays
+  worst-case enabled pairs within a fairness budget;
 * :class:`FaultInjector` — a plan bound to a seed, consumed by the
   simulation drivers (``simulate(..., faults=plan)``,
   ``run_program(..., faults=plan)``);
@@ -16,8 +20,18 @@ timeouts, graceful degradation, cache integrity) lives in
 :mod:`repro.runtime`.
 """
 
+from repro.resilience.churn import (
+    AdversarialScheduler,
+    ChurnProcess,
+    JoinAgents,
+    LeaveAgents,
+    adversarial_enabled_transition,
+    adversarial_index_pick,
+    expand_churn,
+)
 from repro.resilience.faults import (
     CorruptAgents,
+    DenseView,
     DropInteractions,
     DuplicateInteractions,
     Fault,
@@ -32,16 +46,24 @@ from repro.resilience.faults import (
 )
 
 __all__ = [
+    "AdversarialScheduler",
+    "ChurnProcess",
     "CorruptAgents",
+    "DenseView",
     "DropInteractions",
     "DuplicateInteractions",
     "Fault",
     "FaultInjector",
     "FaultPlan",
     "IndexView",
+    "JoinAgents",
+    "LeaveAgents",
     "MultisetView",
     "RegisterView",
     "ResetAgents",
     "UnfairWindow",
+    "adversarial_enabled_transition",
+    "adversarial_index_pick",
+    "expand_churn",
     "resolve_injector",
 ]

@@ -27,7 +27,11 @@ Two design commitments shape the API:
   exact), and :class:`RegisterView` for program-level register
   corruption.  The injector itself is layer-agnostic.
 
-Fault taxonomy (all population-preserving — the model has no churn):
+Fault taxonomy — the population-preserving kinds live here, the
+dynamic-population kinds in :mod:`repro.resilience.churn` (same plan and
+injector machinery; a :class:`~repro.resilience.churn.ChurnProcess` is
+expanded into concrete join/leave events at bind time from a dedicated
+seed stream):
 
 ========================  ==============================================
 :class:`CorruptAgents`    move ``agents`` agents to random *other* states
@@ -40,6 +44,11 @@ Fault taxonomy (all population-preserving — the model has no churn):
                           adversarial: deterministically pick the
                           lowest-ranked enabled transition instead of
                           sampling fairly
+``churn.JoinAgents``      ``agents`` new agents appear in one state
+``churn.LeaveAgents``     ``agents`` agents depart the population
+``churn.ChurnProcess``    seeded sustained arrival/departure process
+``churn.AdversarialScheduler``  worst-case enabled picks within a
+                          fairness budget
 ========================  ==============================================
 
 A fault with trigger step ``at`` fires after the ``at``-th interaction
@@ -55,6 +64,14 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.observability import spans as _spans
 from repro.observability.events import LAYER_PROTOCOL
+from repro.resilience.churn import (
+    CHURN_FAULT_KINDS,
+    AdversarialScheduler,
+    ChurnProcess,
+    JoinAgents,
+    LeaveAgents,
+    expand_churn,
+)
 
 _INFINITY = float("inf")
 
@@ -117,7 +134,15 @@ class UnfairWindow:
 
 
 Fault = Union[
-    CorruptAgents, ResetAgents, DropInteractions, DuplicateInteractions, UnfairWindow
+    CorruptAgents,
+    ResetAgents,
+    DropInteractions,
+    DuplicateInteractions,
+    UnfairWindow,
+    JoinAgents,
+    LeaveAgents,
+    ChurnProcess,
+    AdversarialScheduler,
 ]
 
 _FAULT_KINDS = {
@@ -126,6 +151,7 @@ _FAULT_KINDS = {
     DropInteractions: "drop_scheduled",
     DuplicateInteractions: "duplicate_scheduled",
     UnfairWindow: "unfair",
+    **CHURN_FAULT_KINDS,
 }
 
 
@@ -188,11 +214,14 @@ class FaultPlan:
 class MultisetView:
     """Corruption view over a legacy-loop :class:`Multiset` configuration.
 
-    ``move`` goes through ``inc``/``dec``, so any attached watchers (an
-    :class:`EnabledIndex` observing the multiset) stay exact for free.
+    ``move``/``add``/``remove`` go through ``inc``/``dec``, so any
+    attached watchers (an :class:`EnabledIndex` observing the multiset)
+    stay exact for free.  ``size_delta`` accumulates the net population
+    change of churn faults; the legacy loop reads ``config.size`` fresh
+    after a fire, so it only needs the accumulator for reporting.
     """
 
-    __slots__ = ("states", "_config", "accept_delta")
+    __slots__ = ("states", "_config", "accept_delta", "size_delta")
 
     def __init__(self, protocol, config):
         # Sorted by repr: the injector's choices must not depend on the
@@ -200,6 +229,7 @@ class MultisetView:
         self.states: Tuple[Any, ...] = tuple(sorted(protocol.states, key=repr))
         self._config = config
         self.accept_delta = 0  # unused: the legacy loop recomputes output
+        self.size_delta = 0
 
     def count(self, state) -> int:
         return self._config[state]
@@ -207,6 +237,14 @@ class MultisetView:
     def move(self, src, dst, k: int = 1) -> None:
         self._config.dec(src, k)
         self._config.inc(dst, k)
+
+    def add(self, state, k: int = 1) -> None:
+        self._config.inc(state, k)
+        self.size_delta += k
+
+    def remove(self, state, k: int = 1) -> None:
+        self._config.dec(state, k)
+        self.size_delta -= k
 
 
 class IndexView:
@@ -219,12 +257,13 @@ class IndexView:
     O(Δ) output tracking instead of rescanning the configuration.
     """
 
-    __slots__ = ("index", "states", "accept_delta")
+    __slots__ = ("index", "states", "accept_delta", "size_delta")
 
     def __init__(self, index):
         self.index = index
         self.states: Tuple[Any, ...] = index.table.states
         self.accept_delta = 0
+        self.size_delta = 0
 
     def count(self, state) -> int:
         return self.index.cnt[self.index.table.sid[state]]
@@ -240,16 +279,31 @@ class IndexView:
         accepting = index.table.accepting
         self.accept_delta += k * (int(accepting[b]) - int(accepting[a]))
 
+    def add(self, state, k: int = 1) -> None:
+        index = self.index
+        s = index.table.sid[state]
+        index.grow(s, k)
+        self.accept_delta += k * int(index.table.accepting[s])
+        self.size_delta += k
+
+    def remove(self, state, k: int = 1) -> None:
+        index = self.index
+        s = index.table.sid[state]
+        index.shrink(s, k)
+        self.accept_delta -= k * int(index.table.accepting[s])
+        self.size_delta -= k
+
 
 class RegisterView:
     """Corruption view over a program interpreter's register dict."""
 
-    __slots__ = ("states", "_registers", "accept_delta")
+    __slots__ = ("states", "_registers", "accept_delta", "size_delta")
 
     def __init__(self, registers: Dict[str, int]):
         self.states: Tuple[str, ...] = tuple(sorted(registers))
         self._registers = registers
         self.accept_delta = 0
+        self.size_delta = 0
 
     def count(self, state) -> int:
         return self._registers.get(state, 0)
@@ -257,6 +311,55 @@ class RegisterView:
     def move(self, src, dst, k: int = 1) -> None:
         self._registers[src] -= k
         self._registers[dst] = self._registers.get(dst, 0) + k
+
+    def add(self, state, k: int = 1) -> None:
+        self._registers[state] = self._registers.get(state, 0) + k
+        self.size_delta += k
+
+    def remove(self, state, k: int = 1) -> None:
+        self._registers[state] -= k
+        self.size_delta -= k
+
+
+class DenseView:
+    """Corruption view over the batched engine's ``DenseConfig``.
+
+    The batched engine only fires faults at batch barriers, so the view
+    mutates the dense count array directly (firing the multiset change
+    hooks via ``inc``/``dec`` keeps any attached accepting-count watcher
+    exact) and accumulates ``accept_delta``/``size_delta`` for the
+    driver's between-batch bookkeeping.
+    """
+
+    __slots__ = ("states", "_dense", "_accepting", "accept_delta", "size_delta")
+
+    def __init__(self, dense, accepting):
+        self.states: Tuple[Any, ...] = dense.states
+        self._dense = dense
+        self._accepting = accepting
+        self.accept_delta = 0
+        self.size_delta = 0
+
+    def count(self, state) -> int:
+        return self._dense[state]
+
+    def move(self, src, dst, k: int = 1) -> None:
+        self._dense.dec(src, k)
+        self._dense.inc(dst, k)
+        sid = self._dense.sid
+        self.accept_delta += k * (
+            int(self._accepting[sid[dst]]) - int(self._accepting[sid[src]])
+        )
+
+    def add(self, state, k: int = 1) -> None:
+        self._dense.inc(state, k)
+        self.accept_delta += k * int(self._accepting[self._dense.sid[state]])
+        self.size_delta += k
+
+    def remove(self, state, k: int = 1) -> None:
+        self._dense.dec(state, k)
+        self.accept_delta -= k * int(self._accepting[self._dense.sid[state]])
+        self.size_delta -= k
 
 
 # ----------------------------------------------------------------------
@@ -293,12 +396,31 @@ class FaultInjector:
         self.plan = plan
         self.seed = seed
         self.rng = random.Random(derive_seed_path(seed, "faults"))
-        self._queue: Tuple[Fault, ...] = plan.faults
+        # ChurnProcess records expand into concrete join/leave events
+        # here, each process from its own stream (path "faults"/"churn"/
+        # <plan index>) — so plans without churn bind to exactly the
+        # queue they always did, with identical self.rng draws.
+        queue: List[Fault] = []
+        for i, fault in enumerate(plan.faults):
+            if isinstance(fault, ChurnProcess):
+                churn_rng = random.Random(
+                    derive_seed_path(seed, "faults", "churn", i)
+                )
+                queue.extend(expand_churn(fault, churn_rng))
+            else:
+                queue.append(fault)
+        queue.sort(key=lambda f: f.at)  # stable: ties keep plan order
+        self._queue: Tuple[Fault, ...] = tuple(queue)
         self._pos = 0
         self.fired = 0
         self.drop_left = 0
         self.duplicate_left = 0
         self.unfair_until = -1  # inclusive: steps <= this are adversarial
+        self.adv_until = -1  # inclusive: adversarial-scheduler window
+        self.adv_fairness = 0
+        self._adv_tick = 0
+        self.joined = 0
+        self.departed = 0
         self.next_at: float = (
             self._queue[0].at if self._queue else _INFINITY
         )
@@ -320,6 +442,21 @@ class FaultInjector:
             self.duplicate_left -= 1
             return True
         return False
+
+    def adversarial_active(self, step: int) -> bool:
+        """Whether step ``step`` falls inside an armed worst-case-pick
+        window (see :class:`~repro.resilience.churn.AdversarialScheduler`)."""
+        return step <= self.adv_until
+
+    def take_adversarial(self) -> bool:
+        """Consume one step of an active adversarial window.  ``True``
+        means: play the worst-case pick.  ``False`` is the fairness
+        budget — every ``fairness``-th step stays fairly sampled (never,
+        when ``fairness`` is 0)."""
+        self._adv_tick += 1
+        if self.adv_fairness > 0 and self._adv_tick % self.adv_fairness == 0:
+            return False
+        return True
 
     # -- firing ----------------------------------------------------------
     def fire(self, step: int, view, obs=None, layer: str = LAYER_PROTOCOL) -> None:
@@ -352,6 +489,23 @@ class FaultInjector:
                 kind = "duplicate_scheduled"
                 self.duplicate_left += fault.count
                 data["count"] = fault.count
+            elif isinstance(fault, JoinAgents):
+                kind = "join"
+                target, joined = self._join(view, fault.agents, fault.state)
+                data["state"] = repr(target)
+                data["agents"] = joined
+            elif isinstance(fault, LeaveAgents):
+                kind = "leave"
+                departed = self._leave(view, fault.agents, fault.state)
+                data["agents"] = departed
+            elif isinstance(fault, AdversarialScheduler):
+                kind = "adversarial"
+                until = step + fault.length
+                if until > self.adv_until:
+                    self.adv_until = until
+                self.adv_fairness = fault.fairness
+                data["length"] = fault.length
+                data["fairness"] = fault.fairness
             else:  # UnfairWindow
                 kind = "unfair"
                 until = step + fault.length
@@ -417,6 +571,49 @@ class FaultInjector:
             moved += 1
         return target, moved
 
+    # -- churn mechanics -------------------------------------------------
+    def _join(self, view, agents: int, state) -> Tuple[Any, int]:
+        """``agents`` fresh agents appear in ``state`` (or a uniform draw
+        from the injector stream); returns the target and the join count."""
+        if state is not None:
+            if state not in view.states:
+                raise ValueError(
+                    f"JoinAgents target {state!r} is not a state of the "
+                    f"simulated system"
+                )
+            target = state
+        else:
+            target = self.rng.choice(list(view.states))
+        view.add(target, agents)
+        self.joined += agents
+        return target, agents
+
+    def _leave(self, view, agents: int, state) -> int:
+        """``agents`` agents depart: from ``state`` when given (capped at
+        its occupancy), else one at a time weighted by occupancy.
+        Returns how many actually left — the population may drain to 0,
+        after which departures degenerate to no-ops."""
+        if state is not None:
+            if state not in view.states:
+                raise ValueError(
+                    f"LeaveAgents source {state!r} is not a state of the "
+                    f"simulated system"
+                )
+            gone = min(agents, view.count(state))
+            if gone:
+                view.remove(state, gone)
+        else:
+            gone = 0
+            for _ in range(agents):
+                occupied, weights = self._occupied(view)
+                if not occupied:
+                    break
+                src = self.rng.choices(occupied, weights=weights)[0]
+                view.remove(src, 1)
+                gone += 1
+        self.departed += gone
+        return gone
+
     def exhausted(self) -> bool:
         """No pending triggers *and* no armed drop/duplicate tokens.
         (An open unfair window with no pending faults cannot make a
@@ -425,6 +622,31 @@ class FaultInjector:
             self._pos >= len(self._queue)
             and self.drop_left == 0
             and self.duplicate_left == 0
+        )
+
+    def inert(self) -> bool:
+        """Stronger than :meth:`exhausted`: the injector can no longer
+        influence the run in *any* way — nothing queued, no armed
+        drop/duplicate tokens, and no unfair/adversarial window was ever
+        opened.  An injector that is inert before its first step is
+        behaviourally identical to no injector at all; the drivers use
+        this to keep empty (and emptily-expanded) plans bit-identical to
+        uninjected runs."""
+        return (
+            self._pos >= len(self._queue)
+            and self.drop_left == 0
+            and self.duplicate_left == 0
+            and self.unfair_until < 0
+            and self.adv_until < 0
+        )
+
+    def population_only(self) -> bool:
+        """Whether every queued fault only resizes the population (joins
+        and leaves).  Such plans fire at batch barriers without needing
+        per-interaction granularity, so the batched engine can run them
+        natively instead of degrading to the per-step fast path."""
+        return all(
+            isinstance(f, (JoinAgents, LeaveAgents)) for f in self._queue
         )
 
     def __repr__(self) -> str:

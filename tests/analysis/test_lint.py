@@ -128,6 +128,77 @@ def test_all_listing_counts_as_use():
 
 
 # ----------------------------------------------------------------------
+# LNT007 — population size captured at construction time
+# ----------------------------------------------------------------------
+def test_init_size_snapshot_flagged():
+    source = (
+        "class S:\n"
+        "    def __init__(self, config):\n"
+        "        self.m = config.size\n"
+    )
+    assert "LNT007" in codes(lint(source))
+    assert "LNT007" in codes(
+        lint(source.replace("config.size", "len(config)"))
+    )
+
+
+def test_non_population_names_not_flagged():
+    source = (
+        "class S:\n"
+        "    def __init__(self, items):\n"
+        "        self.m = len(items)\n"
+    )
+    assert "LNT007" not in codes(lint(source))
+
+
+def test_closure_over_size_snapshot_flagged():
+    source = (
+        "def run(config):\n"
+        "    m = config.size\n"
+        "    def finish():\n"
+        "        return m * 2\n"
+        "    return finish\n"
+    )
+    assert "LNT007" in codes(lint(source))
+    lam = "def run(config):\n    m = config.size\n    return lambda: m + 1\n"
+    assert "LNT007" in codes(lint(lam))
+
+
+def test_refreshed_local_not_flagged():
+    # A local reassigned elsewhere (e.g. at a fault barrier) is live, not
+    # a stale snapshot — the rule must stay quiet.
+    source = (
+        "def run(config):\n"
+        "    m = config.size\n"
+        "    def finish():\n"
+        "        return m * 2\n"
+        "    m = config.size\n"
+        "    return finish\n"
+    )
+    assert "LNT007" not in codes(lint(source))
+
+
+def test_shadowing_parameter_not_flagged():
+    source = (
+        "def run(config):\n"
+        "    m = config.size\n"
+        "    def finish(m):\n"
+        "        return m * 2\n"
+        "    return finish\n"
+    )
+    assert "LNT007" not in codes(lint(source))
+
+
+def test_lnt007_pragma_suppressible():
+    source = (
+        "class S:\n"
+        "    def __init__(self, config):\n"
+        "        self.m = config.size  # lint-ok: LNT007\n"
+    )
+    assert lint(source) == []
+
+
+# ----------------------------------------------------------------------
 # Engine: pragmas, syntax errors, ordering
 # ----------------------------------------------------------------------
 def test_blanket_pragma_waives_line():
